@@ -1,0 +1,42 @@
+// Figures 2 and 3: SmartNIC echo bandwidth as the number of active NIC
+// cores varies, for frame sizes 64B..1500B.
+//   Fig. 2 — 10GbE LiquidIOII CN2350 (12 cores)
+//   Fig. 3 — 25GbE Stingray PS225 (8 cores)
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/echo_bench.h"
+#include "nic/nic_config.h"
+
+using namespace ipipe;
+
+namespace {
+
+void sweep(const nic::NicConfig& cfg, const char* figure) {
+  std::printf("\n%s: bandwidth (Gbps) vs NIC cores on %s (%.0fGbE)\n", figure,
+              cfg.name.c_str(), cfg.link_gbps);
+  const std::uint32_t frames[] = {64, 128, 256, 512, 1024, 1500};
+  std::vector<std::string> headers = {"cores"};
+  for (const auto f : frames) headers.push_back(strf("%uB", f));
+  TablePrinter table(std::move(headers));
+  for (unsigned cores = 1; cores <= cfg.cores; ++cores) {
+    std::vector<std::string> row = {strf("%u", cores)};
+    for (const auto frame : frames) {
+      const auto result = bench::run_echo(cfg, frame, cores);
+      row.push_back(strf("%.2f", result.goodput_gbps));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  sweep(nic::liquidio_cn2350(), "Figure 2");
+  sweep(nic::stingray_ps225(), "Figure 3");
+  std::printf(
+      "\nPaper shape check: 64/128B never reach line rate; CN2350 needs "
+      "10/6/4/3 cores for 256/512/1024/1500B; Stingray needs 3/2/1/1.\n");
+  return 0;
+}

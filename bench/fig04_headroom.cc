@@ -1,0 +1,56 @@
+// Figure 4: achieved bandwidth as a synthetic per-packet processing
+// latency is added to every frame, using all NIC cores — the "computing
+// headroom" of the 10GbE LiquidIOII CN2350 and the 25GbE Stingray PS225
+// at 256B and 1024B frames.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/echo_bench.h"
+#include "nic/nic_config.h"
+
+using namespace ipipe;
+
+int main() {
+  const auto liquidio = nic::liquidio_cn2350();
+  const auto stingray = nic::stingray_ps225();
+  const double extra_us[] = {0, 0.125, 0.25, 0.5, 1, 2, 4, 8, 16};
+
+  std::printf(
+      "\nFigure 4: bandwidth (Gbps) vs per-packet processing latency, all "
+      "cores active\n");
+  TablePrinter table({"extra(us)", "256B-10GbE", "1024B-10GbE", "256B-25GbE",
+                      "1024B-25GbE"});
+  struct Cell {
+    const nic::NicConfig* cfg;
+    std::uint32_t frame;
+  };
+  const Cell cells[] = {{&liquidio, 256},
+                        {&liquidio, 1024},
+                        {&stingray, 256},
+                        {&stingray, 1024}};
+  // Track the max tolerated latency (last extra that still hits ~line
+  // rate) per column.
+  double tolerated[4] = {0, 0, 0, 0};
+  for (const double us : extra_us) {
+    std::vector<std::string> row = {strf("%.3f", us)};
+    for (int c = 0; c < 4; ++c) {
+      const auto result = bench::run_echo(*cells[c].cfg, cells[c].frame,
+                                          cells[c].cfg->cores, usec(us));
+      row.push_back(strf("%.2f", result.goodput_gbps));
+      const double line =
+          goodput_gbps(line_rate_pps(cells[c].frame, cells[c].cfg->link_gbps),
+                       cells[c].frame);
+      if (result.goodput_gbps >= 0.97 * line) tolerated[c] = us;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "Max tolerated per-packet latency (us): 256B-10GbE=%.3f "
+      "1024B-10GbE=%.3f 256B-25GbE=%.3f 1024B-25GbE=%.3f\n",
+      tolerated[0], tolerated[1], tolerated[2], tolerated[3]);
+  std::printf(
+      "Paper reports 2.5/9.8us (10GbE) and 0.7/2.6us (25GbE); see "
+      "EXPERIMENTS.md for the Fig.2-vs-Fig.4 calibration tension.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 5: average and P99 latency at maximum throughput on the 10GbE
+// LiquidIOII CN2350 with 6 vs 12 cores — the hardware traffic manager
+// provides a shared queue with negligible synchronization overhead, so
+// doubling the consumers barely moves the latency.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/echo_bench.h"
+#include "nic/nic_config.h"
+
+using namespace ipipe;
+
+int main() {
+  const auto cfg = nic::liquidio_cn2350();
+  const std::uint32_t frames[] = {64, 512, 1024, 1500};
+
+  std::printf(
+      "\nFigure 5: avg/p99 latency (us) at max throughput, LiquidIOII "
+      "CN2350\n");
+  TablePrinter table(
+      {"frame", "6core-avg", "12core-avg", "6core-p99", "12core-p99"});
+  double avg_delta_sum = 0.0;
+  double p99_delta_sum = 0.0;
+  for (const auto frame : frames) {
+    // Offer ~98% of what the configured core count can absorb so the
+    // system sits at its operating point without unbounded queueing.
+    auto run = [&](unsigned cores) {
+      const double capacity_pps = std::min(
+          static_cast<double>(cores) * 1e9 /
+              static_cast<double>(cfg.forwarding.cost(frame) +
+                                  cfg.tm_dequeue_cost),
+          line_rate_pps(frame, cfg.link_gbps));
+      const double scale =
+          capacity_pps * 0.98 / line_rate_pps(frame, cfg.link_gbps);
+      return bench::run_echo(cfg, frame, cores, 0, scale, msec(20),
+                             /*poisson=*/true);
+    };
+    const auto six = run(6);
+    const auto twelve = run(12);
+    table.add_row({strf("%uB", frame), strf("%.1f", to_us(static_cast<Ns>(six.latency.mean_ns()))),
+                   strf("%.1f", to_us(static_cast<Ns>(twelve.latency.mean_ns()))),
+                   strf("%.1f", to_us(six.latency.p99())),
+                   strf("%.1f", to_us(twelve.latency.p99()))});
+    avg_delta_sum += twelve.latency.mean_ns() / std::max(six.latency.mean_ns(), 1.0) - 1.0;
+    p99_delta_sum += static_cast<double>(twelve.latency.p99()) /
+                         std::max<double>(static_cast<double>(six.latency.p99()), 1.0) -
+                     1.0;
+  }
+  table.print();
+  std::printf(
+      "12-core vs 6-core latency inflation: avg %+.1f%%, p99 %+.1f%% "
+      "(paper: +4.1%%/+3.4%% — hardware traffic manager adds little "
+      "synchronization cost)\n",
+      avg_delta_sum / 4 * 100, p99_delta_sum / 4 * 100);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figures 7 and 8: per-core blocking / non-blocking DMA read & write
+// latency and throughput across payload sizes (10GbE LiquidIOII CN2350).
+//
+// Latency is the core-visible cost; throughput is measured by actually
+// driving the simulated engine from a single issuing core.
+#include <cstdio>
+
+#include "common/table.h"
+#include "nic/dma_engine.h"
+#include "nic/nic_config.h"
+#include "sim/simulation.h"
+
+using namespace ipipe;
+
+namespace {
+
+/// Ops/s a single core achieves issuing back-to-back ops of `bytes`.
+double measure_mops(bool blocking, bool write, std::uint32_t bytes) {
+  sim::Simulation sim;
+  nic::DmaEngine dma(sim, nic::liquidio_cn2350().dma);
+  const Ns duration = msec(20);
+  std::uint64_t completed = 0;
+
+  if (blocking) {
+    // Blocking: the core stalls for the full round trip per op.
+    const Ns lat = write ? dma.blocking_write_latency(bytes)
+                         : dma.blocking_read_latency(bytes);
+    return 1e3 / static_cast<double>(lat);  // Mops
+  }
+
+  // Non-blocking: issue as fast as post cost + backpressure allow.
+  std::function<void()> issue = [&] {
+    if (sim.now() >= duration) return;
+    const Ns post = write ? dma.nonblocking_write(bytes, [&] { ++completed; })
+                          : dma.nonblocking_read(bytes, [&] { ++completed; });
+    sim.schedule(std::max<Ns>(post, 1), issue);
+  };
+  issue();
+  sim.run(duration + msec(5));
+  return static_cast<double>(completed) / to_sec(duration) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = nic::liquidio_cn2350();
+  sim::Simulation sim;
+  nic::DmaEngine dma(sim, cfg.dma);
+
+  std::printf("\nFigure 7: per-core DMA latency (us) vs payload size\n");
+  TablePrinter lat_table({"payload", "blk-read", "nonblk-read", "blk-write",
+                          "nonblk-write"});
+  for (const std::uint32_t bytes :
+       {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    lat_table.add_row(
+        {strf("%uB", bytes),
+         strf("%.2f", to_us(dma.blocking_read_latency(bytes))),
+         strf("%.2f", to_us(cfg.dma.nonblocking_post)),
+         strf("%.2f", to_us(dma.blocking_write_latency(bytes))),
+         strf("%.2f", to_us(cfg.dma.nonblocking_post))});
+  }
+  lat_table.print();
+
+  std::printf("\nFigure 8: per-core DMA throughput (Mops) vs payload size\n");
+  TablePrinter tput_table({"payload", "blk-read", "nonblk-read", "blk-write",
+                           "nonblk-write", "blk-write GB/s"});
+  for (const std::uint32_t bytes :
+       {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    const double bw = measure_mops(true, true, bytes);
+    tput_table.add_row({strf("%uB", bytes),
+                        strf("%.2f", measure_mops(true, false, bytes)),
+                        strf("%.2f", measure_mops(false, false, bytes)),
+                        strf("%.2f", bw),
+                        strf("%.2f", measure_mops(false, true, bytes)),
+                        strf("%.2f", bw * bytes / 1e3)});
+  }
+  tput_table.print();
+  std::printf(
+      "Shape check: non-blocking post cost is size-independent; large "
+      "blocking transfers approach the PCIe streaming bandwidth "
+      "(implication I6: aggregate transfers, use scatter-gather).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// §5.6: iPipe vs Floem on the real-time analytics workload.  Floem's
+// offloaded elements are *stationary*: placement is chosen once at
+// configuration time, so under small-packet loads the SmartNIC keeps
+// computing while packet forwarding starves (iPipe instead migrates the
+// actors to the host and devotes every NIC core to forwarding).
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/app_harness.h"
+
+using namespace ipipe;
+using namespace ipipe::bench;
+
+int main() {
+  std::printf(
+      "\n§5.6: RTA throughput per host core — Floem (static offload) vs "
+      "iPipe (dynamic), 10GbE CN2350\n");
+  TablePrinter table({"frame", "Floem Gbps", "Floem host-cores", "iPipe Gbps",
+                      "iPipe host-cores", "per-host-core advantage"});
+  for (const std::uint32_t frame : {64u, 256u, 512u, 1024u}) {
+    auto run = [&](testbed::Mode mode) {
+      RunConfig cfg;
+      cfg.app = App::kRta;
+      cfg.mode = mode;
+      cfg.frame_size = frame;
+      cfg.outstanding = 12;  // operating point below NIC saturation
+      cfg.warmup = msec(10);
+      cfg.duration = msec(40);
+      // Floem's static split: the simple element (filter) is offloaded,
+      // the complex ones (counter, ranker) stay on the host (§5.6: "the
+      // common computation elements of Floem mainly comprise of simple
+      // tasks ... complex ones are performed on the host side").
+      cfg.floem_split = mode == testbed::Mode::kFloem;
+      return run_app(cfg);
+    };
+    const auto floem = run(testbed::Mode::kFloem);
+    const auto ipipe = run(testbed::Mode::kIPipe);
+    // Application bandwidth per host core consumed (paper's §5.6 metric;
+    // when iPipe fully offloads, its host usage approaches zero and the
+    // ratio diverges — we floor the denominator at 0.1 cores).
+    auto per_core = [&](const RunResult& r) {
+      return r.goodput_gbps / 3.0 / std::max(r.host_cores[0], 0.1);
+    };
+    const double f = per_core(floem);
+    const double i = per_core(ipipe);
+    table.add_row({strf("%uB", frame), strf("%.2f", floem.goodput_gbps / 3.0),
+                   strf("%.2f", floem.host_cores[0]),
+                   strf("%.2f", ipipe.goodput_gbps / 3.0),
+                   strf("%.2f", ipipe.host_cores[0]),
+                   strf("%+.0f%%", (i / std::max(f, 1e-9) - 1.0) * 100)});
+  }
+  table.print();
+  std::printf(
+      "Paper: Floem-RTA 1.6Gbps/core vs iPipe-RTA 2.9Gbps/core at the "
+      "best case; at 64B iPipe wins by 88.3%% because it migrates all "
+      "actors to the host and uses every NIC core for forwarding.\n");
+  return 0;
+}

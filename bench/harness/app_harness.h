@@ -1,0 +1,64 @@
+// Shared harness for the macro-benchmarks (Figures 13-17): deploys one of
+// the three paper applications on a simulated multi-node testbed in a
+// given mode (iPipe / DPDK baseline / Floem / host-only-iPipe), drives it
+// with the §5.1 workloads, and reports throughput, latency and per-role
+// host core usage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "testbed/cluster.h"
+
+namespace ipipe::bench {
+
+enum class App { kRta, kDt, kRkv };
+
+[[nodiscard]] const char* app_name(App app);
+
+/// Server roles whose host-core usage Figure 13 reports.
+enum class Role {
+  kRtaWorker,
+  kDtCoordinator,
+  kDtParticipant,
+  kRkvLeader,
+  kRkvFollower,
+};
+
+[[nodiscard]] const char* role_name(Role role);
+[[nodiscard]] App app_of(Role role);
+
+struct RunConfig {
+  App app = App::kRkv;
+  testbed::Mode mode = testbed::Mode::kIPipe;
+  bool use_25g = false;           ///< CN2360/25GbE testbed vs CN2350/10GbE
+  std::uint32_t frame_size = 512;
+  unsigned outstanding = 16;      ///< closed-loop window per client
+  Ns warmup = msec(10);
+  Ns duration = msec(50);         ///< measured window after warmup
+  IPipeConfig ipipe;              ///< runtime tuning (thresholds etc.)
+  /// Floem-style static split for RTA: filter on the NIC, counter and
+  /// ranker pinned to the host (stationary placement).
+  bool floem_split = false;
+};
+
+struct RunResult {
+  double throughput_rps = 0.0;  ///< completed requests/s in the window
+  double goodput_gbps = 0.0;
+  LatencyHistogram latency;
+  /// Average host cores busy per role present in this app.
+  double host_cores[2] = {0.0, 0.0};  // [primary role, secondary role]
+  double nic_cores[2] = {0.0, 0.0};
+  std::uint64_t completed = 0;
+  std::uint64_t push_migrations = 0;
+  std::uint64_t downgrades = 0;
+};
+
+/// Role index inside RunResult::host_cores for this app:
+/// RTA: {worker, worker}; DT: {coordinator, participant};
+/// RKV: {leader, follower}.
+[[nodiscard]] RunResult run_app(const RunConfig& cfg);
+
+}  // namespace ipipe::bench

@@ -1,0 +1,58 @@
+// google-benchmark microbenchmarks of the simulator itself: event-queue
+// throughput and end-to-end simulated-seconds-per-wallclock-second for a
+// loaded node — documents the cost of running the reproduction.
+#include <benchmark/benchmark.h>
+
+#include "ipipe/runtime.h"
+#include "sim/simulation.h"
+#include "testbed/cluster.h"
+#include "workloads/app_workloads.h"
+
+namespace ipipe {
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule(static_cast<Ns>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_EchoNodeSimulatedMillisecond(benchmark::State& state) {
+  for (auto _ : state) {
+    testbed::Cluster cluster;
+    auto& server = cluster.add_server(testbed::ServerSpec{});
+
+    class Echo final : public Actor {
+     public:
+      Echo() : Actor("echo") {}
+      void handle(ActorEnv& env, const netsim::Packet& req) override {
+        env.charge(usec(2));
+        env.reply(req, 2, {});
+      }
+    };
+    const ActorId id =
+        server.runtime().register_actor(std::make_unique<Echo>());
+    workloads::EchoWorkloadParams wl;
+    wl.server = 0;
+    wl.actor = id;
+    wl.msg_type = 1;
+    wl.frame_size = 512;
+    auto& client = cluster.add_client(10.0, workloads::echo_workload(wl));
+    client.start_closed_loop(8, msec(1));
+    cluster.run_until(msec(2));
+    benchmark::DoNotOptimize(client.completed());
+  }
+}
+BENCHMARK(BM_EchoNodeSimulatedMillisecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ipipe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Tiny explicit-layout serializer for application message payloads.
+// Little-endian, bounds-checked reads; used by all three applications'
+// request/response formats.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipipe::wire {
+
+class Writer {
+ public:
+  template <typename T>
+  Writer& put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+    return *this;
+  }
+  Writer& put_str(std::string_view s) {
+    put(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+  Writer& put_bytes(std::span<const std::uint8_t> b) {
+    put(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+    return *this;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] bool get(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  [[nodiscard]] bool get_str(std::string& out) {
+    std::uint16_t len = 0;
+    if (!get(len) || pos_ + len > data_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  [[nodiscard]] bool get_bytes(std::vector<std::uint8_t>& out) {
+    std::uint32_t len = 0;
+    if (!get(len) || pos_ + len > data_.size()) return false;
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ipipe::wire

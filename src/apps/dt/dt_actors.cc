@@ -1,0 +1,457 @@
+#include "apps/dt/dt_actors.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ipipe::dt {
+namespace {
+
+/// Send to a participant-side actor, short-circuiting the wire for the
+/// local node.
+void send_to(ActorEnv& env, netsim::NodeId node, ActorId actor,
+             std::uint16_t type, std::vector<std::uint8_t> payload) {
+  if (node == env.node()) {
+    env.local_send(actor, type, std::move(payload));
+  } else {
+    env.send(node, actor, type, std::move(payload));
+  }
+}
+
+/// Participant->coordinator reply, short-circuiting the wire when the
+/// coordinator is co-located.
+void reply_to(ActorEnv& env, const netsim::Packet& req, std::uint16_t type,
+              std::vector<std::uint8_t> payload) {
+  if (req.src == env.node()) {
+    env.local_send(req.src_actor, type, std::move(payload));
+  } else {
+    env.reply(req, type, std::move(payload));
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ wire codecs --
+
+std::vector<std::uint8_t> TxnRequest::encode() const {
+  wire::Writer w;
+  w.put(static_cast<std::uint8_t>(reads.size()));
+  for (const auto& r : reads) {
+    w.put(r.node).put_str(r.key);
+  }
+  w.put(static_cast<std::uint8_t>(writes.size()));
+  for (const auto& wr : writes) {
+    w.put(wr.node).put_str(wr.key).put_bytes(wr.value);
+  }
+  return w.take();
+}
+
+std::optional<TxnRequest> TxnRequest::decode(
+    std::span<const std::uint8_t> data) {
+  wire::Reader r(data);
+  TxnRequest req;
+  std::uint8_t nr = 0;
+  if (!r.get(nr)) return std::nullopt;
+  req.reads.resize(nr);
+  for (auto& rd : req.reads) {
+    if (!r.get(rd.node) || !r.get_str(rd.key)) return std::nullopt;
+  }
+  std::uint8_t nw = 0;
+  if (!r.get(nw)) return std::nullopt;
+  req.writes.resize(nw);
+  for (auto& wr : req.writes) {
+    if (!r.get(wr.node) || !r.get_str(wr.key) || !r.get_bytes(wr.value)) {
+      return std::nullopt;
+    }
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> TxnReply::encode() const {
+  wire::Writer w;
+  w.put(static_cast<std::uint8_t>(status));
+  w.put(static_cast<std::uint8_t>(read_values.size()));
+  for (const auto& v : read_values) w.put_bytes(v);
+  return w.take();
+}
+
+std::optional<TxnReply> TxnReply::decode(std::span<const std::uint8_t> data) {
+  wire::Reader r(data);
+  TxnReply rep;
+  std::uint8_t status = 0;
+  std::uint8_t n = 0;
+  if (!r.get(status) || !r.get(n)) return std::nullopt;
+  rep.status = static_cast<TxnStatus>(status);
+  rep.read_values.resize(n);
+  for (auto& v : rep.read_values) {
+    if (!r.get_bytes(v)) return std::nullopt;
+  }
+  return rep;
+}
+
+// -------------------------------------------------------- ParticipantActor --
+
+void ParticipantActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  wire::Reader r(req.payload);
+  std::uint64_t txn = 0;
+  std::uint8_t idx = 0;
+  std::string key;
+  if (!r.get(txn) || !r.get(idx) || !r.get_str(key)) return;
+  env.compute(500);
+
+  switch (req.msg_type) {
+    case kRead: {
+      const auto rec = store_.get(env, key);
+      wire::Writer w;
+      w.put(txn).put(idx);
+      // Phase 1 semantics: a locked record aborts the transaction.
+      const bool ok = rec.has_value() ? !rec->locked : true;
+      w.put(static_cast<std::uint8_t>(ok ? 1 : 0));
+      w.put(rec ? rec->version : 0u);
+      w.put_bytes(rec ? rec->value : std::vector<std::uint8_t>{});
+      reply_to(env, req, kReadReply, w.take());
+      return;
+    }
+    case kLock: {
+      const auto version = store_.lock(env, key);
+      wire::Writer w;
+      w.put(txn).put(idx);
+      w.put(static_cast<std::uint8_t>(version.has_value() ? 1 : 0));
+      w.put(version.value_or(0));
+      reply_to(env, req, kLockReply, w.take());
+      return;
+    }
+    case kValidate: {
+      std::uint32_t expected = 0;
+      std::uint8_t own_lock = 0;
+      if (!r.get(expected) || !r.get(own_lock)) return;
+      const auto rec = store_.get(env, key);
+      const std::uint32_t current = rec ? rec->version : 0;
+      const bool locked = (rec ? rec->locked : false) && own_lock == 0;
+      const bool ok = !locked && current == expected;
+      wire::Writer w;
+      w.put(txn).put(idx).put(static_cast<std::uint8_t>(ok ? 1 : 0));
+      reply_to(env, req, kValidateReply, w.take());
+      return;
+    }
+    case kCommit: {
+      std::vector<std::uint8_t> value;
+      if (!r.get_bytes(value)) return;
+      store_.commit(env, key, value);
+      wire::Writer w;
+      w.put(txn).put(idx);
+      reply_to(env, req, kCommitAck, w.take());
+      return;
+    }
+    case kAbortUnlock: {
+      store_.unlock(env, key);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// --------------------------------------------------------------- LogActor --
+
+void LogActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  wire::Reader r(req.payload);
+  std::uint64_t txn = 0;
+  if (!r.get(txn)) return;
+
+  if (req.msg_type == kLogAppend) {
+    ++appended_;
+    bytes_ += req.payload.size();
+    // Sequential append to the persistent coordinator log.
+    env.stream(bytes_ + 1, req.payload.size());
+    env.charge(usec(1.2));  // storage write tax
+    wire::Writer w;
+    w.put(txn);
+    env.local_send(req.src_actor, kLogAck, w.take());
+    return;
+  }
+  if (req.msg_type == kLogCheckpoint) {
+    ++checkpoints_;
+    env.stream(bytes_ + 1, bytes_);
+    env.charge(usec(20));
+    bytes_ = 0;
+  }
+}
+
+// -------------------------------------------------------- CoordinatorActor --
+
+void CoordinatorActor::charge_coord(ActorEnv& env) const {
+  env.compute(700);
+  env.mem(std::max<std::uint64_t>(txns_.size() * 256, 4096), 2);
+}
+
+void CoordinatorActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  switch (req.msg_type) {
+    case kTxnRequest:
+      on_client(env, req);
+      return;
+    case kReadReply:
+      on_read_reply(env, req);
+      return;
+    case kLockReply:
+      on_lock_reply(env, req);
+      return;
+    case kValidateReply:
+      on_validate_reply(env, req);
+      return;
+    case kLogAck:
+      on_log_ack(env, req);
+      return;
+    case kCommitAck:
+      on_commit_ack(env, req);
+      return;
+    default:
+      return;
+  }
+}
+
+void CoordinatorActor::on_client(ActorEnv& env, const netsim::Packet& req) {
+  charge_coord(env);
+  auto parsed = TxnRequest::decode(req.payload);
+  if (!parsed) return;
+
+  const std::uint64_t txn_id = next_txn_++;
+  TxnState& txn = txns_[txn_id];
+  txn.request = std::move(*parsed);
+  txn.client = req;  // copy for reply routing
+  txn.client.payload.clear();
+  txn.phase = Phase::kReadLock;
+  txn.read_versions.assign(txn.request.reads.size(), 0);
+  txn.read_values.assign(txn.request.reads.size(), {});
+  txn.write_versions.assign(txn.request.writes.size(), 0);
+  txn.pending = static_cast<unsigned>(txn.request.reads.size() +
+                                      txn.request.writes.size());
+
+  // Phase 1: read R, lock W.
+  for (std::size_t i = 0; i < txn.request.reads.size(); ++i) {
+    wire::Writer w;
+    w.put(txn_id).put(static_cast<std::uint8_t>(i)).put_str(
+        txn.request.reads[i].key);
+    send_to(env, txn.request.reads[i].node, participant_, kRead, w.take());
+  }
+  for (std::size_t i = 0; i < txn.request.writes.size(); ++i) {
+    wire::Writer w;
+    w.put(txn_id).put(static_cast<std::uint8_t>(i)).put_str(
+        txn.request.writes[i].key);
+    send_to(env, txn.request.writes[i].node, participant_, kLock, w.take());
+  }
+  if (txn.pending == 0) finish(env, txn_id, txn, TxnStatus::kError);
+}
+
+void CoordinatorActor::on_read_reply(ActorEnv& env, const netsim::Packet& req) {
+  charge_coord(env);
+  wire::Reader r(req.payload);
+  std::uint64_t txn_id = 0;
+  std::uint8_t idx = 0;
+  std::uint8_t ok = 0;
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> value;
+  if (!r.get(txn_id) || !r.get(idx) || !r.get(ok) || !r.get(version) ||
+      !r.get_bytes(value)) {
+    return;
+  }
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.phase != Phase::kReadLock) return;
+  TxnState& txn = it->second;
+  if (!ok) txn.failed = true;
+  if (idx < txn.read_versions.size()) {
+    txn.read_versions[idx] = version;
+    txn.read_values[idx] = std::move(value);
+  }
+  --txn.pending;
+  phase1_maybe_done(env, txn_id);
+}
+
+void CoordinatorActor::on_lock_reply(ActorEnv& env, const netsim::Packet& req) {
+  charge_coord(env);
+  wire::Reader r(req.payload);
+  std::uint64_t txn_id = 0;
+  std::uint8_t idx = 0;
+  std::uint8_t ok = 0;
+  std::uint32_t version = 0;
+  if (!r.get(txn_id) || !r.get(idx) || !r.get(ok) || !r.get(version)) return;
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.phase != Phase::kReadLock) return;
+  TxnState& txn = it->second;
+  if (ok) {
+    ++txn.locks_held;
+    if (idx < txn.write_versions.size()) txn.write_versions[idx] = version;
+  } else {
+    txn.failed = true;
+  }
+  --txn.pending;
+  phase1_maybe_done(env, txn_id);
+}
+
+void CoordinatorActor::phase1_maybe_done(ActorEnv& env, std::uint64_t txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  TxnState& txn = it->second;
+  if (txn.pending > 0) return;
+  if (txn.failed) {
+    abort(env, txn_id, txn, TxnStatus::kAbortedLocked);
+    return;
+  }
+  begin_validate(env, txn_id, txn);
+}
+
+void CoordinatorActor::begin_validate(ActorEnv& env, std::uint64_t txn_id,
+                                      TxnState& txn) {
+  txn.phase = Phase::kValidate;
+  txn.pending = static_cast<unsigned>(txn.request.reads.size());
+  if (txn.pending == 0) {
+    begin_log(env, txn_id, txn);
+    return;
+  }
+  for (std::size_t i = 0; i < txn.request.reads.size(); ++i) {
+    // A read key that is also in our own write set is locked *by us*:
+    // the participant must ignore that lock during validation.
+    bool own_lock = false;
+    for (const auto& wr : txn.request.writes) {
+      if (wr.node == txn.request.reads[i].node &&
+          wr.key == txn.request.reads[i].key) {
+        own_lock = true;
+        break;
+      }
+    }
+    wire::Writer w;
+    w.put(txn_id).put(static_cast<std::uint8_t>(i)).put_str(
+        txn.request.reads[i].key);
+    w.put(txn.read_versions[i]);
+    w.put(static_cast<std::uint8_t>(own_lock ? 1 : 0));
+    send_to(env, txn.request.reads[i].node, participant_, kValidate, w.take());
+  }
+}
+
+void CoordinatorActor::on_validate_reply(ActorEnv& env,
+                                         const netsim::Packet& req) {
+  charge_coord(env);
+  wire::Reader r(req.payload);
+  std::uint64_t txn_id = 0;
+  std::uint8_t idx = 0;
+  std::uint8_t ok = 0;
+  if (!r.get(txn_id) || !r.get(idx) || !r.get(ok)) return;
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.phase != Phase::kValidate) return;
+  TxnState& txn = it->second;
+  if (!ok) txn.failed = true;
+  --txn.pending;
+  if (txn.pending > 0) return;
+  if (txn.failed) {
+    abort(env, txn_id, txn, TxnStatus::kAbortedValidation);
+    return;
+  }
+  begin_log(env, txn_id, txn);
+}
+
+void CoordinatorActor::begin_log(ActorEnv& env, std::uint64_t txn_id,
+                                 TxnState& txn) {
+  txn.phase = Phase::kLog;
+  // Phase 3: record key/value/version in the coordinator log — this is
+  // the commit point (§4).
+  wire::Writer w;
+  w.put(txn_id);
+  w.put(static_cast<std::uint8_t>(txn.request.writes.size()));
+  for (std::size_t i = 0; i < txn.request.writes.size(); ++i) {
+    w.put_str(txn.request.writes[i].key);
+    w.put_bytes(txn.request.writes[i].value);
+    w.put(txn.write_versions[i] + 1);
+  }
+  log_bytes_ += w.size();
+  env.local_send(log_actor_, kLogAppend, w.take());
+
+  if (log_bytes_ > log_limit_) {
+    // Coordinator log full: checkpoint to the host (the paper migrates
+    // the log object and notifies the logging actor).
+    wire::Writer cp;
+    cp.put(txn_id);
+    env.local_send(log_actor_, kLogCheckpoint, cp.take());
+    log_bytes_ = 0;
+  }
+}
+
+void CoordinatorActor::on_log_ack(ActorEnv& env, const netsim::Packet& req) {
+  charge_coord(env);
+  wire::Reader r(req.payload);
+  std::uint64_t txn_id = 0;
+  if (!r.get(txn_id)) return;
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.phase != Phase::kLog) return;
+  begin_commit(env, txn_id, it->second);
+}
+
+void CoordinatorActor::begin_commit(ActorEnv& env, std::uint64_t txn_id,
+                                    TxnState& txn) {
+  txn.phase = Phase::kCommit;
+  txn.pending = static_cast<unsigned>(txn.request.writes.size());
+  if (txn.pending == 0) {
+    finish(env, txn_id, txn, TxnStatus::kCommitted);
+    return;
+  }
+  for (std::size_t i = 0; i < txn.request.writes.size(); ++i) {
+    wire::Writer w;
+    w.put(txn_id).put(static_cast<std::uint8_t>(i)).put_str(
+        txn.request.writes[i].key);
+    w.put_bytes(txn.request.writes[i].value);
+    send_to(env, txn.request.writes[i].node, participant_, kCommit, w.take());
+  }
+}
+
+void CoordinatorActor::on_commit_ack(ActorEnv& env, const netsim::Packet& req) {
+  charge_coord(env);
+  wire::Reader r(req.payload);
+  std::uint64_t txn_id = 0;
+  if (!r.get(txn_id)) return;
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.phase != Phase::kCommit) return;
+  TxnState& txn = it->second;
+  if (txn.pending > 0) --txn.pending;
+  if (txn.pending == 0) finish(env, txn_id, txn, TxnStatus::kCommitted);
+}
+
+void CoordinatorActor::abort(ActorEnv& env, std::uint64_t txn_id,
+                             TxnState& txn, TxnStatus status) {
+  // Release any locks we did acquire.
+  for (std::size_t i = 0; i < txn.request.writes.size(); ++i) {
+    wire::Writer w;
+    w.put(txn_id).put(static_cast<std::uint8_t>(i)).put_str(
+        txn.request.writes[i].key);
+    send_to(env, txn.request.writes[i].node, participant_, kAbortUnlock,
+            w.take());
+  }
+  finish(env, txn_id, txn, status);
+}
+
+void CoordinatorActor::finish(ActorEnv& env, std::uint64_t txn_id,
+                              TxnState& txn, TxnStatus status) {
+  TxnReply reply;
+  reply.status = status;
+  if (status == TxnStatus::kCommitted) {
+    reply.read_values = txn.read_values;
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  env.reply(txn.client, kTxnReply, reply.encode());
+  txns_.erase(txn_id);
+}
+
+// ------------------------------------------------------------- deployment --
+
+DtDeployment deploy_dt(Runtime& rt, bool with_coordinator) {
+  DtDeployment d;
+  d.participant = rt.register_actor(std::make_unique<ParticipantActor>());
+  d.log = rt.register_actor(std::make_unique<LogActor>(), ActorLoc::kHost);
+  if (with_coordinator) {
+    d.coordinator = rt.register_actor(
+        std::make_unique<CoordinatorActor>(d.participant, d.log));
+  }
+  return d;
+}
+
+}  // namespace ipipe::dt

@@ -1,0 +1,187 @@
+// Distributed transaction actors (§4): optimistic concurrency control
+// with two-phase commit, following FaSST/TAPIR-style designs.
+//
+//   * CoordinatorActor — drives the 4-phase protocol, NIC-side; keeps the
+//     coordinator log in a DMO-backed append region and offloads
+//     checkpointing to the host-pinned LogActor.
+//   * ParticipantActor — versioned key-value store (extendible DMO hash
+//     table) with record locks, NIC-side.
+//   * LogActor         — persistent logging / checkpointing, host-pinned.
+//
+// Protocol (§4 "Distributed Transactions"):
+//   Phase 1 read+lock: read R, lock W (abort if anything is locked)
+//   Phase 2 validate:  re-check R versions (abort on change/lock)
+//   Phase 3 log:       append key/value/version to the coordinator log
+//   Phase 4 commit:    participants apply W, bump versions, unlock
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/common/wire.h"
+#include "apps/dt/hashtable.h"
+#include "ipipe/runtime.h"
+
+namespace ipipe::dt {
+
+enum MsgType : std::uint16_t {
+  kTxnRequest = 200,   // client -> coordinator
+  kTxnReply = 201,     // coordinator -> client
+  kRead = 210,         // coordinator -> participant (phase 1)
+  kReadReply = 211,
+  kLock = 212,         // coordinator -> participant (phase 1)
+  kLockReply = 213,
+  kValidate = 214,     // coordinator -> participant (phase 2)
+  kValidateReply = 215,
+  kCommit = 216,       // coordinator -> participant (phase 4)
+  kCommitAck = 217,
+  kAbortUnlock = 218,  // coordinator -> participant (abort path)
+  kLogAppend = 220,    // coordinator -> log actor (phase 3)
+  kLogAck = 221,
+  kLogCheckpoint = 222,
+};
+
+enum class TxnStatus : std::uint8_t {
+  kCommitted = 0,
+  kAbortedLocked = 1,
+  kAbortedValidation = 2,
+  kError = 3,
+};
+
+struct TxnRead {
+  netsim::NodeId node = 0;
+  std::string key;
+};
+struct TxnWrite {
+  netsim::NodeId node = 0;
+  std::string key;
+  std::vector<std::uint8_t> value;
+};
+
+/// Client transaction request: read set + write set.
+struct TxnRequest {
+  std::vector<TxnRead> reads;
+  std::vector<TxnWrite> writes;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<TxnRequest> decode(
+      std::span<const std::uint8_t> data);
+};
+
+struct TxnReply {
+  TxnStatus status = TxnStatus::kCommitted;
+  std::vector<std::vector<std::uint8_t>> read_values;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<TxnReply> decode(
+      std::span<const std::uint8_t> data);
+};
+
+class ParticipantActor final : public Actor {
+ public:
+  ParticipantActor() : Actor("dt-participant") {}
+
+  void init(ActorEnv& env) override { store_.create(env, 4); }
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t region_bytes() const override { return 16 * MiB; }
+  [[nodiscard]] const DmoHashTable& store() const noexcept { return store_; }
+  /// Direct (test) access for seeding data.
+  DmoHashTable& store_mut() noexcept { return store_; }
+
+ private:
+  DmoHashTable store_;
+};
+
+class LogActor final : public Actor {
+ public:
+  LogActor() : Actor("dt-log") {}
+
+  [[nodiscard]] bool host_pinned() const override { return true; }
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept { return checkpoints_; }
+
+ private:
+  std::uint64_t appended_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+class CoordinatorActor final : public Actor {
+ public:
+  /// `participant_actor` is the participant actor id (identical on all
+  /// storage nodes); `log_actor` is the local host-pinned logger.
+  CoordinatorActor(ActorId participant_actor, ActorId log_actor,
+                   std::uint64_t log_limit_bytes = 1 * MiB)
+      : Actor("dt-coordinator"),
+        participant_(participant_actor),
+        log_actor_(log_actor),
+        log_limit_(log_limit_bytes) {}
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+  [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kReadLock = 1,
+    kValidate = 2,
+    kLog = 3,
+    kCommit = 4,
+  };
+
+  struct TxnState {
+    TxnRequest request;
+    netsim::Packet client;  // reply routing
+    Phase phase = Phase::kReadLock;
+    unsigned pending = 0;
+    bool failed = false;
+    std::vector<std::uint32_t> read_versions;
+    std::vector<std::vector<std::uint8_t>> read_values;
+    std::vector<std::uint32_t> write_versions;
+    unsigned locks_held = 0;
+  };
+
+  void on_client(ActorEnv& env, const netsim::Packet& req);
+  void on_read_reply(ActorEnv& env, const netsim::Packet& req);
+  void on_lock_reply(ActorEnv& env, const netsim::Packet& req);
+  void on_validate_reply(ActorEnv& env, const netsim::Packet& req);
+  void on_log_ack(ActorEnv& env, const netsim::Packet& req);
+  void on_commit_ack(ActorEnv& env, const netsim::Packet& req);
+  void phase1_maybe_done(ActorEnv& env, std::uint64_t txn_id);
+  void begin_validate(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
+  void begin_log(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
+  void begin_commit(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
+  void abort(ActorEnv& env, std::uint64_t txn_id, TxnState& txn,
+             TxnStatus status);
+  void finish(ActorEnv& env, std::uint64_t txn_id, TxnState& txn,
+              TxnStatus status);
+  void charge_coord(ActorEnv& env) const;
+
+  ActorId participant_;
+  ActorId log_actor_;
+  std::uint64_t log_limit_;
+  std::uint64_t log_bytes_ = 0;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::unordered_map<std::uint64_t, TxnState> txns_;
+};
+
+/// One node's DT deployment.
+struct DtDeployment {
+  ActorId participant = 0;
+  ActorId coordinator = 0;
+  ActorId log = 0;
+};
+
+/// Register participant + log (+ coordinator when `with_coordinator`) in a
+/// fixed order so actor ids agree across nodes.
+[[nodiscard]] DtDeployment deploy_dt(Runtime& rt, bool with_coordinator);
+
+}  // namespace ipipe::dt

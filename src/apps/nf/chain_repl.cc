@@ -1,0 +1,28 @@
+#include "apps/nf/chain_repl.h"
+
+namespace ipipe::nf {
+
+ChainReplicator::Pending ChainReplicator::submit() {
+  Pending p;
+  p.seq = next_seq_++;
+  p.next_hop = chain_.size() > 1 ? chain_[1] : 0;
+  p.acks_needed = chain_.size() > 0 ? chain_.size() - 1 : 0;
+  pending_.push_back(p);
+  return p;
+}
+
+bool ChainReplicator::ack(std::uint64_t seq) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->seq != seq) continue;
+    if (it->acks_needed > 0) --it->acks_needed;
+    if (it->acks_needed == 0) {
+      pending_.erase(it);
+      ++committed_;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,47 @@
+// Chain replication bookkeeping — the "packet replication" workload of
+// Table 3 (linked-list data structure).  Tracks per-chain sequence
+// numbers and acknowledgement propagation down a node chain.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <vector>
+
+namespace ipipe::nf {
+
+class ChainReplicator {
+ public:
+  explicit ChainReplicator(std::vector<std::uint32_t> chain_nodes)
+      : chain_(std::move(chain_nodes)) {}
+
+  struct Pending {
+    std::uint64_t seq = 0;
+    std::uint32_t next_hop = 0;
+    std::size_t acks_needed = 0;
+  };
+
+  /// Head receives a write: assign a sequence number and record the
+  /// pending entry.  Returns the entry to forward to the next hop.
+  Pending submit();
+
+  /// Ack from downstream for `seq`; returns true when fully replicated
+  /// (entry removed from the pending list).
+  bool ack(std::uint64_t seq);
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& chain() const noexcept {
+    return chain_;
+  }
+
+ private:
+  std::vector<std::uint32_t> chain_;
+  std::list<Pending> pending_;  // the paper's linked list
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t committed_ = 0;
+};
+
+}  // namespace ipipe::nf

@@ -1,0 +1,44 @@
+#include "apps/nf/count_min.h"
+
+namespace ipipe::nf {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), cells_(width * depth, 0), seeds_(depth) {
+  std::uint64_t s = seed;
+  for (auto& v : seeds_) v = s = mix(s + 0x9E3779B97F4A7C15ULL);
+}
+
+std::size_t CountMinSketch::index(std::uint64_t key, std::size_t row) const {
+  return mix(key ^ seeds_[row]) % width_;
+}
+
+std::size_t CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    cells_[row * width_ + index(key, row)] += count;
+  }
+  total_ += count;
+  return depth_;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, cells_[row * width_ + index(key, row)]);
+  }
+  return best;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,39 @@
+// Count-min sketch — the "flow monitor" workload of Table 3.
+// Real probabilistic counting over 2-D arrays with d independent hashes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ipipe::nf {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = 7);
+
+  /// Increment `key` by `count`; returns the number of array cells
+  /// touched (== depth), for cost accounting.
+  std::size_t add(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Point estimate (min over rows).
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return width_ * depth_ * sizeof(std::uint64_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t key, std::size_t row) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> cells_;  // row-major depth x width
+  std::vector<std::uint64_t> seeds_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ipipe::nf

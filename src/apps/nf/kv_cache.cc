@@ -1,0 +1,87 @@
+#include "apps/nf/kv_cache.h"
+
+namespace ipipe::nf {
+namespace {
+
+std::size_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+KvCache::KvCache(std::size_t buckets, std::size_t capacity)
+    : buckets_(buckets), capacity_bytes_(capacity) {}
+
+std::size_t KvCache::bucket_of(const std::string& key) const {
+  return fnv1a(key) % buckets_.size();
+}
+
+KvCache::OpStats KvCache::put(const std::string& key, std::string value) {
+  OpStats stats;
+  auto& chain = buckets_[bucket_of(key)];
+  for (auto& entry : chain) {
+    ++stats.probes;
+    if (entry.key == key) {
+      bytes_ -= entry.value.size();
+      bytes_ += value.size();
+      entry.value = std::move(value);
+      stats.hit = true;
+      return stats;
+    }
+  }
+  bytes_ += key.size() + value.size();
+  chain.push_back(Entry{key, std::move(value)});
+  ++size_;
+  while (bytes_ > capacity_bytes_ && size_ > 0) evict_one();
+  return stats;
+}
+
+std::optional<std::string> KvCache::get(const std::string& key,
+                                        OpStats* stats) const {
+  const auto& chain = buckets_[bucket_of(key)];
+  std::size_t probes = 0;
+  for (const auto& entry : chain) {
+    ++probes;
+    if (entry.key == key) {
+      if (stats != nullptr) *stats = {probes, true};
+      return entry.value;
+    }
+  }
+  if (stats != nullptr) *stats = {probes, false};
+  return std::nullopt;
+}
+
+bool KvCache::del(const std::string& key) {
+  auto& chain = buckets_[bucket_of(key)];
+  for (auto it = chain.begin(); it != chain.end(); ++it) {
+    if (it->key == key) {
+      bytes_ -= it->key.size() + it->value.size();
+      chain.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void KvCache::evict_one() {
+  // Round-robin bucket sweep evicting the oldest entry per bucket.
+  for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+    auto& chain = buckets_[evict_cursor_];
+    evict_cursor_ = (evict_cursor_ + 1) % buckets_.size();
+    if (!chain.empty()) {
+      bytes_ -= chain.front().key.size() + chain.front().value.size();
+      chain.pop_front();
+      --size_;
+      ++evictions_;
+      return;
+    }
+  }
+}
+
+}  // namespace ipipe::nf

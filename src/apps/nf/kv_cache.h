@@ -1,0 +1,49 @@
+// In-NIC key-value cache (KV-Direct-style) — the "KV cache" workload of
+// Table 3.  Chained hash table over string keys with probe-count
+// reporting for cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ipipe::nf {
+
+class KvCache {
+ public:
+  explicit KvCache(std::size_t buckets = 4096, std::size_t capacity = 1 << 20);
+
+  struct OpStats {
+    std::size_t probes = 0;
+    bool hit = false;
+  };
+
+  OpStats put(const std::string& key, std::string value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key,
+                                               OpStats* stats = nullptr) const;
+  bool del(const std::string& key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  [[nodiscard]] std::size_t bucket_of(const std::string& key) const;
+  void evict_one();
+
+  std::vector<std::list<Entry>> buckets_;
+  std::size_t size_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::size_t capacity_bytes_;
+  std::uint64_t evictions_ = 0;
+  std::size_t evict_cursor_ = 0;
+};
+
+}  // namespace ipipe::nf

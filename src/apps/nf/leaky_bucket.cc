@@ -1,0 +1,43 @@
+#include "apps/nf/leaky_bucket.h"
+
+#include <algorithm>
+
+namespace ipipe::nf {
+
+void LeakyBucket::refill(Ns now) noexcept {
+  if (now <= last_refill_) return;
+  const double elapsed_s = to_sec(now - last_refill_);
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + rate_bps_ / 8.0 * elapsed_s);
+  last_refill_ = now;
+}
+
+bool LeakyBucket::offer(Ns now, std::uint32_t bytes) {
+  refill(now);
+  drain(now);
+  if (queue_.empty() && tokens_ >= static_cast<double>(bytes)) {
+    tokens_ -= static_cast<double>(bytes);
+    ++passed_;
+    return true;
+  }
+  if (queue_.size() >= queue_cap_) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(bytes);
+  return false;
+}
+
+std::size_t LeakyBucket::drain(Ns now) {
+  refill(now);
+  std::size_t released = 0;
+  while (!queue_.empty() && tokens_ >= static_cast<double>(queue_.front())) {
+    tokens_ -= static_cast<double>(queue_.front());
+    queue_.pop_front();
+    ++passed_;
+    ++released;
+  }
+  return released;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,47 @@
+// Leaky-bucket rate limiter — the "rate limiter" workload of Table 3.
+// Token-bucket variant over a FIFO of pending packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/units.h"
+
+namespace ipipe::nf {
+
+class LeakyBucket {
+ public:
+  /// rate_bps: drain rate; burst_bytes: bucket depth; queue_cap: max
+  /// buffered packets before tail drop.
+  LeakyBucket(double rate_bps, std::uint64_t burst_bytes,
+              std::size_t queue_cap = 1024)
+      : rate_bps_(rate_bps), burst_(burst_bytes), tokens_(burst_bytes),
+        queue_cap_(queue_cap) {}
+
+  /// Offer a packet of `bytes` at time `now`.  Returns true when the
+  /// packet may pass immediately; false when it is queued or dropped.
+  bool offer(Ns now, std::uint32_t bytes);
+
+  /// Drain the queue at time `now`; returns the number of packets
+  /// released.
+  std::size_t drain(Ns now);
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  void refill(Ns now) noexcept;
+
+  double rate_bps_;
+  std::uint64_t burst_;
+  double tokens_;
+  std::size_t queue_cap_;
+  Ns last_refill_ = 0;
+  std::deque<std::uint32_t> queue_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace ipipe::nf

@@ -1,0 +1,51 @@
+#include "apps/nf/lpm_trie.h"
+
+namespace ipipe::nf {
+
+void LpmTrie::insert(std::uint32_t prefix, unsigned len, std::uint32_t next_hop) {
+  Node* node = root_.get();
+  for (unsigned i = 0; i < len; ++i) {
+    const unsigned bit = (prefix >> (31 - i)) & 1u;
+    if (!node->child[bit]) {
+      node->child[bit] = std::make_unique<Node>();
+      node->child[bit]->depth = i + 1;
+      ++nodes_;
+    }
+    node = node->child[bit].get();
+  }
+  node->has_value = true;
+  node->next_hop = next_hop;
+}
+
+bool LpmTrie::erase(std::uint32_t prefix, unsigned len) {
+  Node* node = root_.get();
+  for (unsigned i = 0; i < len; ++i) {
+    const unsigned bit = (prefix >> (31 - i)) & 1u;
+    if (!node->child[bit]) return false;
+    node = node->child[bit].get();
+  }
+  if (!node->has_value) return false;
+  node->has_value = false;
+  return true;
+}
+
+std::optional<LpmTrie::Result> LpmTrie::lookup(std::uint32_t addr) const {
+  const Node* node = root_.get();
+  std::optional<Result> best;
+  std::size_t visited = 1;
+  unsigned depth = 0;
+  while (node != nullptr) {
+    if (node->has_value) {
+      best = Result{node->next_hop, depth, visited};
+    }
+    if (depth == 32) break;
+    const unsigned bit = (addr >> (31 - depth)) & 1u;
+    node = node->child[bit].get();
+    ++depth;
+    if (node != nullptr) ++visited;
+  }
+  if (best) best->nodes_visited = visited;
+  return best;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,45 @@
+// Binary trie for IPv4 longest-prefix-match — the "router" workload of
+// Table 3.  Real node-per-bit trie; lookup reports the number of nodes
+// visited for cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace ipipe::nf {
+
+class LpmTrie {
+ public:
+  LpmTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert `prefix`/`len` -> next hop.  len in [0, 32].
+  void insert(std::uint32_t prefix, unsigned len, std::uint32_t next_hop);
+  /// Remove a prefix; returns false if absent.
+  bool erase(std::uint32_t prefix, unsigned len);
+
+  struct Result {
+    std::uint32_t next_hop = 0;
+    unsigned prefix_len = 0;
+    std::size_t nodes_visited = 0;
+  };
+  [[nodiscard]] std::optional<Result> lookup(std::uint32_t addr) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return nodes_ * 32;  // ~two pointers + value + flags
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    bool has_value = false;
+    std::uint32_t next_hop = 0;
+    unsigned depth = 0;
+  };
+
+  std::unique_ptr<Node> root_;
+  std::size_t nodes_ = 1;
+};
+
+}  // namespace ipipe::nf

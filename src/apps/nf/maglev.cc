@@ -1,0 +1,86 @@
+#include "apps/nf/maglev.h"
+
+#include <cassert>
+#include <functional>
+#include <limits>
+
+namespace ipipe::nf {
+namespace {
+
+std::uint64_t hash_str(const std::string& s, std::uint64_t salt) {
+  std::uint64_t h = 1469598103934665603ULL ^ salt;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+MaglevTable::MaglevTable(std::vector<std::string> backends,
+                         std::size_t table_size)
+    : backends_(std::move(backends)),
+      alive_(backends_.size(), true),
+      entries_(table_size, std::numeric_limits<std::size_t>::max()) {
+  assert(!backends_.empty());
+  populate();
+}
+
+void MaglevTable::populate() {
+  const std::size_t m = entries_.size();
+  const std::size_t n = backends_.size();
+  std::fill(entries_.begin(), entries_.end(),
+            std::numeric_limits<std::size_t>::max());
+
+  // Per-backend permutation parameters (offset, skip), Maglev §3.4.
+  std::vector<std::size_t> offset(n);
+  std::vector<std::size_t> skip(n);
+  std::vector<std::size_t> next(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offset[i] = hash_str(backends_[i], 0xA11CE) % m;
+    skip[i] = hash_str(backends_[i], 0xB0B) % (m - 1) + 1;
+  }
+
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      if (!alive_[i]) continue;
+      // Find this backend's next preferred empty slot.
+      std::size_t c = (offset[i] + next[i] * skip[i]) % m;
+      while (entries_[c] != std::numeric_limits<std::size_t>::max()) {
+        ++next[i];
+        c = (offset[i] + next[i] * skip[i]) % m;
+      }
+      entries_[c] = i;
+      ++next[i];
+      ++filled;
+    }
+    // All backends dead would loop forever; guard.
+    bool any_alive = false;
+    for (std::size_t i = 0; i < n; ++i) any_alive = any_alive || alive_[i];
+    assert(any_alive);
+  }
+}
+
+double MaglevTable::remove_backend(std::size_t idx) {
+  assert(idx < backends_.size());
+  const std::vector<std::size_t> before = entries_;
+  alive_[idx] = false;
+  populate();
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] != before[i]) ++changed;
+  }
+  return static_cast<double>(changed) / static_cast<double>(entries_.size());
+}
+
+std::vector<std::size_t> MaglevTable::load_distribution() const {
+  std::vector<std::size_t> counts(backends_.size(), 0);
+  for (const std::size_t e : entries_) {
+    if (e < counts.size()) ++counts[e];
+  }
+  return counts;
+}
+
+}  // namespace ipipe::nf

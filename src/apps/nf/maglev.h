@@ -1,0 +1,44 @@
+// Maglev consistent-hashing load balancer (Eisenbud et al., NSDI'16) —
+// the "load balancer" workload of Table 3.  Real permutation-table
+// population algorithm; lookup is a single table index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipipe::nf {
+
+class MaglevTable {
+ public:
+  /// `table_size` should be a prime > 100 * backends for good balance.
+  MaglevTable(std::vector<std::string> backends, std::size_t table_size = 65537);
+
+  /// Backend index for a flow hash (O(1) single probe).
+  [[nodiscard]] std::size_t lookup(std::uint64_t flow_hash) const noexcept {
+    return entries_[flow_hash % entries_.size()];
+  }
+  [[nodiscard]] const std::string& backend(std::size_t idx) const {
+    return backends_[idx];
+  }
+  [[nodiscard]] std::size_t backend_count() const noexcept {
+    return backends_.size();
+  }
+  [[nodiscard]] std::size_t table_size() const noexcept { return entries_.size(); }
+
+  /// Remove a backend and repopulate; returns the fraction of table
+  /// entries that changed (Maglev's disruption metric).
+  double remove_backend(std::size_t idx);
+
+  /// Entries assigned to each backend (for balance tests).
+  [[nodiscard]] std::vector<std::size_t> load_distribution() const;
+
+ private:
+  void populate();
+
+  std::vector<std::string> backends_;
+  std::vector<bool> alive_;
+  std::vector<std::size_t> entries_;
+};
+
+}  // namespace ipipe::nf

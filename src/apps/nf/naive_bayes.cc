@@ -1,0 +1,53 @@
+#include "apps/nf/naive_bayes.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ipipe::nf {
+
+NaiveBayes::NaiveBayes(std::size_t num_classes, std::size_t num_features)
+    : classes_(num_classes),
+      features_(num_features),
+      counts_(num_classes * num_features, 0.0),
+      class_total_(num_classes, 0.0),
+      class_prior_(num_classes, 0.0) {}
+
+void NaiveBayes::train(std::size_t cls, std::span<const std::uint32_t> features) {
+  assert(cls < classes_ && features.size() == features_);
+  for (std::size_t f = 0; f < features_; ++f) {
+    counts_[cls * features_ + f] += features[f];
+    class_total_[cls] += features[f];
+  }
+  class_prior_[cls] += 1.0;
+  observations_ += 1.0;
+}
+
+NaiveBayes::Result NaiveBayes::classify(
+    std::span<const std::uint32_t> features) const {
+  assert(features.size() == features_);
+  Result best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  std::size_t touched = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    // Laplace-smoothed multinomial log-likelihood.
+    double ll = std::log((class_prior_[c] + 1.0) /
+                         (observations_ + static_cast<double>(classes_)));
+    const double denom =
+        class_total_[c] + static_cast<double>(features_);  // +1 smoothing
+    for (std::size_t f = 0; f < features_; ++f) {
+      if (features[f] == 0) continue;
+      const double p = (counts_[c * features_ + f] + 1.0) / denom;
+      ll += static_cast<double>(features[f]) * std::log(p);
+      ++touched;
+    }
+    if (ll > best.log_likelihood) {
+      best.log_likelihood = ll;
+      best.cls = c;
+    }
+  }
+  best.cells_touched = touched;
+  return best;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,52 @@
+#include "apps/nf/pfabric.h"
+
+namespace ipipe::nf {
+
+std::size_t PFabricScheduler::enqueue(const Entry& e) {
+  std::size_t visits = 1;
+  std::unique_ptr<Node>* slot = &root_;
+  while (*slot) {
+    ++visits;
+    const bool less = e.remaining < (*slot)->entry.remaining ||
+                      (e.remaining == (*slot)->entry.remaining &&
+                       e.flow_id < (*slot)->entry.flow_id);
+    slot = less ? &(*slot)->left : &(*slot)->right;
+  }
+  *slot = std::make_unique<Node>();
+  (*slot)->entry = e;
+  ++size_;
+  last_visits_ = visits;
+  return visits;
+}
+
+std::optional<PFabricScheduler::Entry> PFabricScheduler::dequeue() {
+  if (!root_) return std::nullopt;
+  std::size_t visits = 1;
+  std::unique_ptr<Node>* slot = &root_;
+  while ((*slot)->left) {
+    ++visits;
+    slot = &(*slot)->left;
+  }
+  const Entry e = (*slot)->entry;
+  *slot = std::move((*slot)->right);
+  --size_;
+  last_visits_ = visits;
+  return e;
+}
+
+std::optional<PFabricScheduler::Entry> PFabricScheduler::drop_lowest() {
+  if (!root_) return std::nullopt;
+  std::size_t visits = 1;
+  std::unique_ptr<Node>* slot = &root_;
+  while ((*slot)->right) {
+    ++visits;
+    slot = &(*slot)->right;
+  }
+  const Entry e = (*slot)->entry;
+  *slot = std::move((*slot)->left);
+  --size_;
+  last_visits_ = visits;
+  return e;
+}
+
+}  // namespace ipipe::nf

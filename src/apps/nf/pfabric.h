@@ -1,0 +1,48 @@
+// pFabric priority packet scheduler (Alizadeh et al., SIGCOMM'13) — the
+// "packet scheduler" workload of Table 3.  Packets are prioritized by
+// remaining flow size; we keep them in a real binary search tree
+// (std::multimap is not used — we want visit counts for cost accounting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace ipipe::nf {
+
+class PFabricScheduler {
+ public:
+  struct Entry {
+    std::uint64_t flow_id = 0;
+    std::uint32_t remaining = 0;  ///< remaining flow bytes = priority key
+    std::uint64_t packet_ref = 0;
+  };
+
+  PFabricScheduler() = default;
+
+  /// Insert a packet; returns BST nodes visited (cost accounting).
+  std::size_t enqueue(const Entry& e);
+
+  /// Remove and return the highest-priority (smallest remaining) entry.
+  std::optional<Entry> dequeue();
+
+  /// Drop the lowest-priority entry (pFabric's overload behaviour);
+  /// returns it if any.
+  std::optional<Entry> drop_lowest();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t last_visits() const noexcept { return last_visits_; }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t last_visits_ = 0;
+};
+
+}  // namespace ipipe::nf

@@ -1,0 +1,25 @@
+#include "apps/nf/tcam.h"
+
+#include <algorithm>
+
+namespace ipipe::nf {
+
+void SoftTcam::add_rule(TcamRule rule) {
+  const auto it = std::upper_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const TcamRule& a, const TcamRule& b) { return a.priority > b.priority; });
+  rules_.insert(it, rule);
+}
+
+std::optional<TcamResult> SoftTcam::lookup(const FiveTuple& t) const {
+  std::size_t scanned = 0;
+  for (const auto& rule : rules_) {
+    ++scanned;
+    if (rule.matches(t)) {
+      return TcamResult{rule.action, rule.priority, scanned};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ipipe::nf

@@ -1,0 +1,60 @@
+// Software TCAM: priority-ordered wildcard rule matching over 5-tuples
+// (the "firewall" workload of Table 3 and the §5.7 firewall NF).
+//
+// Rules carry value/mask pairs per field; lookup returns the
+// highest-priority matching rule.  The implementation keeps rules in
+// priority order and short-circuits on first match — exactly what a
+// software TCAM on the NIC does — and reports how many rules were
+// scanned so callers can charge realistic per-lookup cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ipipe::nf {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+};
+
+struct TcamRule {
+  FiveTuple value;
+  FiveTuple mask;  ///< 1-bits must match; 0-bits are wildcards
+  std::uint32_t priority = 0;
+  std::uint32_t action = 0;  ///< 0 = drop, else accept/forward tag
+
+  [[nodiscard]] bool matches(const FiveTuple& t) const noexcept {
+    return (t.src_ip & mask.src_ip) == (value.src_ip & mask.src_ip) &&
+           (t.dst_ip & mask.dst_ip) == (value.dst_ip & mask.dst_ip) &&
+           (t.src_port & mask.src_port) == (value.src_port & mask.src_port) &&
+           (t.dst_port & mask.dst_port) == (value.dst_port & mask.dst_port) &&
+           (t.proto & mask.proto) == (value.proto & mask.proto);
+  }
+};
+
+struct TcamResult {
+  std::uint32_t action = 0;
+  std::uint32_t priority = 0;
+  std::size_t rules_scanned = 0;  ///< for cost accounting
+};
+
+class SoftTcam {
+ public:
+  /// Insert keeping descending priority order.
+  void add_rule(TcamRule rule);
+  [[nodiscard]] std::optional<TcamResult> lookup(const FiveTuple& t) const;
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return rules_.size() * sizeof(TcamRule);
+  }
+
+ private:
+  std::vector<TcamRule> rules_;
+};
+
+}  // namespace ipipe::nf

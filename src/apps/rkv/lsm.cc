@@ -1,0 +1,175 @@
+#include "apps/rkv/lsm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipipe::rkv {
+
+SsTable::SsTable(std::vector<SstEntry> entries) : entries_(std::move(entries)) {
+  assert(std::is_sorted(entries_.begin(), entries_.end(),
+                        [](const SstEntry& a, const SstEntry& b) {
+                          return a.key < b.key;
+                        }));
+  for (const auto& e : entries_) bytes_ += e.key.size() + e.value.size() + 1;
+}
+
+const SstEntry* SsTable::get(const std::string& key, LookupStats* stats) const {
+  std::size_t lo = 0;
+  std::size_t hi = entries_.size();
+  std::size_t probes = 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++probes;
+    if (entries_[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (stats != nullptr) stats->probes = probes;
+  if (lo < entries_.size() && entries_[lo].key == key) return &entries_[lo];
+  return nullptr;
+}
+
+LsmTree::LsmTree() : LsmTree(Config{}) {}
+
+void LsmTree::add_l0(std::vector<SstEntry> sorted_entries) {
+  if (sorted_entries.empty()) return;
+  levels_[0].insert(levels_[0].begin(), SsTable(std::move(sorted_entries)));
+}
+
+std::optional<std::vector<std::uint8_t>> LsmTree::get(const std::string& key,
+                                                      GetStats* stats) const {
+  GetStats local;
+  for (const auto& level : levels_) {
+    for (const auto& table : level) {
+      if (table.size() == 0) continue;
+      if (key < table.min_key() || key > table.max_key()) continue;
+      ++local.tables_probed;
+      SsTable::LookupStats ls;
+      if (const SstEntry* e = table.get(key, &ls)) {
+        local.probes += ls.probes;
+        if (stats != nullptr) *stats = local;
+        if (e->tombstone) return std::nullopt;
+        return e->value;
+      }
+      local.probes += ls.probes;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::nullopt;
+}
+
+std::uint64_t LsmTree::level_limit(std::size_t level) const {
+  double limit = static_cast<double>(cfg_.level0_bytes);
+  for (std::size_t i = 0; i < level; ++i) limit *= cfg_.growth;
+  return static_cast<std::uint64_t>(limit);
+}
+
+std::uint64_t LsmTree::compact_level(std::size_t level) {
+  if (level + 1 >= levels_.size()) return 0;
+  ++compactions_;
+
+  std::vector<const std::vector<SstEntry>*> runs;
+  for (const auto& t : levels_[level]) runs.push_back(&t.entries());
+  for (const auto& t : levels_[level + 1]) runs.push_back(&t.entries());
+
+  const bool bottom = (level + 2 == levels_.size()) ||
+                      (levels_.size() > level + 2 &&
+                       std::all_of(levels_.begin() +
+                                       static_cast<std::ptrdiff_t>(level) + 2,
+                                   levels_.end(),
+                                   [](const auto& l) { return l.empty(); }));
+  auto merged = merge_runs(runs, bottom);
+
+  std::uint64_t bytes = 0;
+  for (const auto& e : merged) bytes += e.key.size() + e.value.size() + 1;
+
+  levels_[level].clear();
+  levels_[level + 1].clear();
+  if (!merged.empty()) levels_[level + 1].emplace_back(std::move(merged));
+  return bytes;
+}
+
+std::uint64_t LsmTree::maybe_compact() {
+  std::uint64_t merged_bytes = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (levels_[0].size() > cfg_.level0_max_tables) {
+      merged_bytes += compact_level(0);
+      changed = true;
+      continue;
+    }
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+      std::uint64_t bytes = 0;
+      for (const auto& t : levels_[level]) bytes += t.bytes();
+      if (bytes > level_limit(level)) {
+        merged_bytes += compact_level(level);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return merged_bytes;
+}
+
+std::size_t LsmTree::table_count() const {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+std::uint64_t LsmTree::total_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& level : levels_) {
+    for (const auto& t : level) bytes += t.bytes();
+  }
+  return bytes;
+}
+
+std::vector<SstEntry> merge_runs(
+    std::vector<const std::vector<SstEntry>*> newest_first,
+    bool drop_tombstones) {
+  // K-way merge preferring the newest run on key ties.
+  struct Cursor {
+    const std::vector<SstEntry>* run;
+    std::size_t pos = 0;
+    std::size_t age;  // lower = newer
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t i = 0; i < newest_first.size(); ++i) {
+    if (!newest_first[i]->empty()) cursors.push_back({newest_first[i], 0, i});
+  }
+
+  std::vector<SstEntry> out;
+  while (true) {
+    const Cursor* best = nullptr;
+    for (const auto& c : cursors) {
+      if (c.pos >= c.run->size()) continue;
+      const auto& key = (*c.run)[c.pos].key;
+      if (best == nullptr) {
+        best = &c;
+        continue;
+      }
+      const auto& best_key = (*best->run)[best->pos].key;
+      if (key < best_key || (key == best_key && c.age < best->age)) best = &c;
+    }
+    if (best == nullptr) break;
+
+    const SstEntry entry = (*best->run)[best->pos];
+    // The winner is the newest run holding this key; advance every cursor
+    // past the key so shadowed duplicates are dropped.
+    for (auto& c : cursors) {
+      while (c.pos < c.run->size() && (*c.run)[c.pos].key == entry.key) {
+        ++c.pos;
+      }
+    }
+    if (!(drop_tombstones && entry.tombstone)) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace ipipe::rkv

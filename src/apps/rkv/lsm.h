@@ -1,0 +1,99 @@
+// LSM tree: SSTables organized into exponentially-growing levels with
+// minor/major compaction (§4, "Replicated key-value store").
+//
+// SSTables live on the host side (they "interact with persistent
+// storage"), so they are plain sorted runs in host memory; the host-side
+// actors charge simulated I/O and merge costs when using them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ipipe::rkv {
+
+struct SstEntry {
+  std::string key;
+  std::vector<std::uint8_t> value;
+  bool tombstone = false;
+};
+
+/// One immutable sorted run.
+class SsTable {
+ public:
+  /// `entries` must be sorted by key, duplicates resolved (newest kept).
+  explicit SsTable(std::vector<SstEntry> entries);
+
+  struct LookupStats {
+    std::size_t probes = 0;
+  };
+  [[nodiscard]] const SstEntry* get(const std::string& key,
+                                    LookupStats* stats = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const std::vector<SstEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const std::string& min_key() const { return entries_.front().key; }
+  [[nodiscard]] const std::string& max_key() const { return entries_.back().key; }
+
+ private:
+  std::vector<SstEntry> entries_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Leveled LSM structure.  Level L holds at most base_bytes * growth^L.
+class LsmTree {
+ public:
+  struct Config {
+    std::uint64_t level0_bytes = 256 * 1024;
+    double growth = 10.0;
+    std::size_t max_levels = 6;
+    std::size_t level0_max_tables = 4;
+  };
+
+  LsmTree();  // default Config
+  explicit LsmTree(Config cfg) : cfg_(cfg), levels_(cfg.max_levels) {}
+
+  /// Minor compaction: a flushed memtable becomes a new L0 table.
+  void add_l0(std::vector<SstEntry> sorted_entries);
+
+  struct GetStats {
+    std::size_t tables_probed = 0;
+    std::size_t probes = 0;
+  };
+  /// Search newest-to-oldest, L0 downwards.  Honors tombstones.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key, GetStats* stats = nullptr) const;
+
+  /// Run compactions until all level size limits hold.  Returns bytes
+  /// merged (cost accounting).
+  std::uint64_t maybe_compact();
+
+  [[nodiscard]] std::size_t table_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::size_t level_count() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::size_t tables_at(std::size_t level) const {
+    return levels_[level].size();
+  }
+  [[nodiscard]] std::uint64_t compactions() const noexcept { return compactions_; }
+
+ private:
+  [[nodiscard]] std::uint64_t level_limit(std::size_t level) const;
+  std::uint64_t compact_level(std::size_t level);
+
+  Config cfg_;
+  std::vector<std::vector<SsTable>> levels_;  // levels_[0] = newest first
+  std::uint64_t compactions_ = 0;
+};
+
+/// Merge sorted runs, newest first, dropping shadowed entries; drops
+/// tombstones when `drop_tombstones` (bottom level).
+[[nodiscard]] std::vector<SstEntry> merge_runs(
+    std::vector<const std::vector<SstEntry>*> newest_first,
+    bool drop_tombstones);
+
+}  // namespace ipipe::rkv

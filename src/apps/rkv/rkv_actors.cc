@@ -1,0 +1,407 @@
+#include "apps/rkv/rkv_actors.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ipipe::rkv {
+namespace {
+
+/// [op u8][ReplyTo][key][value] — the operation driven through Paxos and
+/// applied to the memtable.
+std::vector<std::uint8_t> encode_op(Op op, const ReplyTo& reply,
+                                    std::string_view key,
+                                    std::span<const std::uint8_t> value) {
+  wire::Writer w;
+  w.put(static_cast<std::uint8_t>(op));
+  reply.encode(w);
+  w.put_str(key);
+  w.put_bytes(std::vector<std::uint8_t>(value.begin(), value.end()));
+  return w.take();
+}
+
+struct DecodedOp {
+  Op op = Op::kGet;
+  ReplyTo reply;
+  std::string key;
+  std::vector<std::uint8_t> value;
+};
+
+std::optional<DecodedOp> decode_op(std::span<const std::uint8_t> data) {
+  wire::Reader r(data);
+  DecodedOp out;
+  std::uint8_t op = 0;
+  if (!r.get(op) || !ReplyTo::decode(r, out.reply) || !r.get_str(out.key) ||
+      !r.get_bytes(out.value)) {
+    return std::nullopt;
+  }
+  out.op = static_cast<Op>(op);
+  return out;
+}
+
+ReplyTo reply_to_of(const netsim::Packet& req) {
+  return ReplyTo{req.src, req.src_actor, req.request_id, req.created_at};
+}
+
+void send_client_reply(ActorEnv& env, const ReplyTo& to, Status status,
+                       std::vector<std::uint8_t> value = {}) {
+  const netsim::Packet fake = to.as_request();
+  env.reply(fake, kClientReply, ClientReply{status, std::move(value)}.encode());
+}
+
+}  // namespace
+
+// --------------------------------------------------------- ConsensusActor --
+
+void ConsensusActor::charge_log_op(ActorEnv& env) const {
+  // Protocol handling: header parse, log map walk, state update.
+  env.compute(900);
+  env.mem(std::max<std::uint64_t>(log_.size() * 96, 4096), 3);
+}
+
+void ConsensusActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  switch (req.msg_type) {
+    case kClientPut:
+    case kClientGet:
+    case kClientDel:
+      on_client(env, req);
+      break;
+    case kPaxosPrepare:
+      on_prepare(env, req);
+      break;
+    case kPaxosPromise:
+      on_promise(env, req);
+      break;
+    case kPaxosAccept:
+      on_accept(env, req);
+      break;
+    case kPaxosAccepted:
+      on_accepted(env, req);
+      break;
+    case kPaxosLearn:
+      on_learn(env, req);
+      break;
+    case kElectTrigger:
+      start_election(env);
+      break;
+    default:
+      break;
+  }
+}
+
+void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto creq = ClientReq::decode(req.payload);
+  if (!creq) return;
+  const ReplyTo reply = reply_to_of(req);
+
+  if (!leader_) {
+    send_client_reply(env, reply, Status::kNotLeader);
+    return;
+  }
+
+  if (creq->op == Op::kGet) {
+    // Linearizable read served by the leader's applied state.
+    wire::Writer w;
+    reply.encode(w);
+    w.put_str(creq->key);
+    env.local_send(memtable_, kMemGet, w.take());
+    return;
+  }
+
+  // Drive a write through a Paxos instance.
+  const std::uint64_t slot = next_slot_++;
+  LogEntry& entry = log_[slot];
+  entry.ballot = ballot_;
+  entry.value = encode_op(creq->op, reply, creq->key, creq->value);
+  entry.acks = 1;  // self
+
+  PaxosMsg accept;
+  accept.ballot = ballot_;
+  accept.slot = slot;
+  accept.origin_req = req.request_id;
+  accept.value = entry.value;
+  broadcast(env, kPaxosAccept, accept);
+
+  if (entry.acks >= majority()) {
+    entry.chosen = true;  // single-replica degenerate case
+    ++chosen_;
+    apply_ready(env);
+  }
+}
+
+void ConsensusActor::broadcast(ActorEnv& env, std::uint16_t type,
+                               const PaxosMsg& msg) {
+  // Replicas deploy their actors in the same order, so the consensus
+  // actor id is identical cluster-wide; our own id is the default peer
+  // address (§5.1 deployment symmetry).
+  const ActorId peer =
+      params_.peer_consensus_actor != 0 ? params_.peer_consensus_actor : id();
+  for (std::size_t i = 0; i < params_.replicas.size(); ++i) {
+    if (i == params_.self_index) continue;
+    env.send(params_.replicas[i], peer, type, msg.encode());
+  }
+}
+
+void ConsensusActor::on_prepare(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg) return;
+  if (msg->ballot > promised_) {
+    promised_ = msg->ballot;
+    leader_ = false;
+    PaxosMsg promise;
+    promise.ballot = msg->ballot;
+    promise.slot = next_slot_;
+    env.reply(req, kPaxosPromise, promise.encode());
+  }
+}
+
+void ConsensusActor::on_promise(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg || msg->ballot != ballot_) return;
+  ++election_votes_;
+  next_slot_ = std::max(next_slot_, msg->slot);
+  if (election_votes_ + 1 >= majority() && !leader_) {
+    leader_ = true;
+    LOG_INFO("rkv: node becomes Paxos leader (ballot %llu)",
+             static_cast<unsigned long long>(ballot_));
+  }
+}
+
+void ConsensusActor::on_accept(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg) return;
+  if (msg->ballot < promised_) return;  // stale leader
+  promised_ = msg->ballot;
+
+  LogEntry& entry = log_[msg->slot];
+  entry.ballot = msg->ballot;
+  entry.value = msg->value;
+  next_slot_ = std::max(next_slot_, msg->slot + 1);
+
+  PaxosMsg ack;
+  ack.ballot = msg->ballot;
+  ack.slot = msg->slot;
+  env.reply(req, kPaxosAccepted, ack.encode());
+}
+
+void ConsensusActor::on_accepted(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg || !leader_ || msg->ballot != ballot_) return;
+  const auto it = log_.find(msg->slot);
+  if (it == log_.end() || it->second.chosen) return;
+  ++it->second.acks;
+  if (it->second.acks >= majority()) {
+    it->second.chosen = true;
+    ++chosen_;
+    PaxosMsg learn;
+    learn.ballot = ballot_;
+    learn.slot = msg->slot;
+    learn.value = it->second.value;
+    broadcast(env, kPaxosLearn, learn);
+    apply_ready(env);
+  }
+}
+
+void ConsensusActor::on_learn(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg) return;
+  LogEntry& entry = log_[msg->slot];
+  entry.value = msg->value;
+  entry.ballot = msg->ballot;
+  if (!entry.chosen) {
+    entry.chosen = true;
+    ++chosen_;
+  }
+  next_slot_ = std::max(next_slot_, msg->slot + 1);
+  apply_ready(env);
+}
+
+void ConsensusActor::start_election(ActorEnv& env) {
+  charge_log_op(env);
+  // Two-phase Paxos leader election: pick a ballot above anything seen.
+  ballot_ = (std::max(promised_, ballot_) / params_.replicas.size() + 1) *
+                params_.replicas.size() +
+            params_.self_index;
+  promised_ = ballot_;
+  election_votes_ = 0;
+  PaxosMsg prep;
+  prep.ballot = ballot_;
+  prep.slot = next_slot_;
+  broadcast(env, kPaxosPrepare, prep);
+}
+
+void ConsensusActor::apply_ready(ActorEnv& env) {
+  // Apply chosen entries in slot order to the local replicated state
+  // machine (the memtable actor).  Only the entry's reply routing on the
+  // leader triggers a client reply.
+  while (true) {
+    const auto it = log_.find(next_apply_);
+    if (it == log_.end() || !it->second.chosen || it->second.applied) break;
+    it->second.applied = true;
+    ++next_apply_;
+
+    auto op = decode_op(it->second.value);
+    if (!op) continue;
+    if (!leader_) {
+      // Follower applies without replying: blank out the reply route.
+      op->reply = ReplyTo{};
+    }
+    wire::Writer w;
+    w.put(static_cast<std::uint8_t>(op->op));
+    op->reply.encode(w);
+    w.put_str(op->key);
+    w.put_bytes(op->value);
+    env.local_send(memtable_, kApplyOp, w.take());
+  }
+}
+
+// --------------------------------------------------------- MemtableActor --
+
+void MemtableActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type == kApplyOp) {
+    auto op = decode_op(req.payload);
+    if (!op) return;
+    const bool tombstone = op->op == Op::kDel;
+    env.compute(400);
+    list_.insert(env, op->key, op->value, tombstone);
+    if (op->reply.node != 0 || op->reply.request_id != 0) {
+      send_client_reply(env, op->reply, Status::kOk);
+    }
+    if (list_.value_bytes() + list_.size() * 128 >
+        params_.memtable_flush_bytes) {
+      flush(env);
+    }
+    return;
+  }
+
+  if (req.msg_type == kMemGet) {
+    wire::Reader r(req.payload);
+    ReplyTo reply;
+    std::string key;
+    if (!ReplyTo::decode(r, reply) || !r.get_str(key)) return;
+    env.compute(300);
+    const auto result = list_.get(env, key);
+    if (result) {
+      if (result->tombstone) {
+        send_client_reply(env, reply, Status::kNotFound);
+      } else {
+        send_client_reply(env, reply, Status::kOk, result->value);
+      }
+      return;
+    }
+    // Miss: forward to the SSTable read actor on the host.
+    wire::Writer w;
+    reply.encode(w);
+    w.put_str(key);
+    env.local_send(sst_read_, kSstGet, w.take());
+    return;
+  }
+}
+
+void MemtableActor::flush(ActorEnv& env) {
+  ++flushes_;
+  auto entries = list_.scan_all(env);
+  wire::Writer w;
+  w.put(static_cast<std::uint32_t>(entries.size()));
+  for (auto& [key, value, tombstone] : entries) {
+    w.put(static_cast<std::uint8_t>(tombstone ? 1 : 0));
+    w.put_str(key);
+    w.put_bytes(value);
+  }
+  env.compute(static_cast<double>(entries.size()) * 50.0);
+  env.local_send(compaction_, kFlushBatch, w.take());
+  list_.clear(env);
+}
+
+// ----------------------------------------------------------- SstReadActor --
+
+void SstReadActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type != kSstGet) return;
+  wire::Reader r(req.payload);
+  ReplyTo reply;
+  std::string key;
+  if (!ReplyTo::decode(r, reply) || !r.get_str(key)) return;
+
+  LsmTree::GetStats stats;
+  const auto value = lsm_->get(key, &stats);
+  // Binary-search probes over host-resident tables + storage access tax.
+  env.mem(std::max<std::uint64_t>(lsm_->total_bytes(), 4096),
+          stats.probes + 2 * stats.tables_probed);
+  env.compute(800);
+  if (value) {
+    send_client_reply(env, reply, Status::kOk, *value);
+  } else {
+    send_client_reply(env, reply, Status::kNotFound);
+  }
+}
+
+// -------------------------------------------------------- CompactionActor --
+
+void CompactionActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type != kFlushBatch) return;
+  ++batches_;
+  wire::Reader r(req.payload);
+  std::uint32_t n = 0;
+  if (!r.get(n)) return;
+  std::vector<SstEntry> entries;
+  entries.reserve(n);
+  std::uint64_t bytes = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t tombstone = 0;
+    SstEntry e;
+    if (!r.get(tombstone) || !r.get_str(e.key) || !r.get_bytes(e.value)) break;
+    e.tombstone = tombstone != 0;
+    bytes += e.key.size() + e.value.size();
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SstEntry& a, const SstEntry& b) { return a.key < b.key; });
+  // Keep only the newest duplicate (batch is scan order = sorted unique
+  // already, but be safe).
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const SstEntry& a, const SstEntry& b) {
+                              return a.key == b.key;
+                            }),
+                entries.end());
+
+  env.stream(bytes + 1, bytes);
+  env.compute(static_cast<double>(n) * 60.0);
+  lsm_->add_l0(std::move(entries));
+  const std::uint64_t merged = lsm_->maybe_compact();
+  if (merged > 0) {
+    env.stream(merged, merged);  // sequential merge I/O
+    env.compute(static_cast<double>(merged) * 0.5);
+  }
+}
+
+// ------------------------------------------------------------- deployment --
+
+RkvDeployment deploy_rkv(Runtime& rt, RkvParams params) {
+  RkvDeployment d;
+  d.lsm = std::make_shared<LsmTree>();
+
+  auto sst = std::make_unique<SstReadActor>(d.lsm);
+  auto compact = std::make_unique<CompactionActor>(d.lsm);
+  d.sst_read = rt.register_actor(std::move(sst), ActorLoc::kHost);
+  d.compaction = rt.register_actor(std::move(compact), ActorLoc::kHost);
+
+  auto memtable =
+      std::make_unique<MemtableActor>(params, d.sst_read, d.compaction);
+  d.memtable = rt.register_actor(std::move(memtable));
+
+  auto consensus = std::make_unique<ConsensusActor>(params, d.memtable);
+  d.consensus = rt.register_actor(std::move(consensus));
+  if (params.peer_consensus_actor != 0) {
+    assert(params.peer_consensus_actor == d.consensus &&
+           "deploy order must match across replicas");
+  }
+  return d;
+}
+
+}  // namespace ipipe::rkv

@@ -1,0 +1,178 @@
+// Replicated key-value store actors (§4):
+//   * ConsensusActor  — Multi-Paxos replica (leader or follower), NIC-side
+//   * MemtableActor   — DMO skip-list memtable, NIC-side
+//   * SstReadActor    — SSTable reads, host-pinned (persistent storage)
+//   * CompactionActor — minor/major compaction, host-pinned
+//
+// Request flow: client -> consensus (Paxos commit for writes) -> memtable
+// (apply / fast reads) -> sstable reader (read misses) -> compaction
+// (flush batches).  Replies go straight from the serving actor to the
+// client using the routing info embedded in the operation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/rkv/lsm.h"
+#include "apps/rkv/rkv_messages.h"
+#include "apps/rkv/skiplist.h"
+#include "ipipe/runtime.h"
+
+namespace ipipe::rkv {
+
+/// Reply-routing information carried inside operations so that whichever
+/// actor finishes a request can respond to the client directly.
+struct ReplyTo {
+  std::uint32_t node = 0;
+  std::uint32_t actor = netsim::kForwardOnly;
+  std::uint64_t request_id = 0;
+  std::uint64_t created_at = 0;
+
+  void encode(wire::Writer& w) const {
+    w.put(node).put(actor).put(request_id).put(created_at);
+  }
+  [[nodiscard]] static bool decode(wire::Reader& r, ReplyTo& out) {
+    return r.get(out.node) && r.get(out.actor) && r.get(out.request_id) &&
+           r.get(out.created_at);
+  }
+  [[nodiscard]] netsim::Packet as_request() const {
+    netsim::Packet pkt;
+    pkt.src = node;
+    pkt.src_actor = actor;
+    pkt.request_id = request_id;
+    pkt.created_at = created_at;
+    return pkt;
+  }
+};
+
+struct RkvParams {
+  std::vector<netsim::NodeId> replicas;  ///< replicas[0] = initial leader
+  std::size_t self_index = 0;
+  ActorId peer_consensus_actor = 0;  ///< consensus actor id on every node
+  std::uint64_t memtable_flush_bytes = 2 * MiB;
+  std::size_t shards = 1;
+};
+
+class MemtableActor;
+
+class ConsensusActor final : public Actor {
+ public:
+  ConsensusActor(RkvParams params, ActorId memtable)
+      : Actor("rkv-consensus"), params_(std::move(params)), memtable_(memtable) {
+    leader_ = params_.self_index == 0;
+    if (leader_) ballot_ = params_.replicas.size() + params_.self_index;
+  }
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] bool is_leader() const noexcept { return leader_; }
+  [[nodiscard]] std::uint64_t ballot() const noexcept { return ballot_; }
+  [[nodiscard]] std::uint64_t chosen_count() const noexcept { return chosen_; }
+  [[nodiscard]] std::uint64_t next_slot() const noexcept { return next_slot_; }
+
+  static constexpr std::uint16_t kElectTrigger = 115;
+
+ private:
+  struct LogEntry {
+    std::uint64_t ballot = 0;
+    std::vector<std::uint8_t> value;
+    unsigned acks = 0;
+    bool chosen = false;
+    bool applied = false;
+  };
+
+  void on_client(ActorEnv& env, const netsim::Packet& req);
+  void on_prepare(ActorEnv& env, const netsim::Packet& req);
+  void on_promise(ActorEnv& env, const netsim::Packet& req);
+  void on_accept(ActorEnv& env, const netsim::Packet& req);
+  void on_accepted(ActorEnv& env, const netsim::Packet& req);
+  void on_learn(ActorEnv& env, const netsim::Packet& req);
+  void start_election(ActorEnv& env);
+  void apply_ready(ActorEnv& env);
+  void broadcast(ActorEnv& env, std::uint16_t type, const PaxosMsg& msg);
+  [[nodiscard]] unsigned majority() const {
+    return static_cast<unsigned>(params_.replicas.size() / 2 + 1);
+  }
+  void charge_log_op(ActorEnv& env) const;
+
+  RkvParams params_;
+  ActorId memtable_;
+  bool leader_ = false;
+  std::uint64_t ballot_ = 0;    // current ballot (leader's when leading)
+  std::uint64_t promised_ = 0;  // highest ballot promised
+  std::uint64_t next_slot_ = 0;
+  std::uint64_t next_apply_ = 0;
+  std::uint64_t chosen_ = 0;
+  unsigned election_votes_ = 0;
+  std::map<std::uint64_t, LogEntry> log_;
+};
+
+class MemtableActor final : public Actor {
+ public:
+  MemtableActor(RkvParams params, ActorId sst_read, ActorId compaction)
+      : Actor("rkv-memtable"),
+        params_(std::move(params)),
+        sst_read_(sst_read),
+        compaction_(compaction) {}
+
+  void init(ActorEnv& env) override { list_.create(env); }
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t region_bytes() const override { return 32 * MiB; }
+  [[nodiscard]] const DmoSkipList& list() const noexcept { return list_; }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+ private:
+  void flush(ActorEnv& env);
+
+  RkvParams params_;
+  ActorId sst_read_;
+  ActorId compaction_;
+  DmoSkipList list_;
+  std::uint64_t flushes_ = 0;
+};
+
+class SstReadActor final : public Actor {
+ public:
+  explicit SstReadActor(std::shared_ptr<LsmTree> lsm)
+      : Actor("rkv-sst-read"), lsm_(std::move(lsm)) {}
+
+  [[nodiscard]] bool host_pinned() const override { return true; }
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+ private:
+  std::shared_ptr<LsmTree> lsm_;
+};
+
+class CompactionActor final : public Actor {
+ public:
+  explicit CompactionActor(std::shared_ptr<LsmTree> lsm)
+      : Actor("rkv-compaction"), lsm_(std::move(lsm)) {}
+
+  [[nodiscard]] bool host_pinned() const override { return true; }
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t batches() const noexcept { return batches_; }
+
+ private:
+  std::shared_ptr<LsmTree> lsm_;
+  std::uint64_t batches_ = 0;
+};
+
+/// Actor ids of one node's RKV deployment.
+struct RkvDeployment {
+  ActorId consensus = 0;
+  ActorId memtable = 0;
+  ActorId sst_read = 0;
+  ActorId compaction = 0;
+  std::shared_ptr<LsmTree> lsm;
+};
+
+/// Register the four RKV actors on a node's runtime.  Must be invoked in
+/// the same order on every replica so that actor ids agree cluster-wide.
+[[nodiscard]] RkvDeployment deploy_rkv(Runtime& rt, RkvParams params);
+
+}  // namespace ipipe::rkv

@@ -1,0 +1,110 @@
+// Message formats for the replicated key-value store (Multi-Paxos + LSM).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/common/wire.h"
+
+namespace ipipe::rkv {
+
+enum MsgType : std::uint16_t {
+  // client <-> consensus actor
+  kClientPut = 100,
+  kClientGet = 101,
+  kClientDel = 102,
+  kClientReply = 103,
+  // Paxos (consensus actor <-> consensus actor)
+  kPaxosPrepare = 110,
+  kPaxosPromise = 111,
+  kPaxosAccept = 112,
+  kPaxosAccepted = 113,
+  kPaxosLearn = 114,
+  // consensus actor -> memtable actor (local)
+  kApplyOp = 120,
+  kMemGet = 121,
+  // memtable actor -> sstable read actor (local, on miss)
+  kSstGet = 130,
+  // memtable actor -> compaction actor (local, minor compaction)
+  kFlushBatch = 131,
+};
+
+enum class Op : std::uint8_t { kPut = 0, kGet = 1, kDel = 2 };
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kNotLeader = 2,
+  kError = 3,
+};
+
+struct ClientReq {
+  Op op = Op::kGet;
+  std::string key;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(static_cast<std::uint8_t>(op)).put_str(key).put_bytes(value);
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<ClientReq> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    ClientReq req;
+    std::uint8_t op = 0;
+    if (!r.get(op) || !r.get_str(req.key) || !r.get_bytes(req.value)) {
+      return std::nullopt;
+    }
+    req.op = static_cast<Op>(op);
+    return req;
+  }
+};
+
+struct ClientReply {
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(static_cast<std::uint8_t>(status)).put_bytes(value);
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<ClientReply> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    ClientReply rep;
+    std::uint8_t status = 0;
+    if (!r.get(status) || !r.get_bytes(rep.value)) return std::nullopt;
+    rep.status = static_cast<Status>(status);
+    return rep;
+  }
+};
+
+/// Paxos wire payloads: [ballot u64][slot u64][op-payload].
+struct PaxosMsg {
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t origin_req = 0;  ///< client request id being driven
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(ballot).put(slot).put(origin_req).put_bytes(value);
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<PaxosMsg> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    PaxosMsg m;
+    if (!r.get(m.ballot) || !r.get(m.slot) || !r.get(m.origin_req) ||
+        !r.get_bytes(m.value)) {
+      return std::nullopt;
+    }
+    return m;
+  }
+};
+
+}  // namespace ipipe::rkv

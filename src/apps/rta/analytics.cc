@@ -1,0 +1,157 @@
+#include "apps/rta/analytics.h"
+
+#include <cstring>
+
+namespace ipipe::rta {
+
+std::vector<std::uint8_t> pack_tuples(const std::vector<Tuple>& tuples) {
+  std::vector<std::uint8_t> out;
+  const auto n = static_cast<std::uint32_t>(tuples.size());
+  out.resize(4);
+  std::memcpy(out.data(), &n, 4);
+  for (const auto& t : tuples) {
+    const auto klen = static_cast<std::uint16_t>(t.key.size());
+    const std::size_t base = out.size();
+    out.resize(base + 2 + t.key.size() + 8 + 8);
+    std::memcpy(out.data() + base, &klen, 2);
+    std::memcpy(out.data() + base + 2, t.key.data(), t.key.size());
+    std::memcpy(out.data() + base + 2 + t.key.size(), &t.count, 8);
+    std::memcpy(out.data() + base + 2 + t.key.size() + 8, &t.timestamp, 8);
+  }
+  return out;
+}
+
+std::vector<Tuple> unpack_tuples(std::span<const std::uint8_t> bytes) {
+  std::vector<Tuple> tuples;
+  if (bytes.size() < 4) return tuples;
+  std::uint32_t n = 0;
+  std::memcpy(&n, bytes.data(), 4);
+  std::size_t off = 4;
+  tuples.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (off + 2 > bytes.size()) break;
+    std::uint16_t klen = 0;
+    std::memcpy(&klen, bytes.data() + off, 2);
+    off += 2;
+    if (off + klen + 16 > bytes.size()) break;
+    Tuple t;
+    t.key.assign(reinterpret_cast<const char*>(bytes.data() + off), klen);
+    off += klen;
+    std::memcpy(&t.count, bytes.data() + off, 8);
+    off += 8;
+    std::memcpy(&t.timestamp, bytes.data() + off, 8);
+    off += 8;
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+Filter::Filter(const std::vector<std::string>& patterns) {
+  patterns_.reserve(patterns.size());
+  for (const auto& p : patterns) patterns_.emplace_back(p);
+}
+
+bool Filter::admit(const Tuple& t) {
+  last_steps_ = 0;
+  for (const auto& re : patterns_) {
+    const bool hit = re.search(t.key);
+    last_steps_ += re.last_steps();
+    if (hit) {
+      ++admitted_;
+      return true;
+    }
+  }
+  ++discarded_;
+  return false;
+}
+
+SlidingCounter::SlidingCounter(Ns window, Ns slot_width)
+    : window_(window), slot_width_(slot_width) {}
+
+std::uint64_t SlidingCounter::add(const Tuple& t) {
+  advance(t.timestamp);
+  if (slots_.empty() || t.timestamp >= slots_.back().start + slot_width_) {
+    Slot slot;
+    slot.start = slots_.empty()
+                     ? t.timestamp
+                     : slots_.back().start +
+                           ((t.timestamp - slots_.back().start) / slot_width_) *
+                               slot_width_;
+    slots_.push_back(std::move(slot));
+  }
+  slots_.back().counts[t.key] += t.count;
+  auto& total = totals_[t.key];
+  total += t.count;
+  return total;
+}
+
+void SlidingCounter::advance(Ns now) {
+  while (!slots_.empty() && slots_.front().start + window_ < now) {
+    for (const auto& [key, cnt] : slots_.front().counts) {
+      auto it = totals_.find(key);
+      if (it != totals_.end()) {
+        it->second -= std::min(it->second, cnt);
+        if (it->second == 0) totals_.erase(it);
+      }
+    }
+    slots_.pop_front();
+  }
+}
+
+std::uint64_t SlidingCounter::count(const std::string& key) const {
+  const auto it = totals_.find(key);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+std::uint64_t SlidingCounter::memory_bytes() const noexcept {
+  std::uint64_t bytes = totals_.size() * 48;
+  for (const auto& slot : slots_) bytes += slot.counts.size() * 48;
+  return bytes;
+}
+
+std::size_t TopNRanker::quicksort(std::vector<Tuple>& v, std::ptrdiff_t lo,
+                                  std::ptrdiff_t hi) {
+  if (lo >= hi) return 0;
+  std::size_t comparisons = 0;
+  const std::uint64_t pivot = v[static_cast<std::size_t>((lo + hi) / 2)].count;
+  std::ptrdiff_t i = lo;
+  std::ptrdiff_t j = hi;
+  while (i <= j) {
+    while (v[static_cast<std::size_t>(i)].count > pivot) {
+      ++i;
+      ++comparisons;
+    }
+    while (v[static_cast<std::size_t>(j)].count < pivot) {
+      --j;
+      ++comparisons;
+    }
+    ++comparisons;
+    if (i <= j) {
+      std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+      ++i;
+      --j;
+    }
+  }
+  comparisons += quicksort(v, lo, j);
+  comparisons += quicksort(v, i, hi);
+  return comparisons;
+}
+
+std::size_t TopNRanker::update(const std::string& key, std::uint64_t count) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].count = count;
+  } else {
+    entries_.push_back(Tuple{key, count, 0});
+  }
+  const std::size_t comparisons =
+      quicksort(entries_, 0, static_cast<std::ptrdiff_t>(entries_.size()) - 1);
+  if (entries_.size() > n_) entries_.resize(n_);
+  index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) index_[entries_[i].key] = i;
+  return comparisons;
+}
+
+std::vector<Tuple> TopNRanker::top() const { return entries_; }
+
+}  // namespace ipipe::rta

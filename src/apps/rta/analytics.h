@@ -1,0 +1,120 @@
+// Real-time analytics workers (§4, FlexStorm-derived): filter, counter,
+// ranker.  Data tuples flow filter -> counter -> ranker -> aggregator,
+// each worker choosing the next hop from a topology mapping table.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/rta/regex.h"
+#include "common/units.h"
+
+namespace ipipe::rta {
+
+/// One analytics data tuple (e.g. a tweet-derived token).
+struct Tuple {
+  std::string key;
+  std::uint64_t count = 1;
+  Ns timestamp = 0;
+};
+
+/// Serialize/parse tuples into packet payloads (length-prefixed strings).
+[[nodiscard]] std::vector<std::uint8_t> pack_tuples(
+    const std::vector<Tuple>& tuples);
+[[nodiscard]] std::vector<Tuple> unpack_tuples(
+    std::span<const std::uint8_t> bytes);
+
+/// Filter worker: discards tuples that do not match any interest pattern.
+class Filter {
+ public:
+  explicit Filter(const std::vector<std::string>& patterns);
+
+  /// Returns true when the tuple passes; accumulates NFA step counts.
+  bool admit(const Tuple& t);
+
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t discarded() const noexcept { return discarded_; }
+  [[nodiscard]] std::size_t last_steps() const noexcept { return last_steps_; }
+
+ private:
+  std::vector<Regex> patterns_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::size_t last_steps_ = 0;
+};
+
+/// Counter worker: sliding-window counts per key; periodically emits the
+/// current count for a key to the ranker.
+class SlidingCounter {
+ public:
+  SlidingCounter(Ns window, Ns slot_width);
+
+  /// Add an observation; returns the key's current windowed count.
+  std::uint64_t add(const Tuple& t);
+  /// Advance the window, expiring old slots.
+  void advance(Ns now);
+  [[nodiscard]] std::uint64_t count(const std::string& key) const;
+  [[nodiscard]] std::size_t keys() const noexcept { return totals_.size(); }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  struct Slot {
+    Ns start = 0;
+    std::unordered_map<std::string, std::uint64_t> counts;
+  };
+
+  Ns window_;
+  Ns slot_width_;
+  std::deque<Slot> slots_;
+  std::unordered_map<std::string, std::uint64_t> totals_;
+};
+
+/// Ranker worker: maintains the top-n keys by count using quicksort over
+/// the consolidated tuple buffer (the paper: "ranker performs quicksort").
+class TopNRanker {
+ public:
+  explicit TopNRanker(std::size_t n) : n_(n) {}
+
+  /// Merge an observation, re-ranking with quicksort.  Returns the number
+  /// of comparisons performed (cost accounting).
+  std::size_t update(const std::string& key, std::uint64_t count);
+
+  [[nodiscard]] std::vector<Tuple> top() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::size_t quicksort(std::vector<Tuple>& v, std::ptrdiff_t lo,
+                        std::ptrdiff_t hi);
+
+  std::size_t n_;
+  std::vector<Tuple> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Topology mapping table: which worker/actor a result flows to next.
+class Topology {
+ public:
+  void set_next(const std::string& worker, std::uint32_t node,
+                std::uint32_t actor) {
+    next_[worker] = {node, actor};
+  }
+  struct Hop {
+    std::uint32_t node = 0;
+    std::uint32_t actor = 0;
+  };
+  [[nodiscard]] const Hop* next(const std::string& worker) const {
+    const auto it = next_.find(worker);
+    return it == next_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, Hop> next_;
+};
+
+}  // namespace ipipe::rta

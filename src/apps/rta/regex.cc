@@ -1,0 +1,285 @@
+#include "apps/rta/regex.h"
+
+#include <stdexcept>
+
+namespace ipipe::rta {
+namespace {
+
+void set_bit(std::array<std::uint64_t, 4>& cls, unsigned char c) {
+  cls[c >> 6] |= std::uint64_t{1} << (c & 63);
+}
+
+void set_all(std::array<std::uint64_t, 4>& cls) {
+  cls.fill(~std::uint64_t{0});
+}
+
+void invert(std::array<std::uint64_t, 4>& cls) {
+  for (auto& w : cls) w = ~w;
+}
+
+}  // namespace
+
+Regex::Regex(std::string_view pattern) : pattern_(pattern) {
+  Frag f = parse_alt();
+  if (pos_ != pattern_.size()) {
+    throw std::invalid_argument("regex: trailing characters at " +
+                                std::to_string(pos_));
+  }
+  State match;
+  match.kind = State::kMatch;
+  const int accept = add_state(match);
+  patch(f, accept);
+  start_ = f.start >= 0 ? f.start : accept;
+}
+
+int Regex::add_state(State s) {
+  states_.push_back(s);
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void Regex::patch(Frag& f, int target) {
+  for (const auto [state, which] : f.out) {
+    if (which == 0) {
+      states_[static_cast<std::size_t>(state)].out0 = target;
+    } else {
+      states_[static_cast<std::size_t>(state)].out1 = target;
+    }
+  }
+  f.out.clear();
+}
+
+Regex::Frag Regex::parse_alt() {
+  Frag left = parse_concat();
+  while (pos_ < pattern_.size() && pattern_[pos_] == '|') {
+    ++pos_;
+    Frag right = parse_concat();
+    State split;
+    split.kind = State::kSplit;
+    split.out0 = left.start;
+    split.out1 = right.start;
+    const int s = add_state(split);
+    Frag merged;
+    merged.start = s;
+    merged.out = std::move(left.out);
+    merged.out.insert(merged.out.end(), right.out.begin(), right.out.end());
+    left = std::move(merged);
+  }
+  return left;
+}
+
+Regex::Frag Regex::parse_concat() {
+  Frag result;
+  while (pos_ < pattern_.size() && pattern_[pos_] != '|' &&
+         pattern_[pos_] != ')') {
+    Frag next = parse_repeat();
+    if (result.start < 0) {
+      result = std::move(next);
+    } else {
+      patch(result, next.start);
+      result.out = std::move(next.out);
+    }
+  }
+  if (result.start < 0) {
+    // Empty fragment: a split whose both edges dangle is wasteful; use a
+    // pass-through split with one dangling edge.
+    State eps;
+    eps.kind = State::kSplit;
+    const int s = add_state(eps);
+    result.start = s;
+    result.out = {{s, 0}, {s, 1}};
+  }
+  return result;
+}
+
+Regex::Frag Regex::parse_repeat() {
+  Frag atom = parse_atom();
+  while (pos_ < pattern_.size()) {
+    const char op = pattern_[pos_];
+    if (op == '*') {
+      ++pos_;
+      State split;
+      split.kind = State::kSplit;
+      split.out0 = atom.start;
+      const int s = add_state(split);
+      patch(atom, s);
+      atom.start = s;
+      atom.out = {{s, 1}};
+    } else if (op == '+') {
+      ++pos_;
+      State split;
+      split.kind = State::kSplit;
+      split.out0 = atom.start;
+      const int s = add_state(split);
+      patch(atom, s);
+      atom.out = {{s, 1}};
+      // start unchanged: must pass through the atom at least once
+    } else if (op == '?') {
+      ++pos_;
+      State split;
+      split.kind = State::kSplit;
+      split.out0 = atom.start;
+      const int s = add_state(split);
+      atom.out.push_back({s, 1});
+      atom.start = s;
+    } else {
+      break;
+    }
+  }
+  return atom;
+}
+
+Regex::State Regex::char_class_state() {
+  State st;
+  st.kind = State::kClass;
+  const char c = pattern_[pos_];
+  if (c == '.') {
+    ++pos_;
+    set_all(st.cls);
+  } else if (c == '\\') {
+    if (pos_ + 1 >= pattern_.size())
+      throw std::invalid_argument("regex: trailing backslash");
+    ++pos_;
+    const char esc = pattern_[pos_++];
+    switch (esc) {
+      case 'd':
+        for (char d = '0'; d <= '9'; ++d) set_bit(st.cls, static_cast<unsigned char>(d));
+        break;
+      case 'w':
+        for (char d = '0'; d <= '9'; ++d) set_bit(st.cls, static_cast<unsigned char>(d));
+        for (char d = 'a'; d <= 'z'; ++d) set_bit(st.cls, static_cast<unsigned char>(d));
+        for (char d = 'A'; d <= 'Z'; ++d) set_bit(st.cls, static_cast<unsigned char>(d));
+        set_bit(st.cls, '_');
+        break;
+      case 's':
+        set_bit(st.cls, ' ');
+        set_bit(st.cls, '\t');
+        set_bit(st.cls, '\n');
+        set_bit(st.cls, '\r');
+        break;
+      default:
+        set_bit(st.cls, static_cast<unsigned char>(esc));
+    }
+  } else if (c == '[') {
+    ++pos_;
+    bool negate = false;
+    if (pos_ < pattern_.size() && pattern_[pos_] == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool closed = false;
+    while (pos_ < pattern_.size()) {
+      if (pattern_[pos_] == ']') {
+        ++pos_;
+        closed = true;
+        break;
+      }
+      unsigned char lo = static_cast<unsigned char>(pattern_[pos_++]);
+      if (lo == '\\' && pos_ < pattern_.size()) {
+        lo = static_cast<unsigned char>(pattern_[pos_++]);
+      }
+      if (pos_ + 1 < pattern_.size() && pattern_[pos_] == '-' &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;
+        const auto hi = static_cast<unsigned char>(pattern_[pos_++]);
+        for (unsigned v = lo; v <= hi; ++v) {
+          set_bit(st.cls, static_cast<unsigned char>(v));
+        }
+      } else {
+        set_bit(st.cls, lo);
+      }
+    }
+    if (!closed) throw std::invalid_argument("regex: unterminated class");
+    if (negate) invert(st.cls);
+  } else {
+    ++pos_;
+    set_bit(st.cls, static_cast<unsigned char>(c));
+  }
+  return st;
+}
+
+Regex::Frag Regex::parse_atom() {
+  if (pos_ >= pattern_.size())
+    throw std::invalid_argument("regex: expected atom");
+  if (pattern_[pos_] == '(') {
+    ++pos_;
+    Frag inner = parse_alt();
+    if (pos_ >= pattern_.size() || pattern_[pos_] != ')')
+      throw std::invalid_argument("regex: missing ')'");
+    ++pos_;
+    return inner;
+  }
+  if (pattern_[pos_] == '*' || pattern_[pos_] == '+' || pattern_[pos_] == '?')
+    throw std::invalid_argument("regex: dangling quantifier");
+  const int s = add_state(char_class_state());
+  Frag f;
+  f.start = s;
+  f.out = {{s, 0}};
+  return f;
+}
+
+bool Regex::run(std::string_view text, bool anchored) const {
+  // Two-list NFA simulation with epsilon closure (Pike/Thompson).
+  std::vector<int> current;
+  std::vector<int> next;
+  std::vector<std::uint32_t> mark(states_.size(), 0);
+  std::vector<int> stack;
+  std::uint32_t gen = 0;
+  std::size_t steps = 0;
+  bool has_match = false;
+
+  // Epsilon-closure insertion; sets has_match when the accept state is
+  // reachable in the current generation.
+  auto add = [&](std::vector<int>& list, int seed) {
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (v < 0) continue;
+      const auto idx = static_cast<std::size_t>(v);
+      if (mark[idx] == gen) continue;
+      mark[idx] = gen;
+      ++steps;
+      const State& st = states_[idx];
+      if (st.kind == State::kSplit) {
+        stack.push_back(st.out0);
+        stack.push_back(st.out1);
+      } else {
+        list.push_back(v);
+        if (st.kind == State::kMatch) has_match = true;
+      }
+    }
+  };
+
+  ++gen;
+  add(current, start_);
+  if (has_match && (!anchored || text.empty())) {
+    last_steps_ = steps;
+    return true;
+  }
+
+  for (const char ch : text) {
+    ++gen;
+    next.clear();
+    has_match = false;
+    if (!anchored) add(next, start_);  // re-seed: match at any offset
+    const auto c = static_cast<unsigned char>(ch);
+    for (const int s : current) {
+      ++steps;
+      const State& st = states_[static_cast<std::size_t>(s)];
+      if (st.kind == State::kClass && st.accepts(c)) add(next, st.out0);
+    }
+    current.swap(next);
+    if (!anchored && has_match) {
+      last_steps_ = steps;
+      return true;
+    }
+  }
+  last_steps_ = steps;
+  return anchored && has_match && !text.empty();
+}
+
+bool Regex::match(std::string_view text) const { return run(text, true); }
+
+bool Regex::search(std::string_view text) const { return run(text, false); }
+
+}  // namespace ipipe::rta

@@ -1,0 +1,82 @@
+// Thompson-NFA regular expression engine (after Russ Cox's construction,
+// which the paper cites [15] for the analytics filter's pattern-matching
+// module).  Supports: literals, '.', '|', '*', '+', '?', grouping with
+// '()', escapes ('\\'), and character classes '[a-z]' / '[^a-z]'.
+//
+// Matching runs the NFA with the two-list simulation — linear time in
+// input length, no backtracking blow-up — and reports the number of NFA
+// state-set steps for cost accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipipe::rta {
+
+class Regex {
+ public:
+  /// Compile `pattern`.  Throws std::invalid_argument on syntax errors.
+  explicit Regex(std::string_view pattern);
+
+  /// Anchored full match.
+  [[nodiscard]] bool match(std::string_view text) const;
+  /// Unanchored search (matches any substring).
+  [[nodiscard]] bool search(std::string_view text) const;
+
+  /// NFA state-visits of the most recent match/search (cost accounting).
+  [[nodiscard]] std::size_t last_steps() const noexcept { return last_steps_; }
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const std::string& pattern() const noexcept { return pattern_; }
+
+ private:
+  struct State {
+    // kind: 0 = char-class transition, 1 = split (two eps edges),
+    // 2 = match (accept)
+    enum Kind : std::uint8_t { kClass = 0, kSplit = 1, kMatch = 2 };
+    Kind kind = kMatch;
+    std::array<std::uint64_t, 4> cls{};  // 256-bit class membership
+    int out0 = -1;
+    int out1 = -1;
+
+    [[nodiscard]] bool accepts(unsigned char c) const noexcept {
+      return (cls[c >> 6] >> (c & 63)) & 1u;
+    }
+  };
+
+  // Parser (recursive descent over pattern_): returns NFA fragments with
+  // dangling out-edges identified by (state, which-edge) — stable across
+  // states_ reallocation.
+  struct Dangling {
+    int state;
+    int which;  // 0 -> out0, 1 -> out1
+  };
+  struct Frag {
+    int start = -1;
+    std::vector<Dangling> out;
+  };
+
+  [[nodiscard]] bool run(std::string_view text, bool anchored) const;
+
+  int add_state(State s);
+  // Parsing helpers operating on pos_.
+  Frag parse_alt();
+  Frag parse_concat();
+  Frag parse_repeat();
+  Frag parse_atom();
+  [[nodiscard]] State char_class_state();
+  void patch(Frag& f, int target);
+
+  std::string pattern_;
+  std::size_t pos_ = 0;
+  std::vector<State> states_;
+  int start_ = -1;
+  mutable std::size_t last_steps_ = 0;
+};
+
+}  // namespace ipipe::rta

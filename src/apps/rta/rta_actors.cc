@@ -1,0 +1,131 @@
+#include "apps/rta/rta_actors.h"
+
+#include <cstring>
+
+#include "apps/common/wire.h"
+
+namespace ipipe::rta {
+
+void FilterActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type != kTuples) return;
+  const auto tuples = unpack_tuples(req.payload);
+  env.stream(64 * 1024, req.payload.size());
+
+  std::vector<Tuple> admitted;
+  admitted.reserve(tuples.size());
+  for (const auto& t : tuples) {
+    const bool pass = filter_.admit(t);
+    // NFA simulation cost: a few ops per state-step (pattern matching
+    // module [15]).
+    env.compute(static_cast<double>(filter_.last_steps()) * 3.0 + 40.0);
+    if (pass) admitted.push_back(t);
+  }
+
+  if (!admitted.empty()) {
+    env.local_send(counter_, kFiltered, pack_tuples(admitted));
+  }
+  wire::Writer ack;
+  ack.put(static_cast<std::uint32_t>(tuples.size()));
+  ack.put(static_cast<std::uint32_t>(admitted.size()));
+  env.reply(req, kAck, ack.take());
+}
+
+void CounterActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type != kFiltered) return;
+  const auto tuples = unpack_tuples(req.payload);
+  const std::uint64_t ws = std::max<std::uint64_t>(counter_.memory_bytes(), 4096);
+
+  std::uint64_t hottest_count = 0;
+  for (auto t : tuples) {
+    t.timestamp = env.now();
+    const std::uint64_t count = counter_.add(t);
+    env.mem(ws, 2);       // window slot + total map updates
+    env.compute(120.0);   // hashing + bookkeeping
+    if (count > hottest_count) {
+      hottest_count = count;
+      hottest_ = t.key;
+    }
+    // Periodically emit the hottest key's count to the ranker (§4: the
+    // counter "periodically emits a tuple to the ranker").
+    if (++since_emit_ >= params_.counter_emit_every && !hottest_.empty()) {
+      since_emit_ = 0;
+      wire::Writer w;
+      w.put_str(hottest_);
+      w.put(counter_.count(hottest_));
+      env.local_send(ranker_, kCountUpdate, w.take());
+    }
+  }
+}
+
+void RankerActor::init(ActorEnv& env) {
+  // Consolidated top-n tuples live in one distributed shared object (§4).
+  top_obj_ = env.dmo_alloc(
+      static_cast<std::uint32_t>(params_.topn * 48 + 16));
+}
+
+void RankerActor::persist_top(ActorEnv& env) {
+  if (top_obj_ == kInvalidObj) return;
+  const auto top = ranker_.top();
+  wire::Writer w;
+  w.put(static_cast<std::uint32_t>(top.size()));
+  for (const auto& t : top) {
+    w.put_str(t.key);
+    w.put(t.count);
+  }
+  auto bytes = w.take();
+  bytes.resize(std::min<std::size_t>(bytes.size(), env.dmo_size(top_obj_)));
+  env.dmo_write(top_obj_, 0, bytes);
+}
+
+void RankerActor::handle(ActorEnv& env, const netsim::Packet& req) {
+  if (req.msg_type == kCountUpdate || req.msg_type == kTopN) {
+    wire::Reader r(req.payload);
+    if (req.msg_type == kCountUpdate) {
+      std::string key;
+      std::uint64_t count = 0;
+      if (!r.get_str(key) || !r.get(count)) return;
+      const std::size_t comparisons = ranker_.update(key, count);
+      env.compute(static_cast<double>(comparisons) * 4.0 + 80.0);
+      env.mem(std::max<std::uint64_t>(ranker_.size() * 48, 512),
+              ranker_.size());
+    } else {
+      // Merge a remote worker's top-n into the aggregated ranking.
+      std::uint32_t n = 0;
+      if (!r.get(n)) return;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key;
+        std::uint64_t count = 0;
+        if (!r.get_str(key) || !r.get(count)) return;
+        const std::size_t comparisons = ranker_.update(key, count);
+        env.compute(static_cast<double>(comparisons) * 4.0 + 80.0);
+      }
+    }
+    persist_top(env);
+
+    // Forward our ranking to the aggregated ranker (other node) on cadence.
+    const bool is_aggregator = env.node() == params_.aggregator_node;
+    if (!is_aggregator && ++since_emit_ >= params_.ranker_emit_every) {
+      since_emit_ = 0;
+      ++emissions_;
+      const auto top = ranker_.top();
+      wire::Writer w;
+      w.put(static_cast<std::uint32_t>(top.size()));
+      for (const auto& t : top) {
+        w.put_str(t.key);
+        w.put(t.count);
+      }
+      env.send(params_.aggregator_node, params_.aggregator_ranker, kTopN,
+               w.take());
+    }
+  }
+}
+
+RtaDeployment deploy_rta(Runtime& rt, RtaParams params) {
+  RtaDeployment d;
+  d.ranker = rt.register_actor(std::make_unique<RankerActor>(params));
+  d.counter = rt.register_actor(std::make_unique<CounterActor>(params, d.ranker));
+  d.filter = rt.register_actor(std::make_unique<FilterActor>(params, d.counter));
+  return d;
+}
+
+}  // namespace ipipe::rta

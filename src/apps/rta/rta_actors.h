@@ -1,0 +1,109 @@
+// Real-time analytics actors (§4): FlexStorm-style filter, counter and
+// ranker workers, each mapped to an iPipe actor.  Data tuples arrive in
+// batches from the workload generator; every worker forwards results to
+// the next worker via the topology (here: filter -> counter -> ranker ->
+// aggregated ranker on a designated node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/rta/analytics.h"
+#include "ipipe/runtime.h"
+
+namespace ipipe::rta {
+
+enum MsgType : std::uint16_t {
+  kTuples = 300,       // client -> filter: batch of tuples
+  kFiltered = 301,     // filter -> counter
+  kCountUpdate = 302,  // counter -> ranker (periodic emission)
+  kTopN = 303,         // ranker -> aggregated ranker
+  kAck = 304,          // filter -> client (per-batch acknowledgement)
+};
+
+struct RtaParams {
+  std::vector<std::string> patterns = {"[a-z]*ing", "data[0-9]+", "net"};
+  Ns window = msec(10);
+  Ns slot = msec(1);
+  std::size_t topn = 10;
+  std::size_t counter_emit_every = 8;
+  std::size_t ranker_emit_every = 16;
+  netsim::NodeId aggregator_node = 0;
+  ActorId aggregator_ranker = 0;  ///< ranker actor id on the aggregator
+};
+
+class CounterActor;
+class RankerActor;
+
+class FilterActor final : public Actor {
+ public:
+  FilterActor(RtaParams params, ActorId counter)
+      : Actor("rta-filter"), params_(params), filter_(params.patterns),
+        counter_(counter) {}
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::uint64_t admitted() const noexcept {
+    return filter_.admitted();
+  }
+  [[nodiscard]] std::uint64_t discarded() const noexcept {
+    return filter_.discarded();
+  }
+
+ private:
+  RtaParams params_;
+  Filter filter_;
+  ActorId counter_;
+};
+
+class CounterActor final : public Actor {
+ public:
+  CounterActor(RtaParams params, ActorId ranker)
+      : Actor("rta-counter"), params_(params),
+        counter_(params.window, params.slot), ranker_(ranker) {}
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::size_t keys() const noexcept { return counter_.keys(); }
+
+ private:
+  RtaParams params_;
+  SlidingCounter counter_;
+  ActorId ranker_;
+  std::size_t since_emit_ = 0;
+  std::string hottest_;
+};
+
+class RankerActor final : public Actor {
+ public:
+  explicit RankerActor(RtaParams params)
+      : Actor("rta-ranker"), params_(params), ranker_(params.topn) {}
+
+  void init(ActorEnv& env) override;
+  void handle(ActorEnv& env, const netsim::Packet& req) override;
+
+  [[nodiscard]] std::vector<Tuple> top() const { return ranker_.top(); }
+  [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
+
+ private:
+  void persist_top(ActorEnv& env);
+
+  RtaParams params_;
+  TopNRanker ranker_;
+  ObjId top_obj_ = kInvalidObj;  ///< consolidated top-n DMO (§4)
+  std::size_t since_emit_ = 0;
+  std::uint64_t emissions_ = 0;
+};
+
+struct RtaDeployment {
+  ActorId filter = 0;
+  ActorId counter = 0;
+  ActorId ranker = 0;
+};
+
+/// Register the worker actors in fixed order (ranker, counter, filter) so
+/// ids agree across nodes.
+[[nodiscard]] RtaDeployment deploy_rta(Runtime& rt, RtaParams params);
+
+}  // namespace ipipe::rta

@@ -1,0 +1,31 @@
+// Minimal leveled logging for the simulator and tools.
+//
+// Usage:  LOG_INFO("node %d elected leader at %.1fus", id, to_us(now));
+// The level can be raised at runtime (e.g. from benchmark binaries) so the
+// default output stays quiet.
+#pragma once
+
+#include <cstdarg>
+
+namespace ipipe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace ipipe
+
+#define IPIPE_LOG(level, ...)                                         \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::ipipe::log_level())) \
+      ::ipipe::log_message(level, __FILE__, __LINE__, __VA_ARGS__);   \
+  } while (0)
+
+#define LOG_DEBUG(...) IPIPE_LOG(::ipipe::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) IPIPE_LOG(::ipipe::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) IPIPE_LOG(::ipipe::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) IPIPE_LOG(::ipipe::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipipe {
+
+double EwmaMeanStd::stddev() const noexcept {
+  const double v = var_.value();
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_of(Ns v) noexcept {
+  if (v <= 1) return 0;
+  const double idx =
+      std::log2(static_cast<double>(v)) * static_cast<double>(kBucketsPerOctave);
+  const auto b = static_cast<std::size_t>(idx);
+  return std::min(b, kNumBuckets - 1);
+}
+
+Ns LatencyHistogram::bucket_upper(std::size_t b) noexcept {
+  const double v = std::exp2(static_cast<double>(b + 1) /
+                             static_cast<double>(kBucketsPerOctave));
+  return static_cast<Ns>(v);
+}
+
+void LatencyHistogram::add(Ns latency) noexcept {
+  ++buckets_[bucket_of(latency)];
+  ++count_;
+  sum_ += static_cast<double>(latency);
+  max_ = std::max(max_, latency);
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Ns LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace ipipe

@@ -1,0 +1,128 @@
+// Statistics primitives used by the iPipe scheduler bookkeeping (§3.2.3)
+// and by the benchmark harness.
+//
+//  * Ewma            — exponentially weighted moving average, the paper's
+//                      estimator for per-actor μ and σ.
+//  * EwmaMeanStd     — tracks EWMA mean and EWMA of squared deviation so
+//                      that μ + 3σ approximates the tail (P99 for ~normal).
+//  * RunningStats    — Welford exact mean/variance/min/max.
+//  * LatencyHistogram— log-bucketed histogram with percentile queries; used
+//                      by every end-to-end benchmark for avg/P50/P99.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ipipe {
+
+/// Plain EWMA: v <- (1-alpha)*v + alpha*x.  The first sample initializes.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+  void reset() noexcept {
+    value_ = 0.0;
+    seeded_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// EWMA mean + EWMA standard deviation; tail() = mean + 3*stddev, the
+/// paper's approximation of P99 (§3.2.3).
+class EwmaMeanStd {
+ public:
+  explicit EwmaMeanStd(double alpha = 0.2) noexcept
+      : mean_(alpha), var_(alpha) {}
+
+  void add(double x) noexcept {
+    const double prev = mean_.seeded() ? mean_.value() : x;
+    mean_.add(x);
+    const double dev = x - prev;
+    var_.add(dev * dev);
+  }
+  [[nodiscard]] double mean() const noexcept { return mean_.value(); }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double tail() const noexcept { return mean() + 3.0 * stddev(); }
+  [[nodiscard]] bool seeded() const noexcept { return mean_.seeded(); }
+  void reset() noexcept {
+    mean_.reset();
+    var_.reset();
+  }
+
+ private:
+  Ewma mean_;
+  Ewma var_;
+};
+
+/// Welford's online exact mean/variance plus min/max and count.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-bucketed latency histogram over nanoseconds.  Buckets grow
+/// geometrically (~1.6% relative error), covering 1ns .. ~5 hours.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(Ns latency) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean_ns() const noexcept;
+  /// p in [0, 100].  Returns bucket upper bound, 0 if empty.
+  [[nodiscard]] Ns percentile(double p) const noexcept;
+  [[nodiscard]] Ns p50() const noexcept { return percentile(50.0); }
+  [[nodiscard]] Ns p99() const noexcept { return percentile(99.0); }
+  [[nodiscard]] Ns max() const noexcept { return max_; }
+  void reset() noexcept;
+
+  /// Merge another histogram into this one.
+  void merge(const LatencyHistogram& other) noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(Ns v) noexcept;
+  [[nodiscard]] static Ns bucket_upper(std::size_t b) noexcept;
+
+  static constexpr std::size_t kBucketsPerOctave = 43;  // ~1.63% per bucket
+  static constexpr std::size_t kNumBuckets = 44 * kBucketsPerOctave;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Ns max_ = 0;
+};
+
+}  // namespace ipipe

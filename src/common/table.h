@@ -1,0 +1,66 @@
+// Fixed-width ASCII table printer used by the benchmark binaries to emit
+// the paper's tables/figure series in a uniform, diffable format.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ipipe {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto line = [&] {
+      for (const auto w : widths) {
+        std::fputc('+', out);
+        for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      }
+      std::fputs("+\n", out);
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        std::fprintf(out, "| %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::fputs("|\n", out);
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string formatter for table cells.
+[[nodiscard]] inline std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace ipipe

@@ -1,0 +1,72 @@
+// Time, bandwidth and size units used throughout the simulator.
+//
+// All simulated time is kept in integer nanoseconds (`Ns`).  Helper
+// constructors (`usec`, `msec`, ...) and converters keep unit handling
+// explicit at call sites; bandwidth conversions account for Ethernet
+// framing overhead where noted.
+#pragma once
+
+#include <cstdint>
+
+namespace ipipe {
+
+/// Simulated time in nanoseconds.
+using Ns = std::uint64_t;
+
+/// Signed time delta in nanoseconds.
+using NsDelta = std::int64_t;
+
+constexpr Ns kNsPerUs = 1'000;
+constexpr Ns kNsPerMs = 1'000'000;
+constexpr Ns kNsPerSec = 1'000'000'000;
+
+[[nodiscard]] constexpr Ns nsec(std::uint64_t n) noexcept { return n; }
+[[nodiscard]] constexpr Ns usec(double u) noexcept {
+  return static_cast<Ns>(u * static_cast<double>(kNsPerUs));
+}
+[[nodiscard]] constexpr Ns msec(double m) noexcept {
+  return static_cast<Ns>(m * static_cast<double>(kNsPerMs));
+}
+[[nodiscard]] constexpr Ns sec(double s) noexcept {
+  return static_cast<Ns>(s * static_cast<double>(kNsPerSec));
+}
+
+[[nodiscard]] constexpr double to_us(Ns t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+[[nodiscard]] constexpr double to_ms(Ns t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+[[nodiscard]] constexpr double to_sec(Ns t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Ethernet per-frame wire overhead: preamble+SFD (8B), inter-frame gap
+/// (12B) and FCS (4B).  A frame of payload size s occupies s+24 bytes of
+/// wire time (s already includes the L2 header in our packet model).
+constexpr std::uint32_t kEthernetWireOverhead = 24;
+
+/// Time to serialize `bytes` of frame payload on a `gbps` link, including
+/// Ethernet framing overhead.
+[[nodiscard]] constexpr Ns wire_time(std::uint32_t bytes, double gbps) noexcept {
+  const double bits = static_cast<double>(bytes + kEthernetWireOverhead) * 8.0;
+  return static_cast<Ns>(bits / gbps);  // gbps == bits/ns
+}
+
+/// Packets-per-second a `gbps` link sustains at frame size `bytes`.
+[[nodiscard]] constexpr double line_rate_pps(std::uint32_t bytes, double gbps) noexcept {
+  const double bits = static_cast<double>(bytes + kEthernetWireOverhead) * 8.0;
+  return gbps * 1e9 / bits;
+}
+
+/// Goodput in Gbps when forwarding `pps` frames of `bytes` size
+/// (payload bits only, matching how the paper reports bandwidth).
+[[nodiscard]] constexpr double goodput_gbps(double pps, std::uint32_t bytes) noexcept {
+  return pps * static_cast<double>(bytes) * 8.0 / 1e9;
+}
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+}  // namespace ipipe

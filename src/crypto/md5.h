@@ -1,0 +1,39 @@
+// MD5 (RFC 1321), incremental API.  Functional model for the SmartNIC MD5
+// accelerator characterized in Table 3 (§2.2.3: "the MD5/AES engine is
+// 7.0X/2.5X faster than the one on the host server").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ipipe::crypto {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// Hex string of a digest (lower-case), for tests and logging.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> digest);
+
+}  // namespace ipipe::crypto

@@ -1,0 +1,185 @@
+// Actor programming model (§3.1).
+//
+// An actor is a computation agent with self-contained private state
+// (held in DMOs) and a mailbox of asynchronous messages.  Application
+// code subclasses Actor and implements init()/handle() against the
+// ActorEnv service interface, which works identically whether the actor
+// is currently placed on the SmartNIC or on the host — placement is the
+// scheduler's business, not the application's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "ipipe/dmo.h"
+#include "netsim/packet.h"
+#include "nic/accelerator.h"
+
+namespace ipipe {
+
+using netsim::ActorId;
+using netsim::NodeId;
+
+class ActorEnv;
+
+/// Base class for application actors.
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  /// State initialization (the paper's init_handler).  Runs once at
+  /// registration, on the actor's initial side.
+  virtual void init(ActorEnv& /*env*/) {}
+
+  /// Message execution (the paper's exec_handler).  Run-to-completion;
+  /// all cost must be charged through `env`.
+  virtual void handle(ActorEnv& env, const netsim::Packet& req) = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ActorId id() const noexcept { return id_; }
+
+  /// Hint: bytes of private state to reserve as the DMO region
+  /// (the runtime creates "large equal-sized chunks" per actor, §3.3).
+  [[nodiscard]] virtual std::uint64_t region_bytes() const { return 8 * MiB; }
+
+  /// Pin this actor to the host (e.g. actors needing persistent storage:
+  /// SSTable reader/compactor, transaction logger).
+  [[nodiscard]] virtual bool host_pinned() const { return false; }
+
+ private:
+  friend class Runtime;
+  std::string name_;
+  ActorId id_ = 0;
+};
+
+/// Services available to a running actor handler.  Implementations exist
+/// for NIC-side and host-side execution; cost hooks resolve against the
+/// local memory hierarchy / clock of wherever the actor currently runs.
+class ActorEnv {
+ public:
+  virtual ~ActorEnv() = default;
+
+  // ---- placement & time -------------------------------------------------
+  [[nodiscard]] virtual Ns now() const = 0;
+  [[nodiscard]] virtual bool on_nic() const = 0;
+  [[nodiscard]] virtual ActorId self() const = 0;
+  [[nodiscard]] virtual NodeId node() const = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  // ---- cost charging ------------------------------------------------------
+  /// Raw simulated time.
+  virtual void charge(Ns t) = 0;
+  /// Abstract compute work; converted by the local core model (a wimpy
+  /// NIC core is ~5x slower per unit than a beefy host core).
+  virtual void compute(double units) = 0;
+  /// `n` dependent random accesses within a working set of `ws` bytes.
+  virtual void mem(std::uint64_t ws, std::uint64_t n) = 0;
+  /// Sequential touch of `bytes` within a working set.
+  virtual void stream(std::uint64_t ws, std::uint64_t bytes) = 0;
+  /// Domain-specific accelerator batch; on the host this falls back to a
+  /// (slower) software implementation.
+  virtual void accel(nic::AccelKind kind, std::uint32_t bytes,
+                     std::uint32_t batch) = 0;
+
+  // ---- messaging -----------------------------------------------------------
+  /// Send a message to an actor on another node (through the wire).
+  virtual void send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
+                    std::vector<std::uint8_t> payload,
+                    std::uint32_t frame_size = 0) = 0;
+  /// Reply to the client/peer that sent `req`.
+  virtual void reply(const netsim::Packet& req, std::uint16_t type,
+                     std::vector<std::uint8_t> payload,
+                     std::uint32_t frame_size = 0) = 0;
+  /// Asynchronous message to an actor on this node (possibly across PCIe).
+  virtual void local_send(ActorId dst_actor, std::uint16_t type,
+                          std::vector<std::uint8_t> payload) = 0;
+
+  // ---- distributed memory objects ------------------------------------------
+  /// All DMO calls are owner-checked against self() and charge memory
+  /// cost automatically.  Failed checks trap (§3.4) and return failure.
+  [[nodiscard]] virtual ObjId dmo_alloc(std::uint32_t size) = 0;
+  virtual bool dmo_free(ObjId id) = 0;
+  [[nodiscard]] virtual bool dmo_read(ObjId id, std::uint32_t off,
+                                      std::span<std::uint8_t> out) = 0;
+  virtual bool dmo_write(ObjId id, std::uint32_t off,
+                         std::span<const std::uint8_t> in) = 0;
+  virtual bool dmo_memset(ObjId id, std::uint8_t value, std::uint32_t off,
+                          std::uint32_t len) = 0;
+  [[nodiscard]] virtual std::uint32_t dmo_size(ObjId id) const = 0;
+  /// Current working set of this actor's live objects.
+  [[nodiscard]] virtual std::uint64_t working_set() const = 0;
+
+  // ---- typed DMO convenience helpers -------------------------------------
+  template <typename T>
+  [[nodiscard]] ObjId dmo_alloc_typed() {
+    return dmo_alloc(sizeof(T));
+  }
+  template <typename T>
+  [[nodiscard]] bool dmo_get(ObjId id, T& out) {
+    return dmo_read(id, 0, std::span<std::uint8_t>(
+                               reinterpret_cast<std::uint8_t*>(&out), sizeof(T)));
+  }
+  template <typename T>
+  bool dmo_put(ObjId id, const T& value) {
+    return dmo_write(id, 0,
+                     std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)));
+  }
+};
+
+/// Runtime-side control block for a registered actor (scheduler state,
+/// §3.2 bookkeeping).
+enum class ActorLoc : std::uint8_t { kNic, kHost };
+
+enum class MigState : std::uint8_t {
+  kStable,
+  kPrepare,  ///< removed from dispatch; requests buffered
+  kReady,    ///< drained current executions/mailbox
+  kGone,     ///< objects moved; peer side owns the actor
+  kClean,    ///< buffered requests forwarded; migration complete
+};
+
+struct ActorControl {
+  Actor* actor = nullptr;
+  ActorId id = 0;
+  ActorLoc loc = ActorLoc::kNic;
+  bool is_drr = false;
+  bool killed = false;
+
+  std::deque<netsim::PacketPtr> mailbox;  ///< DRR mailbox / host queue
+  double deficit_ns = 0.0;                ///< DRR deficit counter
+
+  EwmaMeanStd latency;    ///< request latency incl. queueing (µi, σi)
+  EwmaMeanStd exec_cost;  ///< pure execution cost (DRR eligibility, load)
+  Ewma req_size{0.2};
+  Ewma interarrival_ns{0.2};  ///< for invocation-frequency estimates
+  Ns last_arrival = 0;
+  std::uint64_t requests = 0;
+
+  MigState mig = MigState::kStable;
+  std::deque<netsim::PacketPtr> mig_buffer;  ///< buffered during migration
+  Ns mig_phase_started = 0;
+  std::array<Ns, 4> mig_phase_ns{};  ///< per-phase elapsed (Fig. 18)
+  std::uint64_t migrations = 0;
+
+  /// Dispersion measure used for downgrade/upgrade decisions (§3.2.3).
+  [[nodiscard]] double dispersion() const noexcept { return latency.tail(); }
+  /// Load = mean execution latency scaled by invocation frequency.
+  [[nodiscard]] double load() const noexcept {
+    const double gap = interarrival_ns.seeded() ? interarrival_ns.value() : 1e9;
+    return exec_cost.mean() / std::max(gap, 1.0);
+  }
+};
+
+}  // namespace ipipe

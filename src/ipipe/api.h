@@ -1,0 +1,98 @@
+// iPipe public API facade — the paper's Table 4 names mapped onto the
+// library types.  Application code can use either these free functions or
+// the object interfaces directly (Runtime / ActorEnv); the facade exists
+// so code written against the paper's API reads one-to-one:
+//
+//   ipipe::api::actor_register(rt, std::make_unique<MyActor>());
+//   ipipe::api::dmo_malloc(env, 1024);
+//   ipipe::api::msg_write(rt, msg);        // host -> NIC ring
+//   ipipe::api::nstack_send(env, req, ...) // reply via the NIC stack
+#pragma once
+
+#include <memory>
+
+#include "ipipe/actor.h"
+#include "ipipe/channel.h"
+#include "ipipe/runtime.h"
+
+namespace ipipe::api {
+
+// ---- Actor management (Table 4, "Actor") ----------------------------------
+
+/// actor_create + actor_register + actor_init: hand an actor to the
+/// runtime; its init_handler runs immediately.
+inline ActorId actor_register(Runtime& rt, std::unique_ptr<Actor> actor,
+                              ActorLoc initial = ActorLoc::kNic) {
+  return rt.register_actor(std::move(actor), initial);
+}
+
+/// actor_delete: remove the actor and free its resources.
+inline void actor_delete(Runtime& rt, ActorId id) { rt.delete_actor(id); }
+
+/// actor_migrate: move an actor to the other side of PCIe (the scheduler
+/// also does this autonomously).
+inline bool actor_migrate(Runtime& rt, ActorId id, ActorLoc to) {
+  return rt.start_migration(id, to);
+}
+
+// ---- Distributed memory objects (Table 4, "DMO") ---------------------------
+
+/// dmo_malloc: allocate an object in the calling actor's region.
+inline ObjId dmo_malloc(ActorEnv& env, std::uint32_t size) {
+  return env.dmo_alloc(size);
+}
+
+/// dmo_free.
+inline bool dmo_free(ActorEnv& env, ObjId id) { return env.dmo_free(id); }
+
+/// dmo_mmset: fill a range of an object.
+inline bool dmo_mmset(ActorEnv& env, ObjId id, std::uint8_t value,
+                      std::uint32_t off, std::uint32_t len) {
+  return env.dmo_memset(id, value, off, len);
+}
+
+/// dmo_mmcpy: copy between an object and actor-local scratch.
+inline bool dmo_mmcpy_in(ActorEnv& env, ObjId dst, std::uint32_t off,
+                         std::span<const std::uint8_t> src) {
+  return env.dmo_write(dst, off, src);
+}
+inline bool dmo_mmcpy_out(ActorEnv& env, ObjId src, std::uint32_t off,
+                          std::span<std::uint8_t> dst) {
+  return env.dmo_read(src, off, dst);
+}
+
+/// dmo_migrate: move one object to the other side.
+inline bool dmo_migrate(Runtime& rt, ActorId owner, ObjId id, MemSide to) {
+  return rt.objects().migrate(owner, id, to) == DmoStatus::kOk;
+}
+
+// ---- Message rings (Table 4, "MSG") -----------------------------------------
+
+/// msg_write: enqueue a message toward the other side of PCIe.
+inline bool msg_write(Runtime& rt, const ChannelMsg& msg, bool from_nic) {
+  return (from_nic ? rt.channel().nic_send(msg) : rt.channel().host_send(msg))
+      .has_value();
+}
+
+/// msg_read: poll the receive ring.
+inline std::optional<ChannelMsg> msg_read(Runtime& rt, bool on_nic) {
+  return on_nic ? rt.channel().nic_poll() : rt.channel().host_poll();
+}
+
+// ---- Networking stack (Table 4, "Nstack") ----------------------------------
+
+/// nstack_send: transmit a message to an actor on another node.
+inline void nstack_send(ActorEnv& env, NodeId dst_node, ActorId dst_actor,
+                        std::uint16_t type, std::vector<std::uint8_t> payload,
+                        std::uint32_t frame_size = 0) {
+  env.send(dst_node, dst_actor, type, std::move(payload), frame_size);
+}
+
+/// Reply helper (build the response header from the request WQE).
+inline void nstack_reply(ActorEnv& env, const netsim::Packet& req,
+                         std::uint16_t type, std::vector<std::uint8_t> payload,
+                         std::uint32_t frame_size = 0) {
+  env.reply(req, type, std::move(payload), frame_size);
+}
+
+}  // namespace ipipe::api

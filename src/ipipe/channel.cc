@@ -1,0 +1,229 @@
+#include "ipipe/channel.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/crc32.h"
+
+namespace ipipe {
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::span<const std::uint8_t> in, std::size_t& off,
+                       T& value) {
+  if (off + sizeof(T) > in.size()) return false;
+  std::memcpy(&value, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+ChannelMsg ChannelMsg::from_packet(const netsim::Packet& pkt) {
+  ChannelMsg msg;
+  msg.dst_actor = pkt.dst_actor;
+  msg.src_actor = pkt.src_actor;
+  msg.msg_type = pkt.msg_type;
+  msg.src_node = pkt.src;
+  msg.dst_node = pkt.dst;
+  msg.flow = pkt.flow;
+  msg.request_id = pkt.request_id;
+  msg.created_at = pkt.created_at;
+  msg.frame_size = pkt.frame_size;
+  msg.payload = pkt.payload;
+  return msg;
+}
+
+netsim::PacketPtr ChannelMsg::to_packet() const {
+  auto pkt = std::make_unique<netsim::Packet>();
+  pkt->dst_actor = dst_actor;
+  pkt->src_actor = src_actor;
+  pkt->msg_type = msg_type;
+  pkt->src = src_node;
+  pkt->dst = dst_node;
+  pkt->flow = flow;
+  pkt->request_id = request_id;
+  pkt->created_at = created_at;
+  pkt->frame_size = frame_size;
+  pkt->payload = payload;
+  return pkt;
+}
+
+std::vector<std::uint8_t> serialize(const ChannelMsg& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(ChannelMsg::kHeaderBytes + msg.payload.size());
+  put(out, msg.dst_actor);
+  put(out, msg.src_actor);
+  put(out, msg.msg_type);
+  put(out, msg.flags);
+  put(out, msg.src_node);
+  put(out, msg.dst_node);
+  put(out, msg.flow);
+  put(out, msg.request_id);
+  put(out, msg.created_at);
+  put(out, msg.frame_size);
+  put(out, static_cast<std::uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+std::optional<ChannelMsg> parse_msg(std::span<const std::uint8_t> bytes) {
+  ChannelMsg msg;
+  std::size_t off = 0;
+  std::uint32_t payload_len = 0;
+  if (!get(bytes, off, msg.dst_actor) || !get(bytes, off, msg.src_actor) ||
+      !get(bytes, off, msg.msg_type) ||
+      !get(bytes, off, msg.flags) || !get(bytes, off, msg.src_node) ||
+      !get(bytes, off, msg.dst_node) || !get(bytes, off, msg.flow) ||
+      !get(bytes, off, msg.request_id) || !get(bytes, off, msg.created_at) ||
+      !get(bytes, off, msg.frame_size) || !get(bytes, off, payload_len)) {
+    return std::nullopt;
+  }
+  if (off + payload_len > bytes.size()) return std::nullopt;
+  msg.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(off + payload_len));
+  return msg;
+}
+
+ChannelRing::ChannelRing(std::size_t capacity) : buf_(capacity, 0) {}
+
+std::size_t ChannelRing::producer_free() const noexcept {
+  return buf_.size() - (write_pos_ - acked_read_pos_);
+}
+
+void ChannelRing::write_bytes(std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    buf_[write_pos_ % buf_.size()] = b;
+    ++write_pos_;
+  }
+}
+
+void ChannelRing::read_bytes(std::span<std::uint8_t> out) {
+  for (auto& b : out) {
+    b = buf_[read_pos_ % buf_.size()];
+    ++read_pos_;
+  }
+}
+
+bool ChannelRing::push(std::span<const std::uint8_t> body) {
+  const std::size_t frame = 8 + body.size();  // [len u32][crc u32][body]
+  if (frame > producer_free()) return false;
+
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t crc = crypto::crc32(body);
+  std::uint8_t hdr[8];
+  std::memcpy(hdr, &len, 4);
+  std::memcpy(hdr + 4, &crc, 4);
+  write_bytes(hdr);
+  write_bytes(body);
+  ++pushed_;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> ChannelRing::pop(bool* corrupt) {
+  if (corrupt) *corrupt = false;
+  if (write_pos_ - read_pos_ < 8) return std::nullopt;
+
+  std::uint8_t hdr[8];
+  read_bytes(hdr);
+  std::uint32_t len;
+  std::uint32_t crc;
+  std::memcpy(&len, hdr, 4);
+  std::memcpy(&crc, hdr + 4, 4);
+  assert(write_pos_ - read_pos_ >= len && "framing invariant violated");
+
+  std::vector<std::uint8_t> body(len);
+  read_bytes(body);
+  consumed_unacked_ += 8 + len;
+  ++popped_;
+
+  if (crypto::crc32(body) != crc) {
+    ++crc_failures_;
+    if (corrupt) *corrupt = true;
+    return std::nullopt;
+  }
+  return body;
+}
+
+void ChannelRing::ack() {
+  acked_read_pos_ = read_pos_;
+  consumed_unacked_ = 0;
+}
+
+MessageChannel::MessageChannel(sim::Simulation& sim, nic::DmaEngine& dma,
+                               std::size_t ring_bytes)
+    : sim_(sim), dma_(dma), to_host_(ring_bytes), to_nic_(ring_bytes) {}
+
+std::optional<Ns> MessageChannel::send(ChannelRing& ring,
+                                       std::deque<Pending>& vis,
+                                       const ChannelMsg& msg,
+                                       std::function<void()>* notify) {
+  const auto body = serialize(msg);
+  if (!ring.push(body)) {
+    ++send_failures_;
+    return std::nullopt;
+  }
+  // The message body crosses PCIe as one non-blocking DMA write; it is
+  // only poppable on the far side once the transfer completes.
+  const Ns post = dma_.nonblocking_write(
+      static_cast<std::uint32_t>(body.size() + 8), nullptr);
+  const Ns visible = sim_.now() + dma_.blocking_write_latency(
+                                      static_cast<std::uint32_t>(body.size() + 8));
+  vis.push_back(Pending{visible});
+  // Always schedule the visibility edge so pollers (and tests) running the
+  // event loop observe the message without an external timer.
+  sim_.schedule_at(visible, [notify] {
+    if (notify != nullptr && *notify) (*notify)();
+  });
+  return post;
+}
+
+std::optional<ChannelMsg> MessageChannel::poll(ChannelRing& ring,
+                                               std::deque<Pending>& vis) {
+  if (vis.empty() || vis.front().visible_at > sim_.now()) return std::nullopt;
+
+  bool corrupt = false;
+  auto body = ring.pop(&corrupt);
+  // Lazy header-pointer sync back to the producer.
+  if (ring.unacked() > ring.capacity() / 2) ring.ack();
+  if (!body) {
+    if (corrupt) vis.pop_front();  // the frame was consumed and discarded
+    return std::nullopt;
+  }
+  vis.pop_front();
+  return parse_msg(*body);
+}
+
+std::optional<Ns> MessageChannel::nic_send(const ChannelMsg& msg) {
+  return send(to_host_, to_host_visibility_, msg, &host_notify_);
+}
+
+std::optional<Ns> MessageChannel::host_send(const ChannelMsg& msg) {
+  return send(to_nic_, to_nic_visibility_, msg, &nic_notify_);
+}
+
+std::optional<ChannelMsg> MessageChannel::host_poll() {
+  return poll(to_host_, to_host_visibility_);
+}
+
+std::optional<ChannelMsg> MessageChannel::nic_poll() {
+  return poll(to_nic_, to_nic_visibility_);
+}
+
+bool MessageChannel::host_has_data() const noexcept {
+  return !to_host_visibility_.empty() &&
+         to_host_visibility_.front().visible_at <= sim_.now();
+}
+
+bool MessageChannel::nic_has_data() const noexcept {
+  return !to_nic_visibility_.empty() &&
+         to_nic_visibility_.front().visible_at <= sim_.now();
+}
+
+}  // namespace ipipe

@@ -1,0 +1,257 @@
+#include "ipipe/dmo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ipipe {
+namespace {
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) noexcept {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+RegionAllocator::RegionAllocator(std::uint64_t base, std::uint64_t size)
+    : base_(base), size_(size) {
+  free_blocks_[base] = size;
+}
+
+std::optional<std::uint64_t> RegionAllocator::alloc(std::uint64_t size,
+                                                    std::uint64_t align) {
+  if (size == 0) size = 1;
+  const std::uint64_t need = align_up(size, align);
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    const std::uint64_t addr = it->first;
+    const std::uint64_t block = it->second;
+    const std::uint64_t aligned = align_up(addr, align);
+    const std::uint64_t slack = aligned - addr;
+    if (block < slack + need) continue;
+
+    free_blocks_.erase(it);
+    if (slack > 0) free_blocks_[addr] = slack;
+    const std::uint64_t rest = block - slack - need;
+    if (rest > 0) free_blocks_[aligned + need] = rest;
+
+    live_[aligned] = need;
+    used_ += need;
+    return aligned;
+  }
+  return std::nullopt;
+}
+
+bool RegionAllocator::free(std::uint64_t addr) {
+  const auto it = live_.find(addr);
+  if (it == live_.end()) return false;
+  std::uint64_t size = it->second;
+  live_.erase(it);
+  used_ -= size;
+
+  // Coalesce with the following block.
+  auto next = free_blocks_.lower_bound(addr);
+  if (next != free_blocks_.end() && addr + size == next->first) {
+    size += next->second;
+    next = free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding block.
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      prev->second += size;
+      return true;
+    }
+  }
+  free_blocks_[addr] = size;
+  return true;
+}
+
+std::uint64_t RegionAllocator::largest_free_block() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [addr, size] : free_blocks_) {
+    (void)addr;
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+void ObjectTable::register_actor(ActorId actor, std::uint64_t region_bytes) {
+  if (regions_.contains(actor)) return;
+  const std::uint64_t nic_base = next_region_base_;
+  const std::uint64_t host_base = next_region_base_ + 0xfc00000000ULL;
+  next_region_base_ += align_up(region_bytes, 1 << 20) + (1 << 20);
+  regions_.emplace(actor, ActorRegion{RegionAllocator(nic_base, region_bytes),
+                                      RegionAllocator(host_base, region_bytes),
+                                      {}});
+}
+
+void ObjectTable::deregister_actor(ActorId actor) {
+  const auto it = regions_.find(actor);
+  if (it == regions_.end()) return;
+  for (const ObjId id : it->second.objects) objects_.erase(id);
+  regions_.erase(it);
+}
+
+bool ObjectTable::actor_registered(ActorId actor) const noexcept {
+  return regions_.contains(actor);
+}
+
+DmoStatus ObjectTable::alloc(ActorId actor, std::uint32_t size, MemSide side,
+                             ObjId& out_id) {
+  out_id = kInvalidObj;
+  const auto it = regions_.find(actor);
+  if (it == regions_.end()) return DmoStatus::kWrongOwner;
+  auto addr = allocator(it->second, side).alloc(size);
+  if (!addr) return DmoStatus::kNoMemory;
+
+  const ObjId id = next_id_++;
+  DmoRecord rec;
+  rec.id = id;
+  rec.owner = actor;
+  rec.addr = *addr;
+  rec.size = size;
+  rec.side = side;
+  rec.data.assign(size, 0);
+  objects_.emplace(id, std::move(rec));
+  it->second.objects.push_back(id);
+  out_id = id;
+  return DmoStatus::kOk;
+}
+
+DmoStatus ObjectTable::free(ActorId actor, ObjId id) {
+  DmoRecord* rec = find_mut(id);
+  if (rec == nullptr) return DmoStatus::kNoSuchObject;
+  if (rec->owner != actor) {
+    ++traps_;
+    return DmoStatus::kWrongOwner;
+  }
+  const auto region_it = regions_.find(actor);
+  assert(region_it != regions_.end());
+  allocator(region_it->second, rec->side).free(rec->addr);
+  auto& objs = region_it->second.objects;
+  objs.erase(std::remove(objs.begin(), objs.end(), id), objs.end());
+  objects_.erase(id);
+  return DmoStatus::kOk;
+}
+
+DmoStatus ObjectTable::read(ActorId actor, ObjId id, std::uint32_t offset,
+                            std::span<std::uint8_t> out) const {
+  const DmoRecord* rec = find(id);
+  if (rec == nullptr) return DmoStatus::kNoSuchObject;
+  if (rec->owner != actor) {
+    ++traps_;
+    return DmoStatus::kWrongOwner;
+  }
+  if (offset + out.size() > rec->size) {
+    ++traps_;
+    return DmoStatus::kOutOfBounds;
+  }
+  std::memcpy(out.data(), rec->data.data() + offset, out.size());
+  return DmoStatus::kOk;
+}
+
+DmoStatus ObjectTable::write(ActorId actor, ObjId id, std::uint32_t offset,
+                             std::span<const std::uint8_t> in) {
+  DmoRecord* rec = find_mut(id);
+  if (rec == nullptr) return DmoStatus::kNoSuchObject;
+  if (rec->owner != actor) {
+    ++traps_;
+    return DmoStatus::kWrongOwner;
+  }
+  if (offset + in.size() > rec->size) {
+    ++traps_;
+    return DmoStatus::kOutOfBounds;
+  }
+  std::memcpy(rec->data.data() + offset, in.data(), in.size());
+  return DmoStatus::kOk;
+}
+
+DmoStatus ObjectTable::memset(ActorId actor, ObjId id, std::uint8_t value,
+                              std::uint32_t offset, std::uint32_t len) {
+  DmoRecord* rec = find_mut(id);
+  if (rec == nullptr) return DmoStatus::kNoSuchObject;
+  if (rec->owner != actor) {
+    ++traps_;
+    return DmoStatus::kWrongOwner;
+  }
+  if (offset + len > rec->size) {
+    ++traps_;
+    return DmoStatus::kOutOfBounds;
+  }
+  std::memset(rec->data.data() + offset, value, len);
+  return DmoStatus::kOk;
+}
+
+DmoStatus ObjectTable::memcpy_obj(ActorId actor, ObjId dst, std::uint32_t dst_off,
+                                  ObjId src, std::uint32_t src_off,
+                                  std::uint32_t len) {
+  std::vector<std::uint8_t> tmp(len);
+  if (const auto st = read(actor, src, src_off, tmp); st != DmoStatus::kOk)
+    return st;
+  return write(actor, dst, dst_off, tmp);
+}
+
+DmoStatus ObjectTable::migrate(ActorId actor, ObjId id, MemSide to) {
+  DmoRecord* rec = find_mut(id);
+  if (rec == nullptr) return DmoStatus::kNoSuchObject;
+  if (rec->owner != actor) {
+    ++traps_;
+    return DmoStatus::kWrongOwner;
+  }
+  if (rec->side == to) return DmoStatus::kOk;
+
+  const auto region_it = regions_.find(actor);
+  assert(region_it != regions_.end());
+  auto new_addr = allocator(region_it->second, to).alloc(rec->size);
+  if (!new_addr) return DmoStatus::kNoMemory;
+  allocator(region_it->second, rec->side).free(rec->addr);
+  rec->addr = *new_addr;
+  rec->side = to;
+  return DmoStatus::kOk;
+}
+
+std::uint64_t ObjectTable::migrate_all(ActorId actor, MemSide to) {
+  const auto region_it = regions_.find(actor);
+  if (region_it == regions_.end()) return 0;
+  std::uint64_t moved = 0;
+  for (const ObjId id : region_it->second.objects) {
+    DmoRecord* rec = find_mut(id);
+    if (rec == nullptr || rec->side == to) continue;
+    if (migrate(actor, id, to) == DmoStatus::kOk) moved += rec->size;
+  }
+  return moved;
+}
+
+const DmoRecord* ObjectTable::find(ObjId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+DmoRecord* ObjectTable::find_mut(ObjId id) {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t ObjectTable::actor_bytes(ActorId actor, MemSide side) const {
+  const auto it = regions_.find(actor);
+  if (it == regions_.end()) return 0;
+  const auto& region = it->second;
+  return side == MemSide::kNic ? region.nic_alloc.bytes_used()
+                               : region.host_alloc.bytes_used();
+}
+
+std::uint64_t ObjectTable::actor_object_count(ActorId actor) const {
+  const auto it = regions_.find(actor);
+  return it == regions_.end() ? 0 : it->second.objects.size();
+}
+
+std::uint64_t ObjectTable::working_set(ActorId actor) const {
+  // O(1): the allocators track used bytes per side.  (Padded allocation
+  // sizes slightly overstate the working set; irrelevant for cost
+  // modeling.)  This runs on every DMO access, so it must stay cheap.
+  const auto it = regions_.find(actor);
+  if (it == regions_.end()) return 0;
+  return it->second.nic_alloc.bytes_used() + it->second.host_alloc.bytes_used();
+}
+
+}  // namespace ipipe

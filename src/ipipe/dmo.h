@@ -1,0 +1,149 @@
+// Distributed Memory Objects (DMO), §3.3.
+//
+// A DMO is a contiguous, actor-private buffer addressed by *object id*
+// rather than pointer, so the runtime can move it between NIC and host
+// without invalidating the actor's state.  Each registered actor owns a
+// fixed-size memory region on each side; objects are carved out of the
+// owning region by a real first-fit free-list allocator (standing in for
+// the firmware's dlmalloc2), so capacity pressure and fragmentation are
+// genuine.  Object payloads are real bytes: applications store skip-list
+// nodes, hash buckets and log entries in them.
+//
+// Isolation (§3.4): every access is checked against the owning actor and
+// object bounds; violations raise a trap that the runtime turns into
+// actor deregistration (the paper's TLB-trap path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.h"
+
+namespace ipipe {
+
+using ObjId = std::uint64_t;
+constexpr ObjId kInvalidObj = 0;
+
+using netsim::ActorId;
+
+enum class MemSide : std::uint8_t { kNic = 0, kHost = 1 };
+
+/// First-fit free-list allocator with immediate coalescing over a
+/// simulated address range.
+class RegionAllocator {
+ public:
+  RegionAllocator(std::uint64_t base, std::uint64_t size);
+
+  /// Returns the allocated address or nullopt when no block fits.
+  [[nodiscard]] std::optional<std::uint64_t> alloc(std::uint64_t size,
+                                                   std::uint64_t align = 16);
+  /// Frees a previous allocation; returns false for unknown addresses.
+  bool free(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t bytes_used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t bytes_free() const noexcept { return size_ - used_; }
+  [[nodiscard]] std::uint64_t region_base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t region_size() const noexcept { return size_; }
+  /// Largest single allocatable block (external fragmentation probe).
+  [[nodiscard]] std::uint64_t largest_free_block() const noexcept;
+  [[nodiscard]] std::size_t free_block_count() const noexcept {
+    return free_blocks_.size();
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t size_;
+  std::uint64_t used_ = 0;
+  std::map<std::uint64_t, std::uint64_t> free_blocks_;  // addr -> size
+  std::unordered_map<std::uint64_t, std::uint64_t> live_;  // addr -> padded size
+};
+
+/// Outcome of a checked DMO access.
+enum class DmoStatus {
+  kOk,
+  kNoSuchObject,
+  kWrongOwner,   ///< isolation trap: touching another actor's object
+  kOutOfBounds,  ///< isolation trap: past the end of the object
+  kNoMemory,     ///< region exhausted (the paper: "DMO allocation fails")
+  kWrongSide,    ///< object currently lives on the other side of PCIe
+};
+
+struct DmoRecord {
+  ObjId id = kInvalidObj;
+  ActorId owner = 0;
+  std::uint64_t addr = 0;  ///< simulated address within the owner's region
+  std::uint32_t size = 0;
+  MemSide side = MemSide::kNic;
+  std::vector<std::uint8_t> data;  ///< real payload bytes
+};
+
+/// Object table (one logical table spanning both sides, with per-object
+/// location, Figure 12-a).  The runtime consults `side` to decide
+/// whether an access is local; actors never observe raw addresses.
+class ObjectTable {
+ public:
+  /// Register an actor with a `region_bytes` private region on `side`.
+  /// Each actor's region exists independently on both sides so objects
+  /// can migrate; capacity is tracked per (actor, side).
+  void register_actor(ActorId actor, std::uint64_t region_bytes);
+  void deregister_actor(ActorId actor);
+  [[nodiscard]] bool actor_registered(ActorId actor) const noexcept;
+
+  /// dmo_malloc: allocate `size` bytes for `actor` on `side`.
+  [[nodiscard]] DmoStatus alloc(ActorId actor, std::uint32_t size, MemSide side,
+                                ObjId& out_id);
+  /// dmo_free.
+  DmoStatus free(ActorId actor, ObjId id);
+
+  /// Checked read/write (dmo_memcpy to/from actor scratch).
+  DmoStatus read(ActorId actor, ObjId id, std::uint32_t offset,
+                 std::span<std::uint8_t> out) const;
+  DmoStatus write(ActorId actor, ObjId id, std::uint32_t offset,
+                  std::span<const std::uint8_t> in);
+  /// dmo_memset.
+  DmoStatus memset(ActorId actor, ObjId id, std::uint8_t value,
+                   std::uint32_t offset, std::uint32_t len);
+  /// dmo_memcpy between two objects of the same actor.
+  DmoStatus memcpy_obj(ActorId actor, ObjId dst, std::uint32_t dst_off,
+                       ObjId src, std::uint32_t src_off, std::uint32_t len);
+
+  /// dmo_migrate: move one object to the other side (payload travels with
+  /// it; the caller charges the PCIe time).
+  DmoStatus migrate(ActorId actor, ObjId id, MemSide to);
+
+  /// Move *all* of an actor's objects to `to`; returns total payload
+  /// bytes moved (for migration cost accounting, Fig. 18 phase 3).
+  std::uint64_t migrate_all(ActorId actor, MemSide to);
+
+  [[nodiscard]] const DmoRecord* find(ObjId id) const;
+  [[nodiscard]] std::uint64_t actor_bytes(ActorId actor, MemSide side) const;
+  [[nodiscard]] std::uint64_t actor_object_count(ActorId actor) const;
+  /// Total resident bytes across an actor's live objects (working set).
+  [[nodiscard]] std::uint64_t working_set(ActorId actor) const;
+
+  [[nodiscard]] std::uint64_t traps() const noexcept { return traps_; }
+
+ private:
+  struct ActorRegion {
+    RegionAllocator nic_alloc;
+    RegionAllocator host_alloc;
+    std::vector<ObjId> objects;
+  };
+
+  DmoRecord* find_mut(ObjId id);
+  [[nodiscard]] RegionAllocator& allocator(ActorRegion& region, MemSide side) {
+    return side == MemSide::kNic ? region.nic_alloc : region.host_alloc;
+  }
+
+  std::unordered_map<ActorId, ActorRegion> regions_;
+  std::unordered_map<ObjId, DmoRecord> objects_;
+  ObjId next_id_ = 1;
+  mutable std::uint64_t traps_ = 0;
+  std::uint64_t next_region_base_ = 0x10f0000000ULL;
+};
+
+}  // namespace ipipe

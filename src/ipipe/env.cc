@@ -1,0 +1,171 @@
+#include "ipipe/env.h"
+
+namespace ipipe {
+
+void EnvBase::charge_dmo(std::uint64_t bytes) {
+  const auto& cfg = rt_.config();
+  charge(cfg.dmo_translate_ns);
+  const std::uint64_t ws = std::max<std::uint64_t>(working_set(), 64);
+  mem(ws, 1);
+  if (bytes > 64) stream(ws, bytes);
+}
+
+bool EnvBase::check(DmoStatus status) {
+  switch (status) {
+    case DmoStatus::kOk:
+      return true;
+    case DmoStatus::kWrongOwner:
+    case DmoStatus::kOutOfBounds:
+      // Isolation trap (§3.4): the runtime deregisters the offender.
+      rt_.kill_actor(ac_.id, /*isolation_trap=*/true);
+      return false;
+    default:
+      return false;
+  }
+}
+
+ObjId EnvBase::dmo_alloc(std::uint32_t size) {
+  charge(rt_.config().dmo_translate_ns * 4);  // allocator + table insert
+  ObjId id = kInvalidObj;
+  const auto status = rt_.objects().alloc(ac_.id, size, side(), id);
+  return status == DmoStatus::kOk ? id : kInvalidObj;
+}
+
+bool EnvBase::dmo_free(ObjId id) {
+  charge(rt_.config().dmo_translate_ns * 2);
+  return check(rt_.objects().free(ac_.id, id));
+}
+
+bool EnvBase::dmo_read(ObjId id, std::uint32_t off,
+                       std::span<std::uint8_t> out) {
+  charge_dmo(out.size());
+  return check(rt_.objects().read(ac_.id, id, off, out));
+}
+
+bool EnvBase::dmo_write(ObjId id, std::uint32_t off,
+                        std::span<const std::uint8_t> in) {
+  charge_dmo(in.size());
+  return check(rt_.objects().write(ac_.id, id, off, in));
+}
+
+bool EnvBase::dmo_memset(ObjId id, std::uint8_t value, std::uint32_t off,
+                         std::uint32_t len) {
+  charge_dmo(len);
+  return check(rt_.objects().memset(ac_.id, id, value, off, len));
+}
+
+std::uint32_t EnvBase::dmo_size(ObjId id) const {
+  const DmoRecord* rec = rt_.objects().find(id);
+  return rec != nullptr && rec->owner == ac_.id ? rec->size : 0;
+}
+
+std::uint64_t EnvBase::working_set() const {
+  return rt_.objects().working_set(ac_.id);
+}
+
+netsim::PacketPtr EnvBase::make_packet(NodeId dst, ActorId dst_actor,
+                                       std::uint16_t type,
+                                       std::vector<std::uint8_t> payload,
+                                       std::uint32_t frame_size) {
+  auto pkt = std::make_unique<netsim::Packet>();
+  pkt->src = node();
+  pkt->dst = dst;
+  pkt->dst_actor = dst_actor;
+  pkt->src_actor = ac_.id;
+  pkt->msg_type = type;
+  pkt->flow = dst_actor;
+  pkt->created_at = now();
+  pkt->frame_size = frame_size != 0
+                        ? frame_size
+                        : netsim::frame_for_payload(payload.size());
+  pkt->payload = std::move(payload);
+  return pkt;
+}
+
+// ---------------------------------------------------------------- NicEnv --
+
+void NicEnv::compute(double units) {
+  const auto& nic_cfg = rt_.nic().config();
+  ctx_.charge(static_cast<Ns>(units / (rt_.config().nic_ipc * nic_cfg.freq_ghz)));
+}
+
+void NicEnv::send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
+                  std::vector<std::uint8_t> payload, std::uint32_t frame_size) {
+  auto pkt = make_packet(dst_node, dst_actor, type, std::move(payload),
+                         frame_size);
+  ctx_.charge_nstack(pkt->frame_size);
+  ctx_.tx(std::move(pkt));
+}
+
+void NicEnv::reply(const netsim::Packet& req, std::uint16_t type,
+                   std::vector<std::uint8_t> payload, std::uint32_t frame_size) {
+  auto pkt = make_packet(req.src, req.src_actor, type, std::move(payload),
+                         frame_size);
+  pkt->request_id = req.request_id;
+  pkt->created_at = req.created_at;
+  ctx_.charge_nstack(pkt->frame_size);
+  ctx_.tx(std::move(pkt));
+}
+
+void NicEnv::local_send(ActorId dst_actor, std::uint16_t type,
+                        std::vector<std::uint8_t> payload) {
+  auto pkt = make_packet(node(), dst_actor, type, std::move(payload), 0);
+  charge(rt_.config().channel_handling_ns / 2);
+  Runtime& rt = rt_;
+  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+  ctx_.defer([&rt, shared] {
+    const ActorId dst = (*shared)->dst_actor;
+    rt.deliver_local(dst, std::move(*shared), MemSide::kNic);
+  });
+}
+
+// --------------------------------------------------------------- HostEnv --
+
+void HostEnv::compute(double units) {
+  const auto& host_cfg = rt_.host().config();
+  ctx_.charge(
+      static_cast<Ns>(units / (rt_.config().host_ipc * host_cfg.freq_ghz)));
+}
+
+void HostEnv::accel(nic::AccelKind kind, std::uint32_t bytes,
+                    std::uint32_t batch) {
+  // No engine on the host: software fallback, slower by the per-engine
+  // factor from §2.2.3 (but no invocation overhead amortization games).
+  const Ns hw_cost = rt_.nic().accel().batch_cost(kind, bytes, batch);
+  const double slow =
+      rt_.config().host_accel_slowdown[static_cast<std::size_t>(kind)];
+  ctx_.charge(static_cast<Ns>(static_cast<double>(hw_cost) * slow));
+}
+
+void HostEnv::send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
+                   std::vector<std::uint8_t> payload, std::uint32_t frame_size) {
+  auto pkt = make_packet(dst_node, dst_actor, type, std::move(payload),
+                         frame_size);
+  ctx_.charge_tx(pkt->frame_size);
+  ctx_.tx(std::move(pkt));
+}
+
+void HostEnv::reply(const netsim::Packet& req, std::uint16_t type,
+                    std::vector<std::uint8_t> payload,
+                    std::uint32_t frame_size) {
+  auto pkt = make_packet(req.src, req.src_actor, type, std::move(payload),
+                         frame_size);
+  pkt->request_id = req.request_id;
+  pkt->created_at = req.created_at;
+  ctx_.charge_tx(pkt->frame_size);
+  ctx_.tx(std::move(pkt));
+}
+
+void HostEnv::local_send(ActorId dst_actor, std::uint16_t type,
+                         std::vector<std::uint8_t> payload) {
+  auto pkt = make_packet(node(), dst_actor, type, std::move(payload), 0);
+  charge(rt_.config().channel_handling_ns / 2);
+  Runtime& rt = rt_;
+  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+  ctx_.defer([&rt, shared] {
+    const ActorId dst = (*shared)->dst_actor;
+    rt.deliver_local(dst, std::move(*shared), MemSide::kHost);
+  });
+}
+
+}  // namespace ipipe

@@ -1,0 +1,114 @@
+// ActorEnv implementations for NIC-side and host-side execution.
+//
+// These adapt the generic ActorEnv service interface onto the concrete
+// execution contexts of NicModel / HostModel: cost hooks resolve against
+// the local clock, IPC and cache hierarchy, and messaging routes through
+// the wire, the PCIe channel or the local work queues as appropriate.
+#pragma once
+
+#include "hostsim/host_model.h"
+#include "ipipe/actor.h"
+#include "ipipe/runtime.h"
+#include "nic/nic_model.h"
+
+namespace ipipe {
+
+/// Shared DMO plumbing (owner checks, translation cost, traps).
+class EnvBase : public ActorEnv {
+ public:
+  EnvBase(Runtime& rt, ActorControl& ac) : rt_(rt), ac_(ac) {}
+
+  [[nodiscard]] ActorId self() const override { return ac_.id; }
+  [[nodiscard]] NodeId node() const override { return rt_.nic().node(); }
+  [[nodiscard]] Rng& rng() override { return rt_.rng(); }
+
+  [[nodiscard]] ObjId dmo_alloc(std::uint32_t size) override;
+  bool dmo_free(ObjId id) override;
+  [[nodiscard]] bool dmo_read(ObjId id, std::uint32_t off,
+                              std::span<std::uint8_t> out) override;
+  bool dmo_write(ObjId id, std::uint32_t off,
+                 std::span<const std::uint8_t> in) override;
+  bool dmo_memset(ObjId id, std::uint8_t value, std::uint32_t off,
+                  std::uint32_t len) override;
+  [[nodiscard]] std::uint32_t dmo_size(ObjId id) const override;
+  [[nodiscard]] std::uint64_t working_set() const override;
+
+ protected:
+  /// Charge the DMO translation + memory cost for touching `bytes`.
+  void charge_dmo(std::uint64_t bytes);
+  bool check(DmoStatus status);
+  [[nodiscard]] netsim::PacketPtr make_packet(NodeId dst, ActorId dst_actor,
+                                              std::uint16_t type,
+                                              std::vector<std::uint8_t> payload,
+                                              std::uint32_t frame_size);
+  [[nodiscard]] MemSide side() const {
+    return on_nic() ? MemSide::kNic : MemSide::kHost;
+  }
+
+  Runtime& rt_;
+  ActorControl& ac_;
+};
+
+class NicEnv final : public EnvBase {
+ public:
+  NicEnv(Runtime& rt, ActorControl& ac, nic::NicExecContext& ctx)
+      : EnvBase(rt, ac), ctx_(ctx) {}
+
+  [[nodiscard]] Ns now() const override { return ctx_.now(); }
+  [[nodiscard]] bool on_nic() const override { return true; }
+
+  void charge(Ns t) override { ctx_.charge(t); }
+  void compute(double units) override;
+  void mem(std::uint64_t ws, std::uint64_t n) override { ctx_.mem(ws, n); }
+  void stream(std::uint64_t ws, std::uint64_t bytes) override {
+    ctx_.stream(ws, bytes);
+  }
+  void accel(nic::AccelKind kind, std::uint32_t bytes,
+             std::uint32_t batch) override {
+    ctx_.accel(kind, bytes, batch);
+  }
+
+  void send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
+            std::vector<std::uint8_t> payload,
+            std::uint32_t frame_size) override;
+  void reply(const netsim::Packet& req, std::uint16_t type,
+             std::vector<std::uint8_t> payload,
+             std::uint32_t frame_size) override;
+  void local_send(ActorId dst_actor, std::uint16_t type,
+                  std::vector<std::uint8_t> payload) override;
+
+ private:
+  nic::NicExecContext& ctx_;
+};
+
+class HostEnv final : public EnvBase {
+ public:
+  HostEnv(Runtime& rt, ActorControl& ac, hostsim::HostExecContext& ctx)
+      : EnvBase(rt, ac), ctx_(ctx) {}
+
+  [[nodiscard]] Ns now() const override { return ctx_.now(); }
+  [[nodiscard]] bool on_nic() const override { return false; }
+
+  void charge(Ns t) override { ctx_.charge(t); }
+  void compute(double units) override;
+  void mem(std::uint64_t ws, std::uint64_t n) override { ctx_.mem(ws, n); }
+  void stream(std::uint64_t ws, std::uint64_t bytes) override {
+    ctx_.stream(ws, bytes);
+  }
+  void accel(nic::AccelKind kind, std::uint32_t bytes,
+             std::uint32_t batch) override;
+
+  void send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
+            std::vector<std::uint8_t> payload,
+            std::uint32_t frame_size) override;
+  void reply(const netsim::Packet& req, std::uint16_t type,
+             std::vector<std::uint8_t> payload,
+             std::uint32_t frame_size) override;
+  void local_send(ActorId dst_actor, std::uint16_t type,
+                  std::vector<std::uint8_t> payload) override;
+
+ private:
+  hostsim::HostExecContext& ctx_;
+};
+
+}  // namespace ipipe

@@ -1,0 +1,846 @@
+#include "ipipe/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/logging.h"
+#include "ipipe/env.h"
+
+namespace ipipe {
+namespace detail {
+
+bool NicFw::run_once(nic::NicExecContext& ctx, unsigned core) {
+  return rt_.nic_run_once(ctx, core);
+}
+
+bool HostRt::run_once(hostsim::HostExecContext& ctx, unsigned core) {
+  return rt_.host_run_once(ctx, core);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Zero-cost environment used for actor init handlers at registration.
+class InitEnv final : public EnvBase {
+ public:
+  InitEnv(Runtime& rt, ActorControl& ac) : EnvBase(rt, ac) {}
+
+  [[nodiscard]] Ns now() const override { return rt_.sim().now(); }
+  [[nodiscard]] bool on_nic() const override {
+    return ac_.loc == ActorLoc::kNic;
+  }
+  void charge(Ns) override {}
+  void compute(double) override {}
+  void mem(std::uint64_t, std::uint64_t) override {}
+  void stream(std::uint64_t, std::uint64_t) override {}
+  void accel(nic::AccelKind, std::uint32_t, std::uint32_t) override {}
+  void send(NodeId, ActorId, std::uint16_t, std::vector<std::uint8_t>,
+            std::uint32_t) override {
+    assert(false && "init handlers cannot send network messages");
+  }
+  void reply(const netsim::Packet&, std::uint16_t, std::vector<std::uint8_t>,
+             std::uint32_t) override {
+    assert(false && "init handlers cannot reply");
+  }
+  void local_send(ActorId dst, std::uint16_t type,
+                  std::vector<std::uint8_t> payload) override {
+    auto pkt = make_packet(node(), dst, type, std::move(payload), 0);
+    rt_.deliver_local(dst, std::move(pkt), side());
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// True while requests for this actor must be buffered (migration phases
+/// 1-3).  In kClean (phase 4) the new home is live and dispatch resumes.
+[[nodiscard]] bool buffering(const ActorControl& ac) noexcept {
+  return ac.mig == MigState::kPrepare || ac.mig == MigState::kReady ||
+         ac.mig == MigState::kGone;
+}
+
+}  // namespace
+
+Runtime::Runtime(sim::Simulation& sim, nic::NicModel& nic,
+                 hostsim::HostModel& host, IPipeConfig cfg)
+    : sim_(sim),
+      nic_(nic),
+      host_(host),
+      cfg_(cfg),
+      rng_(0x1B1BEULL),
+      nic_fw_(*this),
+      host_rt_(*this),
+      channel_(sim, nic.dma(), cfg.channel_bytes),
+      roles_(nic.config().cores, CoreRole::kFcfs),
+      busy_snapshot_(nic.config().cores, 0) {
+  channel_.set_host_notify([this] { host_.wake_all(); });
+  channel_.set_nic_notify([this] { nic_.wake_all(); });
+  nic_.set_steer_to_nic([this](const netsim::Packet& pkt) {
+    const auto* ac = control(pkt.dst_actor);
+    return ac != nullptr && !ac->killed && ac->loc == ActorLoc::kNic;
+  });
+  host_.set_runtime(&host_rt_);
+  nic_.set_firmware(&nic_fw_);
+}
+
+Runtime::~Runtime() {
+  nic_.set_firmware(nullptr);
+  host_.set_runtime(nullptr);
+}
+
+// ------------------------------------------------------------ actor mgmt --
+
+ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial) {
+  const ActorId id = next_actor_id_++;
+  actor->id_ = id;
+
+  ActorControl ac;
+  ac.actor = actor.get();
+  ac.id = id;
+  ac.loc = actor->host_pinned() ? ActorLoc::kHost : initial;
+  ac.latency = EwmaMeanStd(0.2);
+  if (cfg_.policy == SchedPolicy::kDrrOnly && ac.loc == ActorLoc::kNic) {
+    ac.is_drr = true;
+  }
+
+  objects_.register_actor(id, actor->region_bytes());
+  auto [it, inserted] = actors_.emplace(id, std::move(ac));
+  assert(inserted);
+  owned_actors_.push_back(std::move(actor));
+
+  InitEnv env(*this, it->second);
+  it->second.actor->init(env);
+
+  if (it->second.is_drr) {
+    drr_queue_.push_back(id);
+    if (drr_cores() == 0) spawn_drr_core();
+  }
+  return id;
+}
+
+void Runtime::delete_actor(ActorId id) {
+  const auto it = actors_.find(id);
+  if (it == actors_.end()) return;
+  objects_.deregister_actor(id);
+  drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), id),
+                   drr_queue_.end());
+  actors_.erase(it);
+}
+
+Actor* Runtime::find_actor(ActorId id) {
+  auto* ac = control(id);
+  return ac != nullptr ? ac->actor : nullptr;
+}
+
+ActorControl* Runtime::control(ActorId id) {
+  const auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : &it->second;
+}
+
+const ActorControl* Runtime::control(ActorId id) const {
+  const auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : &it->second;
+}
+
+void Runtime::kill_actor(ActorId id, bool isolation_trap) {
+  auto* ac = control(id);
+  if (ac == nullptr || ac->killed) return;
+  ac->killed = true;
+  ac->mailbox.clear();
+  ac->mig_buffer.clear();
+  drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), id),
+                   drr_queue_.end());
+  objects_.deregister_actor(id);
+  if (isolation_trap) {
+    ++isolation_kills_;
+  } else {
+    ++watchdog_kills_;
+  }
+  LOG_WARN("actor %u (%s) killed (%s)", id, ac->actor->name().c_str(),
+           isolation_trap ? "isolation trap" : "watchdog timeout");
+}
+
+// ------------------------------------------------------------- migration --
+
+bool Runtime::start_migration(ActorId id, ActorLoc to) {
+  if (migration_.has_value()) return false;
+  auto* ac = control(id);
+  if (ac == nullptr || ac->killed || ac->mig != MigState::kStable ||
+      ac->loc == to) {
+    return false;
+  }
+  if (to == ActorLoc::kNic && ac->actor->host_pinned()) return false;
+
+  // Phase 1 (Prepare): leave the dispatcher; requests buffer from now on.
+  ac->mig = MigState::kPrepare;
+  ac->mig_phase_started = sim_.now();
+  ac->mig_phase_ns = {};
+  if (ac->is_drr) {
+    drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), id),
+                     drr_queue_.end());
+  }
+  migration_ = MigrationOp{id, to, 1, sim_.now(), 0};
+  if (to == ActorLoc::kHost) {
+    ++push_migrations_;
+  } else {
+    ++pull_migrations_;
+  }
+  nic_.wake_core(0);
+  return true;
+}
+
+bool Runtime::advance_migration(nic::NicExecContext& ctx) {
+  assert(migration_.has_value());
+  auto* ac = control(migration_->id);
+  if (ac == nullptr || ac->killed) {
+    migration_.reset();
+    return false;
+  }
+
+  switch (migration_->phase) {
+    case 1: {
+      // Phase 1 -> 2: runtime lock/unlock + dispatcher removal.
+      ctx.charge(cfg_.sched_bookkeeping_ns * 4);
+      ac->mig_phase_ns[0] = sim_.now() - migration_->phase_start;
+      migration_->phase = 2;
+      migration_->phase_start = sim_.now();
+      return true;
+    }
+    case 2: {
+      // Phase 2 (Ready): drain the mailbox — one request per slice.
+      if (!ac->mailbox.empty()) {
+        auto pkt = std::move(ac->mailbox.front());
+        ac->mailbox.pop_front();
+        execute_on_nic(ctx, *ac, std::move(pkt));
+        return true;
+      }
+      ac->mig = MigState::kReady;
+      ac->mig_phase_ns[1] = sim_.now() - migration_->phase_start;
+      migration_->phase = 3;
+      migration_->phase_start = sim_.now();
+      ctx.charge(cfg_.sched_bookkeeping_ns);
+      return true;
+    }
+    case 3: {
+      // Phase 3: move the actor's distributed objects across PCIe.  The
+      // dedicated migration core is occupied for the full transfer.
+      const MemSide to_side = migration_->to == ActorLoc::kHost
+                                  ? MemSide::kHost
+                                  : MemSide::kNic;
+      const std::uint64_t obj_count = objects_.actor_object_count(ac->id);
+      const std::uint64_t bytes = objects_.migrate_all(ac->id, to_side);
+      migration_->bytes = bytes;
+      const Ns xfer = static_cast<Ns>(static_cast<double>(bytes) * 8.0 /
+                                      cfg_.mig_gbps) +
+                      obj_count * cfg_.mig_per_object_ns;
+      ctx.charge(xfer);
+      ac->mig = MigState::kGone;
+      ac->loc = migration_->to;
+      ac->is_drr = false;
+      ac->deficit_ns = 0.0;
+      migration_->phase = 4;
+      ctx.defer([this, id = ac->id] {
+        auto* a = control(id);
+        if (a != nullptr) a->mig_phase_ns[2] = sim_.now() - migration_->phase_start;
+        if (migration_.has_value()) migration_->phase_start = sim_.now();
+      });
+      return true;
+    }
+    case 4: {
+      // Phase 4: the actor is live on its new home (kClean); forward the
+      // buffered requests there.  New arrivals dispatch normally.
+      if (ac->mig == MigState::kGone) ac->mig = MigState::kClean;
+      if (!ac->mig_buffer.empty()) {
+        auto pkt = std::move(ac->mig_buffer.front());
+        ac->mig_buffer.pop_front();
+        ctx.charge(cfg_.channel_handling_ns);
+        if (ac->loc == ActorLoc::kHost) {
+          auto msg = ChannelMsg::from_packet(*pkt);
+          if (const auto cost = channel_.nic_send(msg)) {
+            ctx.charge(*cost);
+          } else {
+            ac->mig_buffer.push_front(std::move(pkt));  // ring full; retry
+          }
+        } else {
+          auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+          ctx.defer([this, shared] { nic_.tm().push(std::move(*shared)); });
+        }
+        return true;
+      }
+      ac->mig_phase_ns[3] = sim_.now() - migration_->phase_start;
+      ac->mig = MigState::kStable;
+      ++ac->migrations;
+      last_migration_end_ = sim_.now();
+      // Reset stats: service times on the new side are different.
+      ac->latency.reset();
+      migration_.reset();
+      ctx.charge(cfg_.sched_bookkeeping_ns);
+      host_.wake_all();
+      return true;
+    }
+    default:
+      migration_.reset();
+      return false;
+  }
+}
+
+// --------------------------------------------------------- NIC scheduling --
+
+bool Runtime::nic_run_once(nic::NicExecContext& ctx, unsigned core) {
+  if (core < roles_.size() && roles_[core] == CoreRole::kDrr) {
+    return drr_run(ctx, core);
+  }
+  return fcfs_run(ctx, core);
+}
+
+bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
+  // Core 0 doubles as the management core (migration, thresholds,
+  // auto-scaling), per §3.2.5.
+  if (core == 0) {
+    if (migration_.has_value()) return advance_migration(ctx);
+    if (sim_.now() - last_mgmt_ >= cfg_.mgmt_period) {
+      if (management_run(ctx)) return true;
+    }
+  }
+
+  if (auto pkt = nic_.tm().pop()) {
+    const auto& nic_cfg = nic_.config();
+    ctx.charge(nic_cfg.has_hw_traffic_manager ? nic_cfg.tm_dequeue_cost
+                                              : nic_cfg.sw_shuffle_cost);
+    // Intra-NIC actor messages re-enter the work queue without paying the
+    // wire RX/TX tax; only frames from the MAC or the host DMA path do.
+    const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
+    if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
+    dispatch_nic(ctx, std::move(pkt));
+    if (cfg_.policy == SchedPolicy::kHybrid && fcfs_stats_.seeded()) {
+      if (fcfs_stats_.tail() > static_cast<double>(cfg_.tail_thresh)) {
+        // Downgrade only on *persistent* violations — transient EWMA
+        // spikes would otherwise flap actors between the groups.
+        if (tail_violation_since_ == 0) {
+          tail_violation_since_ = sim_.now();
+        } else if (sim_.now() - tail_violation_since_ > usec(400)) {
+          maybe_downgrade();
+        }
+      } else {
+        tail_violation_since_ = 0;
+      }
+    }
+    return true;
+  }
+
+  // Nothing on the wire path: serve host->NIC channel messages.
+  if (channel_.nic_has_data()) {
+    if (auto msg = channel_.nic_poll()) {
+      ctx.charge(cfg_.channel_handling_ns);
+      auto pkt = msg->to_packet();
+      pkt->nic_arrival = sim_.now();
+      dispatch_nic(ctx, std::move(pkt));
+      return true;
+    }
+    ctx.charge(cfg_.channel_handling_ns);  // corrupt/incomplete frame
+    return true;
+  }
+
+  if (core == 0) {
+    // Keep the management heartbeat alive while parked.
+    nic_.wake_core_at(0, sim_.now() + cfg_.mgmt_period);
+  }
+  return false;
+}
+
+void Runtime::dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt) {
+  // Transit traffic: frames handed up by the host (or looped through the
+  // TM) that are destined to another node go straight to the wire —
+  // actor ids are node-local and must not be resolved here.
+  if (pkt->dst != nic_.node()) {
+    const Ns response = sim_.now() - pkt->nic_arrival + ctx.consumed();
+    fcfs_stats_.add(static_cast<double>(response));
+    ++fcfs_samples_;
+    ctx.tx(std::move(pkt));
+    return;
+  }
+
+  ActorControl* ac = control(pkt->dst_actor);
+
+  if (pkt->dst_actor == netsim::kForwardOnly || ac == nullptr || ac->killed) {
+    // Plain forwarded traffic: the NIC's basic duty.
+    const Ns response = sim_.now() - pkt->nic_arrival + ctx.consumed();
+    fcfs_stats_.add(static_cast<double>(response));
+    ++fcfs_samples_;
+    if (pkt->from_host) {
+      ctx.tx(std::move(pkt));
+    } else {
+      ctx.to_host(std::move(pkt));
+    }
+    return;
+  }
+
+  // Arrival bookkeeping for load estimates.
+  if (ac->last_arrival != 0) {
+    ac->interarrival_ns.add(static_cast<double>(sim_.now() - ac->last_arrival));
+  }
+  ac->last_arrival = sim_.now();
+  ac->req_size.add(static_cast<double>(pkt->frame_size));
+
+  if (buffering(*ac)) {
+    ac->mig_buffer.push_back(std::move(pkt));
+    return;
+  }
+
+  if (ac->loc == ActorLoc::kHost) {
+    forward_to_host(ctx, std::move(pkt));
+    return;
+  }
+
+  if (ac->is_drr) {
+    ctx.charge(cfg_.sched_bookkeeping_ns);
+    ac->mailbox.push_back(std::move(pkt));
+    wake_drr_cores();
+    return;
+  }
+
+  execute_on_nic(ctx, *ac, std::move(pkt));
+}
+
+void Runtime::execute_on_nic(nic::NicExecContext& ctx, ActorControl& ac,
+                             netsim::PacketPtr pkt) {
+  const Ns queue_delay = sim_.now() - pkt->nic_arrival;
+  const Ns before = ctx.consumed();
+
+  {
+    NicEnv env(*this, ac, ctx);
+    ++requests_on_nic_;
+    ++ac.requests;
+    ac.actor->handle(env, *pkt);
+  }
+
+  const Ns exec = ctx.consumed() - before;
+  const Ns response = queue_delay + exec;
+  ac.latency.add(static_cast<double>(response));
+  ac.exec_cost.add(static_cast<double>(exec));
+  fcfs_stats_.add(static_cast<double>(response));
+  ++fcfs_samples_;
+  response_hist_.add(response);
+  ctx.charge(cfg_.sched_bookkeeping_ns);
+
+  if (exec > cfg_.watchdog_limit) {
+    kill_actor(ac.id, /*isolation_trap=*/false);
+  }
+}
+
+void Runtime::forward_to_host(nic::NicExecContext& ctx, netsim::PacketPtr pkt) {
+  ctx.charge(cfg_.channel_handling_ns);
+  auto msg = ChannelMsg::from_packet(*pkt);
+  if (const auto cost = channel_.nic_send(msg)) {
+    ctx.charge(*cost);
+  } else {
+    // Channel full: fall back to the raw DMA path.
+    ctx.to_host(std::move(pkt));
+  }
+}
+
+void Runtime::maybe_downgrade() {
+  if (cfg_.policy != SchedPolicy::kHybrid) return;
+  // Hysteresis: EWMA estimates need a settling window, and rapid
+  // downgrade/upgrade flapping costs more than it saves.
+  if (fcfs_samples_ < 256 ||
+      sim_.now() - last_policy_change_ < cfg_.mgmt_period * 16) {
+    return;
+  }
+  ActorControl* worst = nullptr;
+  for (auto& [id, ac] : actors_) {
+    (void)id;
+    if (ac.killed || ac.is_drr || ac.loc != ActorLoc::kNic ||
+        ac.mig != MigState::kStable || ac.requests < 64) {
+      continue;
+    }
+    if (worst == nullptr || ac.dispersion() > worst->dispersion()) worst = &ac;
+  }
+  if (worst == nullptr) return;
+  last_policy_change_ = sim_.now();
+  worst->is_drr = true;
+  worst->deficit_ns = 0.0;
+  drr_queue_.push_back(worst->id);
+  ++downgrades_;
+  if (drr_cores() == 0) spawn_drr_core();
+}
+
+void Runtime::maybe_upgrade() {
+  if (cfg_.policy != SchedPolicy::kHybrid) return;
+  if (drr_queue_.empty()) return;
+  if (sim_.now() - last_policy_change_ < cfg_.mgmt_period * 16) return;
+  ActorControl* best = nullptr;
+  for (const ActorId id : drr_queue_) {
+    auto* ac = control(id);
+    if (ac == nullptr || ac->killed || ac->mig != MigState::kStable) continue;
+    if (best == nullptr || ac->dispersion() < best->dispersion()) best = ac;
+  }
+  if (best == nullptr) return;
+  drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), best->id),
+                   drr_queue_.end());
+  best->is_drr = false;
+  ++upgrades_;
+  last_policy_change_ = sim_.now();
+  // Requeue pending mailbox items through the shared queue.
+  while (!best->mailbox.empty()) {
+    nic_.tm().push(std::move(best->mailbox.front()));
+    best->mailbox.pop_front();
+  }
+}
+
+double Runtime::drr_quantum_ns(const ActorControl& ac) const {
+  // Quantum = maximum tolerated forwarding latency for the actor's
+  // average request size (§3.2.2), i.e. the Fig. 4 headroom.
+  const auto& nic_cfg = nic_.config();
+  const double size = ac.req_size.seeded() ? ac.req_size.value() : 512.0;
+  const double pps = line_rate_pps(static_cast<std::uint32_t>(size),
+                                   nic_cfg.link_gbps);
+  const double budget =
+      static_cast<double>(nic_.active_cores()) / pps * 1e9;  // ns
+  const double fwd = static_cast<double>(
+      nic_cfg.forwarding.cost(static_cast<std::uint32_t>(size)));
+  return std::max(1000.0, budget - fwd);
+}
+
+bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
+  (void)core;
+  if (drr_queue_.empty()) return false;
+
+
+  // Round-robin over the runnable queue (ALG 2).  Scanning a round is
+  // cheap relative to request execution, so a free core keeps spinning
+  // rounds — accruing deficits — until some actor becomes eligible;
+  // otherwise DRR would idle cores while queues build (the discipline is
+  // work-conserving by construction).
+  constexpr int kMaxRounds = 128;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool any_pending = false;
+    const std::size_t n = drr_queue_.size();
+    for (std::size_t visited = 0; visited < n; ++visited) {
+      drr_scan_ = (drr_scan_ + 1) % drr_queue_.size();
+      ActorControl* ac = control(drr_queue_[drr_scan_]);
+      if (ac == nullptr || ac->killed) continue;
+      ctx.charge(cfg_.sched_bookkeeping_ns / 4);  // scan cost
+
+      if (ac->mailbox.empty()) {
+        ac->deficit_ns = 0.0;  // ALG 2 lines 15-17
+        continue;
+      }
+      any_pending = true;
+      ac->deficit_ns += drr_quantum_ns(*ac);
+
+      // Eligibility compares the deficit against the *execution* cost —
+      // using response time (which includes queueing) would starve actors
+      // exactly when the queue builds.
+      const double est = ac->exec_cost.seeded() ? ac->exec_cost.mean()
+                                                : drr_quantum_ns(*ac);
+      if (ac->deficit_ns >= est) {
+        auto pkt = std::move(ac->mailbox.front());
+        ac->mailbox.pop_front();
+
+        const Ns before = ctx.consumed();
+        execute_on_nic(ctx, *ac, std::move(pkt));
+        const Ns exec = ctx.consumed() - before;
+        ac->deficit_ns =
+            std::max(0.0, ac->deficit_ns - static_cast<double>(exec));
+
+        if (fcfs_stats_.seeded() &&
+            fcfs_stats_.tail() <
+                (1.0 - cfg_.alpha) * static_cast<double>(cfg_.tail_thresh)) {
+          maybe_upgrade();  // ALG 2 lines 10-12
+        }
+        if (cfg_.enable_migration && ac->mailbox.size() > cfg_.q_thresh &&
+            !migration_.has_value()) {
+          start_migration(ac->id, ActorLoc::kHost);  // ALG 2 lines 18-20
+        }
+        return true;
+      }
+    }
+    if (!any_pending) break;  // all mailboxes empty
+  }
+
+  // No eligible handler work: help drain the shared ingress queue instead
+  // of idling (dedicating a lone FCFS core to dispatch would bottleneck
+  // small-core NICs).
+  if (auto pkt = nic_.tm().pop()) {
+    const auto& nic_cfg = nic_.config();
+    ctx.charge(nic_cfg.has_hw_traffic_manager ? nic_cfg.tm_dequeue_cost
+                                              : nic_cfg.sw_shuffle_cost);
+    const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
+    if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
+    dispatch_nic(ctx, std::move(pkt));
+    return true;
+  }
+  // Park only when there is neither handler nor dispatch work; deficits
+  // carry over to the next slice.
+  for (const ActorId id : drr_queue_) {
+    const auto* ac = control(id);
+    if (ac != nullptr && !ac->mailbox.empty()) return true;
+  }
+  return false;
+}
+
+bool Runtime::management_run(nic::NicExecContext& ctx) {
+  last_mgmt_ = sim_.now();
+  ctx.charge(cfg_.sched_bookkeeping_ns * 2);
+
+  check_autoscale();
+
+  if (!cfg_.enable_migration || migration_.has_value() ||
+      !fcfs_stats_.seeded()) {
+    return false;
+  }
+  // Rate-limit placement changes: EWMA estimates must settle, and
+  // migration thrash (push-pull oscillation) costs far more than a
+  // slightly stale placement.
+  if (fcfs_samples_ < 2000 ||
+      sim_.now() - last_migration_end_ < cfg_.migration_cooldown) {
+    return false;
+  }
+
+  const double mean = fcfs_stats_.mean();
+  if (mean > static_cast<double>(cfg_.mean_thresh)) {
+    // Push migration: evict the NIC actor contributing the highest load.
+    ActorControl* heaviest = nullptr;
+    for (auto& [id, ac] : actors_) {
+      (void)id;
+      if (ac.killed || ac.loc != ActorLoc::kNic ||
+          ac.mig != MigState::kStable || !ac.latency.seeded()) {
+        continue;
+      }
+      if (heaviest == nullptr || ac.load() > heaviest->load()) heaviest = &ac;
+    }
+    if (heaviest != nullptr) return start_migration(heaviest->id, ActorLoc::kHost);
+  } else if (mean < (1.0 - cfg_.alpha) * static_cast<double>(cfg_.mean_thresh) &&
+             fcfs_util_ < 0.6) {
+    // Pull migration: bring back the lightest host actor — only with
+    // genuine CPU headroom on the FCFS cores (§3.2.2).
+    ActorControl* lightest = nullptr;
+    for (auto& [id, ac] : actors_) {
+      (void)id;
+      if (ac.killed || ac.loc != ActorLoc::kHost || ac.actor->host_pinned() ||
+          ac.mig != MigState::kStable) {
+        continue;
+      }
+      if (lightest == nullptr || ac.load() < lightest->load()) lightest = &ac;
+    }
+    if (lightest != nullptr) return start_migration(lightest->id, ActorLoc::kNic);
+  }
+  return false;
+}
+
+void Runtime::check_autoscale() {
+  const Ns now = sim_.now();
+  if (now - last_autoscale_ < cfg_.mgmt_period * 8) return;
+  const Ns window = now - busy_snapshot_at_;
+  if (window == 0) return;
+
+  double fcfs_busy = 0.0;
+  double drr_busy = 0.0;
+  unsigned n_fcfs = 0;
+  unsigned n_drr = 0;
+  for (unsigned i = 0; i < nic_.active_cores(); ++i) {
+    const Ns busy = nic_.core_busy_ns(i) - busy_snapshot_[i];
+    const double util =
+        static_cast<double>(busy) / static_cast<double>(window);
+    if (roles_[i] == CoreRole::kFcfs) {
+      fcfs_busy += util;
+      ++n_fcfs;
+    } else {
+      drr_busy += util;
+      ++n_drr;
+    }
+    busy_snapshot_[i] = nic_.core_busy_ns(i);
+  }
+  busy_snapshot_at_ = now;
+  last_autoscale_ = now;
+
+  const double fcfs_util = n_fcfs > 0 ? fcfs_busy / n_fcfs : 0.0;
+  const double drr_util = n_drr > 0 ? drr_busy / n_drr : 0.0;
+  fcfs_util_ = fcfs_util;
+  drr_util_ = drr_util;
+
+  // §3.2.4: grow the DRR group when it saturates and FCFS can spare a
+  // core; shrink it when it idles.
+  if (n_drr > 0 && drr_util >= 0.95 && n_fcfs > 1 &&
+      fcfs_util < static_cast<double>(n_fcfs - 1) / n_fcfs) {
+    spawn_drr_core();
+  } else if (n_drr > 0 && (drr_queue_.empty() || (drr_util < 0.5 &&
+                                                  fcfs_util > 0.9))) {
+    retire_drr_core();
+  }
+}
+
+void Runtime::spawn_drr_core() {
+  // Convert the highest-indexed FCFS core (never core 0).
+  for (unsigned i = nic_.active_cores(); i-- > 1;) {
+    if (roles_[i] == CoreRole::kFcfs) {
+      roles_[i] = CoreRole::kDrr;
+      nic_.wake_core(i);
+      return;
+    }
+  }
+}
+
+void Runtime::retire_drr_core() {
+  for (unsigned i = 1; i < nic_.active_cores(); ++i) {
+    if (roles_[i] == CoreRole::kDrr) {
+      roles_[i] = CoreRole::kFcfs;
+      nic_.wake_core(i);
+      return;
+    }
+  }
+}
+
+void Runtime::wake_drr_cores() {
+  for (unsigned i = 0; i < nic_.active_cores(); ++i) {
+    if (roles_[i] == CoreRole::kDrr) nic_.wake_core(i);
+  }
+}
+
+unsigned Runtime::fcfs_cores() const noexcept {
+  unsigned n = 0;
+  for (unsigned i = 0; i < nic_.active_cores() && i < roles_.size(); ++i) {
+    if (roles_[i] == CoreRole::kFcfs) ++n;
+  }
+  return n;
+}
+
+unsigned Runtime::drr_cores() const noexcept {
+  unsigned n = 0;
+  for (unsigned i = 0; i < nic_.active_cores() && i < roles_.size(); ++i) {
+    if (roles_[i] == CoreRole::kDrr) ++n;
+  }
+  return n;
+}
+
+// -------------------------------------------------------- host scheduling --
+
+bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
+  (void)core;
+  // Any free core drains the NIC->host channel (iPipe allocates one I/O
+  // channel per host runtime thread, §3.5 — a single poller would cap
+  // migrated-actor throughput at one core).
+  if (channel_.host_has_data()) {
+    if (auto msg = channel_.host_poll()) {
+      // Receiving a message costs the same descriptor/copy work as a
+      // DPDK frame; the channel bookkeeping is iPipe's own tax on top.
+      ctx.charge(cfg_.channel_handling_ns);
+      auto pkt = msg->to_packet();
+      ctx.charge_rx(pkt->frame_size);
+      pkt->nic_arrival = sim_.now();
+      ActorControl* ac = control(pkt->dst_actor);
+      if (ac == nullptr || ac->killed) return true;  // dropped
+      if (buffering(*ac)) {
+        ac->mig_buffer.push_back(std::move(pkt));
+        return true;
+      }
+      if (ac->loc == ActorLoc::kNic) {
+        // Stale: bounce back to the NIC.
+        auto bounce = ChannelMsg::from_packet(*pkt);
+        if (const auto cost = channel_.host_send(bounce)) ctx.charge(*cost);
+        return true;
+      }
+      execute_on_host(ctx, *ac, std::move(pkt));
+      return true;
+    }
+    ctx.charge(cfg_.channel_handling_ns);
+    return true;
+  }
+
+  // Wire traffic that bypassed the NIC cores (off-path / overflow path).
+  if (auto pkt = host_.rx_pop()) {
+    ctx.charge_rx(pkt->frame_size);
+    ActorControl* ac = control(pkt->dst_actor);
+    if (ac == nullptr || ac->killed) return true;
+    if (buffering(*ac)) {
+      ac->mig_buffer.push_back(std::move(pkt));
+      return true;
+    }
+    if (ac->loc == ActorLoc::kNic) {
+      auto msg = ChannelMsg::from_packet(*pkt);
+      if (const auto cost = channel_.host_send(msg)) ctx.charge(*cost);
+      return true;
+    }
+    execute_on_host(ctx, *ac, std::move(pkt));
+    return true;
+  }
+
+  // Local host-side actor mailboxes.
+  if (!host_local_queue_.empty()) {
+    auto pkt = std::move(host_local_queue_.front());
+    host_local_queue_.pop_front();
+    ActorControl* ac = control(pkt->dst_actor);
+    if (ac == nullptr || ac->killed) return true;
+    if (buffering(*ac)) {
+      ac->mig_buffer.push_back(std::move(pkt));
+      return true;
+    }
+    if (ac->loc == ActorLoc::kHost) {
+      execute_on_host(ctx, *ac, std::move(pkt));
+    } else {
+      auto msg = ChannelMsg::from_packet(*pkt);
+      if (const auto cost = channel_.host_send(msg)) ctx.charge(*cost);
+    }
+    return true;
+  }
+
+  return false;
+}
+
+void Runtime::execute_on_host(hostsim::HostExecContext& ctx, ActorControl& ac,
+                              netsim::PacketPtr pkt) {
+  const Ns queue_delay = sim_.now() - pkt->nic_arrival;
+  const Ns before = ctx.consumed();
+  {
+    HostEnv env(*this, ac, ctx);
+    ++requests_on_host_;
+    ++ac.requests;
+    ac.actor->handle(env, *pkt);
+  }
+  const Ns exec = ctx.consumed() - before;
+  ac.latency.add(static_cast<double>(queue_delay + exec));
+  ac.exec_cost.add(static_cast<double>(exec));
+  response_hist_.add(queue_delay + exec);
+}
+
+void Runtime::deliver_local(ActorId dst, netsim::PacketPtr msg, MemSide from) {
+  ActorControl* ac = control(dst);
+  if (ac == nullptr || ac->killed) return;
+  msg->nic_arrival = sim_.now();
+
+  if (buffering(*ac)) {
+    ac->mig_buffer.push_back(std::move(msg));
+    return;
+  }
+
+  const MemSide target =
+      ac->loc == ActorLoc::kNic ? MemSide::kNic : MemSide::kHost;
+  if (from != target) {
+    // Crossing PCIe: go through the message channel.
+    auto cm = ChannelMsg::from_packet(*msg);
+    if (from == MemSide::kNic) {
+      channel_.nic_send(cm);
+    } else {
+      channel_.host_send(cm);
+    }
+    return;
+  }
+
+  if (target == MemSide::kNic) {
+    if (ac->is_drr) {
+      ac->mailbox.push_back(std::move(msg));
+      wake_drr_cores();
+    } else {
+      nic_.tm().push(std::move(msg));
+    }
+  } else {
+    host_local_queue_.push_back(std::move(msg));
+    host_.wake_all();
+  }
+}
+
+}  // namespace ipipe

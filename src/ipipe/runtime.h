@@ -1,0 +1,259 @@
+// The iPipe runtime (§3).
+//
+// One Runtime instance spans a server's SmartNIC and host.  It installs
+// firmware on the NicModel (the NIC-side scheduler: hybrid FCFS + DRR
+// with actor migration, ALG 1/2) and a runtime on the HostModel (channel
+// poller + host-side actor execution).  Actors are registered once and
+// the scheduler decides — continuously, from EWMA statistics — where
+// each one runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "hostsim/host_model.h"
+#include "ipipe/actor.h"
+#include "ipipe/channel.h"
+#include "ipipe/dmo.h"
+#include "netsim/packet.h"
+#include "nic/nic_model.h"
+#include "sim/simulation.h"
+
+namespace ipipe {
+
+/// Scheduler policy selector (Fig. 16 compares the hybrid against
+/// standalone FCFS and standalone DRR).
+enum class SchedPolicy : std::uint8_t { kHybrid, kFcfsOnly, kDrrOnly };
+
+struct IPipeConfig {
+  // §3.2.3: thresholds default to the average/P99 forwarding latency at
+  // MTU line rate (measured by the Fig. 5 experiment).
+  Ns mean_thresh = usec(30);
+  Ns tail_thresh = usec(80);
+  double alpha = 0.25;          ///< hysteresis factor
+  std::size_t q_thresh = 64;    ///< DRR mailbox length migration trigger
+  Ns watchdog_limit = msec(1);  ///< DoS timeout (§3.4)
+  Ns mgmt_period = usec(20);    ///< management-core bookkeeping cadence
+  Ns migration_cooldown = msec(10);  ///< min gap between migrations
+
+  SchedPolicy policy = SchedPolicy::kHybrid;
+  bool enable_migration = true;
+
+  double nic_ipc = 1.2;   ///< cnMIPS 2-way in-order, achieved IPC
+  double host_ipc = 3.0;  ///< Xeon out-of-order, achieved IPC
+
+  /// Effective NIC->host object-migration bandwidth (Fig. 18 phase 3).
+  double mig_gbps = 7.2;
+  Ns mig_per_object_ns = 2500;  ///< per-object table/allocator work
+
+  std::size_t channel_bytes = 1 << 20;
+  std::uint64_t default_region_bytes = 8 * MiB;
+
+  /// Host software fallback slowdown vs the NIC accelerator, per engine
+  /// (§2.2.3: MD5 engine 7.0x, AES 2.5x faster than host).
+  std::array<double, nic::kNumAccelKinds> host_accel_slowdown = {
+      3.0,  // CRC
+      7.0,  // MD5
+      5.0,  // SHA-1
+      4.0,  // 3DES
+      2.5,  // AES
+      4.0,  // KASUMI
+      4.0,  // SMS4
+      4.0,  // SNOW3G
+      0.5,  // FAU: plain atomics are faster on the host
+      2.0,  // ZIP
+      3.0,  // DFA
+  };
+
+  /// Fixed framework overheads (Fig. 17): per-message channel handling
+  /// and per-DMO-op translation cost, charged wherever they occur.
+  Ns channel_handling_ns = 90;
+  Ns dmo_translate_ns = 7;
+  Ns sched_bookkeeping_ns = 30;
+};
+
+class Runtime;
+
+namespace detail {
+
+class NicFw final : public nic::NicFirmware {
+ public:
+  explicit NicFw(Runtime& rt) : rt_(rt) {}
+  bool run_once(nic::NicExecContext& ctx, unsigned core) override;
+
+ private:
+  Runtime& rt_;
+};
+
+class HostRt final : public hostsim::HostRuntime {
+ public:
+  explicit HostRt(Runtime& rt) : rt_(rt) {}
+  bool run_once(hostsim::HostExecContext& ctx, unsigned core) override;
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace detail
+
+class Runtime {
+ public:
+  Runtime(sim::Simulation& sim, nic::NicModel& nic, hostsim::HostModel& host,
+          IPipeConfig cfg = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- actor management (Table 4) ----------------------------------------
+  /// actor_create + actor_register + actor_init.  Ownership transfers to
+  /// the runtime.  Returns the assigned actor id.
+  ActorId register_actor(std::unique_ptr<Actor> actor,
+                         ActorLoc initial = ActorLoc::kNic);
+  /// actor_delete.
+  void delete_actor(ActorId id);
+  /// actor_migrate: manual migration trigger (the scheduler also calls
+  /// this autonomously).
+  bool start_migration(ActorId id, ActorLoc to);
+
+  [[nodiscard]] Actor* find_actor(ActorId id);
+  [[nodiscard]] ActorControl* control(ActorId id);
+  [[nodiscard]] const ActorControl* control(ActorId id) const;
+
+  // ---- component access ----------------------------------------------------
+  [[nodiscard]] ObjectTable& objects() noexcept { return objects_; }
+  [[nodiscard]] MessageChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] nic::NicModel& nic() noexcept { return nic_; }
+  [[nodiscard]] hostsim::HostModel& host() noexcept { return host_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] const IPipeConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  // ---- scheduler observability ----------------------------------------------
+  [[nodiscard]] const EwmaMeanStd& fcfs_stats() const noexcept {
+    return fcfs_stats_;
+  }
+  [[nodiscard]] unsigned fcfs_cores() const noexcept;
+  /// Recent FCFS / DRR core-group utilization (auto-scaling inputs).
+  [[nodiscard]] double fcfs_util() const noexcept { return fcfs_util_; }
+  [[nodiscard]] double drr_util() const noexcept { return drr_util_; }
+  [[nodiscard]] std::uint64_t fcfs_samples() const noexcept {
+    return fcfs_samples_;
+  }
+  [[nodiscard]] unsigned drr_cores() const noexcept;
+  [[nodiscard]] std::uint64_t downgrades() const noexcept { return downgrades_; }
+  [[nodiscard]] std::uint64_t upgrades() const noexcept { return upgrades_; }
+  [[nodiscard]] std::uint64_t push_migrations() const noexcept {
+    return push_migrations_;
+  }
+  [[nodiscard]] std::uint64_t pull_migrations() const noexcept {
+    return pull_migrations_;
+  }
+  [[nodiscard]] std::uint64_t watchdog_kills() const noexcept {
+    return watchdog_kills_;
+  }
+  [[nodiscard]] std::uint64_t isolation_kills() const noexcept {
+    return isolation_kills_;
+  }
+  [[nodiscard]] std::uint64_t requests_on_nic() const noexcept {
+    return requests_on_nic_;
+  }
+  [[nodiscard]] std::uint64_t requests_on_host() const noexcept {
+    return requests_on_host_;
+  }
+  /// Per-request end-to-end NIC response time histogram (queueing+exec).
+  [[nodiscard]] const LatencyHistogram& response_hist() const noexcept {
+    return response_hist_;
+  }
+
+  // ---- internals shared with env/adapters (not for applications) -----------
+  bool nic_run_once(nic::NicExecContext& ctx, unsigned core);
+  bool host_run_once(hostsim::HostExecContext& ctx, unsigned core);
+  void kill_actor(ActorId id, bool isolation_trap);
+  /// Same-node actor-to-actor message delivery; `from` is the side the
+  /// sender ran on (crossing PCIe goes through the message channel).
+  void deliver_local(ActorId dst, netsim::PacketPtr msg, MemSide from);
+
+ private:
+  enum class CoreRole : std::uint8_t { kFcfs, kDrr };
+
+  struct MigrationOp {
+    ActorId id = 0;
+    ActorLoc to = ActorLoc::kHost;
+    int phase = 1;
+    Ns phase_start = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  // NIC-side scheduling (ALG 1 / ALG 2).
+  bool fcfs_run(nic::NicExecContext& ctx, unsigned core);
+  bool drr_run(nic::NicExecContext& ctx, unsigned core);
+  bool management_run(nic::NicExecContext& ctx);
+  bool advance_migration(nic::NicExecContext& ctx);
+  void execute_on_nic(nic::NicExecContext& ctx, ActorControl& ac,
+                      netsim::PacketPtr pkt);
+  void execute_on_host(hostsim::HostExecContext& ctx, ActorControl& ac,
+                       netsim::PacketPtr pkt);
+  void dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt);
+  void maybe_downgrade();
+  void maybe_upgrade();
+  void check_autoscale();
+  void spawn_drr_core();
+  void retire_drr_core();
+  void wake_drr_cores();
+  [[nodiscard]] double drr_quantum_ns(const ActorControl& ac) const;
+  void forward_to_host(nic::NicExecContext& ctx, netsim::PacketPtr pkt);
+
+  sim::Simulation& sim_;
+  nic::NicModel& nic_;
+  hostsim::HostModel& host_;
+  IPipeConfig cfg_;
+  Rng rng_;
+
+  detail::NicFw nic_fw_;
+  detail::HostRt host_rt_;
+
+  ObjectTable objects_;
+  MessageChannel channel_;
+
+  std::unordered_map<ActorId, ActorControl> actors_;
+  std::vector<std::unique_ptr<Actor>> owned_actors_;
+  ActorId next_actor_id_ = 1;
+
+  std::vector<CoreRole> roles_;
+  std::vector<ActorId> drr_queue_;  ///< runnable queue shared by DRR cores
+  std::size_t drr_scan_ = 0;
+
+  EwmaMeanStd fcfs_stats_;  ///< FCFS group response-time stats (T_mean/T_tail)
+  std::uint64_t fcfs_samples_ = 0;
+  Ns last_policy_change_ = 0;   ///< downgrade/upgrade hysteresis cooldown
+  Ns tail_violation_since_ = 0; ///< first time tail_thresh was exceeded
+  Ns last_migration_end_ = 0;   ///< migration rate limiting
+  double fcfs_util_ = 0.0;      ///< recent FCFS group utilization
+  double drr_util_ = 0.0;
+  LatencyHistogram response_hist_;
+  Ns last_mgmt_ = 0;
+  Ns last_autoscale_ = 0;
+  std::vector<Ns> busy_snapshot_;
+  Ns busy_snapshot_at_ = 0;
+
+  std::optional<MigrationOp> migration_;
+  std::deque<netsim::PacketPtr> host_local_queue_;  ///< host-side work queue
+
+  std::uint64_t downgrades_ = 0;
+  std::uint64_t upgrades_ = 0;
+  std::uint64_t push_migrations_ = 0;
+  std::uint64_t pull_migrations_ = 0;
+  std::uint64_t watchdog_kills_ = 0;
+  std::uint64_t isolation_kills_ = 0;
+  std::uint64_t requests_on_nic_ = 0;
+  std::uint64_t requests_on_host_ = 0;
+};
+
+}  // namespace ipipe

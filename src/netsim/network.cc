@@ -1,0 +1,78 @@
+#include "netsim/network.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ipipe::netsim {
+
+void Network::attach(NodeId node, Endpoint& ep, double gbps) {
+  auto& port = ports_[node];
+  port.ep = &ep;
+  port.gbps = gbps;
+}
+
+void Network::detach(NodeId node) { ports_.erase(node); }
+
+void Network::send(PacketPtr pkt) {
+  assert(pkt != nullptr);
+  ++frames_sent_;
+
+  const auto src_it = ports_.find(pkt->src);
+  const auto dst_it = ports_.find(pkt->dst);
+  if (src_it == ports_.end() || dst_it == ports_.end()) {
+    ++frames_dropped_;
+    LOG_DEBUG("drop: unknown endpoint %u -> %u", pkt->src, pkt->dst);
+    return;
+  }
+
+  if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
+    ++frames_dropped_;
+    return;
+  }
+
+  const bool duplicate =
+      faults_.dup_prob > 0.0 && rng_.bernoulli(faults_.dup_prob);
+
+  PortState& src_port = src_it->second;
+  PortState& dst_port = dst_it->second;
+  const Ns now = sim_.now();
+
+  const Ns tx_start = std::max(now, src_port.tx_busy_until);
+  const Ns tx_done = tx_start + wire_time(pkt->frame_size, src_port.gbps);
+  src_port.tx_busy_until = tx_done;
+
+  const Ns at_switch = tx_done + switch_latency_;
+  const Ns rx_start = std::max(at_switch, dst_port.rx_busy_until);
+  const Ns rx_done = rx_start + wire_time(pkt->frame_size, dst_port.gbps);
+  dst_port.rx_busy_until = rx_done;
+
+  Ns jitter = 0;
+  if (faults_.reorder_jitter > 0) {
+    jitter = rng_.uniform_u64(faults_.reorder_jitter + 1);
+  }
+
+  if (duplicate) {
+    auto copy = std::make_unique<Packet>(*pkt);
+    deliver(std::move(copy), rx_done - now + jitter);
+  }
+  deliver(std::move(pkt), rx_done - now + jitter);
+}
+
+void Network::deliver(PacketPtr pkt, Ns delay) {
+  // shared_ptr shim: std::function requires copyable callables.
+  auto shared = std::make_shared<PacketPtr>(std::move(pkt));
+  sim_.schedule(delay, [this, shared] {
+    PacketPtr p = std::move(*shared);
+    const auto it = ports_.find(p->dst);
+    if (it == ports_.end() || it->second.ep == nullptr) {
+      ++frames_dropped_;
+      return;
+    }
+    ++frames_delivered_;
+    p->nic_arrival = sim_.now();
+    it->second.ep->receive(std::move(p));
+  });
+}
+
+}  // namespace ipipe::netsim

@@ -1,0 +1,83 @@
+// Network fabric: endpoints attached to a single ToR switch via
+// full-duplex links, with store-and-forward timing and optional fault
+// injection (drop / duplicate / reorder) for protocol robustness tests.
+//
+// Timing model for a frame from A to B:
+//   serialize on A's uplink (contended) -> switch latency ->
+//   serialize on B's downlink (contended) -> deliver.
+// Each link direction has independent busy-until bookkeeping, so incast
+// on a receiver's downlink queues realistically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "netsim/packet.h"
+#include "sim/simulation.h"
+
+namespace ipipe::netsim {
+
+/// Anything that can be attached to the fabric and receive frames.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called when a frame has fully arrived at this endpoint's port.
+  virtual void receive(PacketPtr pkt) = 0;
+};
+
+/// Fault-injection knobs, all off by default.
+struct FaultModel {
+  double drop_prob = 0.0;       ///< iid frame loss
+  double dup_prob = 0.0;        ///< iid frame duplication
+  Ns reorder_jitter = 0;        ///< uniform extra delay in [0, jitter]
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, Ns switch_latency = 300 /*ns*/)
+      : sim_(sim), switch_latency_(switch_latency), rng_(0xFAB51Cull) {}
+
+  /// Attach `ep` as `node` with a full-duplex link of `gbps`.
+  void attach(NodeId node, Endpoint& ep, double gbps);
+
+  /// Detach (e.g. simulate node failure); in-flight frames to it are lost.
+  void detach(NodeId node);
+
+  /// Inject a frame into the fabric from `pkt->src`.  Takes ownership.
+  void send(PacketPtr pkt);
+
+  void set_fault_model(const FaultModel& fm) noexcept { faults_ = fm; }
+  [[nodiscard]] const FaultModel& fault_model() const noexcept { return faults_; }
+
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
+    return frames_delivered_;
+  }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+
+ private:
+  struct PortState {
+    Endpoint* ep = nullptr;
+    double gbps = 10.0;
+    Ns tx_busy_until = 0;  // uplink (endpoint -> switch)
+    Ns rx_busy_until = 0;  // downlink (switch -> endpoint)
+  };
+
+  void deliver(PacketPtr pkt, Ns extra_delay);
+
+  sim::Simulation& sim_;
+  Ns switch_latency_;
+  Rng rng_;
+  FaultModel faults_;
+  std::unordered_map<NodeId, PortState> ports_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+};
+
+}  // namespace ipipe::netsim

@@ -1,0 +1,72 @@
+// Simulated network packet.
+//
+// A Packet models one Ethernet frame carrying an application request or
+// response.  `frame_size` is the full L2 frame length used for wire-time
+// and NIC-cost computations (the paper's "packet size"); `payload` holds
+// the real application bytes (which may be smaller than the frame when an
+// experiment pads frames to a target size).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ipipe::netsim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Logical addressing inside a node: which actor (service) handles this
+/// packet.  Actor ids are application-assigned; kForwardOnly marks plain
+/// forwarded traffic with no offloaded handler.
+using ActorId = std::uint32_t;
+constexpr ActorId kForwardOnly = ~ActorId{0};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  ActorId dst_actor = kForwardOnly;
+  ActorId src_actor = kForwardOnly;  ///< sender actor (for replies)
+
+  /// Application-defined message type tag (e.g. Paxos ACCEPT, TXN_COMMIT).
+  std::uint16_t msg_type = 0;
+  /// Flow identifier used for steering/statistics.
+  std::uint32_t flow = 0;
+  /// End-to-end request correlation id (latency accounting).
+  std::uint64_t request_id = 0;
+
+  /// Full L2 frame size in bytes (headers + payload [+ padding]).
+  std::uint32_t frame_size = 64;
+
+  /// Real application payload bytes.
+  std::vector<std::uint8_t> payload;
+
+  /// True when the frame was handed to the NIC by its own host (transmit
+  /// path) rather than arriving from the wire.
+  bool from_host = false;
+
+  /// Timestamp when the originating client created the request.
+  Ns created_at = 0;
+  /// Timestamp when this frame entered the current NIC (for forwarding
+  /// latency accounting).
+  Ns nic_arrival = 0;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Minimum Ethernet frame size; frames below this are padded on the wire.
+constexpr std::uint32_t kMinFrameSize = 64;
+/// Standard MTU frame (paper uses 1500B as "MTU" packets).
+constexpr std::uint32_t kMtuFrameSize = 1500;
+
+/// L2+L3+L4 header bytes our packet format reserves inside the frame.
+constexpr std::uint32_t kHeaderBytes = 42;  // 14 eth + 20 ip + 8 udp
+
+[[nodiscard]] inline std::uint32_t frame_for_payload(std::size_t payload_bytes) noexcept {
+  const auto raw = static_cast<std::uint32_t>(payload_bytes) + kHeaderBytes;
+  return raw < kMinFrameSize ? kMinFrameSize : raw;
+}
+
+}  // namespace ipipe::netsim

@@ -1,0 +1,70 @@
+// Programmable DMA engine + RDMA verbs timing models (§2.2.5, Figs 7-10).
+//
+// Blocking ops: the issuing core stalls for the full PCIe round trip
+// (base + transfer time).  Non-blocking ops: the core only pays the
+// command-post cost; the engine services the queue at its own bandwidth
+// and runs a completion callback.  Scatter-gather aggregation is modeled
+// by issuing one op for the combined size (implication I6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "nic/nic_config.h"
+#include "sim/simulation.h"
+
+namespace ipipe::nic {
+
+class DmaEngine {
+ public:
+  DmaEngine(sim::Simulation& sim, const DmaTiming& timing)
+      : sim_(sim), timing_(timing) {}
+
+  /// Core-blocking read/write: returns the latency the caller must charge.
+  [[nodiscard]] Ns blocking_read_latency(std::uint32_t bytes) const noexcept;
+  [[nodiscard]] Ns blocking_write_latency(std::uint32_t bytes) const noexcept;
+
+  /// Non-blocking op: returns the command-post cost to charge on the core
+  /// now; `done` (optional) runs when the engine completes the transfer.
+  Ns nonblocking_read(std::uint32_t bytes, std::function<void()> done = {});
+  Ns nonblocking_write(std::uint32_t bytes, std::function<void()> done = {});
+
+  [[nodiscard]] std::uint64_t ops_issued() const noexcept { return ops_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_; }
+  /// Current queue occupancy (outstanding non-blocking ops).
+  [[nodiscard]] std::uint32_t outstanding() const noexcept { return outstanding_; }
+  [[nodiscard]] const DmaTiming& timing() const noexcept { return timing_; }
+
+ private:
+  Ns enqueue(std::uint32_t bytes, double gbps, std::function<void()> done);
+
+  sim::Simulation& sim_;
+  DmaTiming timing_;
+  Ns engine_busy_until_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t outstanding_ = 0;
+};
+
+/// RDMA one-sided verbs model (BlueField/Stingray host communication).
+class RdmaModel {
+ public:
+  explicit RdmaModel(const RdmaTiming& timing) : timing_(timing) {}
+
+  [[nodiscard]] Ns read_latency(std::uint32_t bytes) const noexcept {
+    return transfer(bytes) + timing_.base + timing_.post_overhead;
+  }
+  [[nodiscard]] Ns write_latency(std::uint32_t bytes) const noexcept {
+    // Writes complete slightly faster (no response payload).
+    return transfer(bytes) + timing_.base + timing_.post_overhead / 2;
+  }
+
+ private:
+  [[nodiscard]] Ns transfer(std::uint32_t bytes) const noexcept {
+    return static_cast<Ns>(static_cast<double>(bytes) * 8.0 / timing_.gbps);
+  }
+  RdmaTiming timing_;
+};
+
+}  // namespace ipipe::nic

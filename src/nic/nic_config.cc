@@ -1,0 +1,105 @@
+#include "nic/nic_config.h"
+
+namespace ipipe::nic {
+
+NicConfig liquidio_cn2350() {
+  NicConfig cfg;
+  cfg.name = "LiquidIOII CN2350";
+  cfg.path = NicPath::kOnPath;
+  cfg.cores = 12;
+  cfg.freq_ghz = 1.2;
+  cfg.link_gbps = 10.0;
+  cfg.l1 = {32 * KiB, 8.3};
+  cfg.l2 = {4 * MiB, 55.8};
+  cfg.dram = {4 * GiB, 115.0};
+  cfg.cache_line = 128;
+  cfg.scratchpad_bytes = 54 * 128;  // 54 cache lines of scratchpad (§2.2.4)
+  cfg.forwarding = {1885.0, 1.1};   // Fig. 2 calibration (+15ns TM pop)
+  cfg.max_pps = 12e6;
+  cfg.has_hw_traffic_manager = true;
+  cfg.exposes_rdma = false;
+  cfg.dma = DmaTiming{};  // Fig. 7/8 calibration (defaults)
+  return cfg;
+}
+
+NicConfig liquidio_cn2360() {
+  NicConfig cfg = liquidio_cn2350();
+  cfg.name = "LiquidIOII CN2360";
+  cfg.cores = 16;
+  cfg.freq_ghz = 1.5;
+  cfg.link_gbps = 25.0;
+  // Same OCTEON microarchitecture at 1.5/1.2x clock.
+  cfg.forwarding = {1508.0, 0.88};
+  cfg.max_pps = 16e6;
+  return cfg;
+}
+
+NicConfig bluefield_1m332a() {
+  NicConfig cfg;
+  cfg.name = "BlueField 1M332A";
+  cfg.path = NicPath::kOffPath;
+  cfg.cores = 8;
+  cfg.freq_ghz = 0.8;
+  cfg.link_gbps = 25.0;
+  cfg.l1 = {32 * KiB, 5.0};
+  cfg.l2 = {1 * MiB, 25.6};
+  cfg.dram = {16 * GiB, 132.0};
+  cfg.cache_line = 64;
+  cfg.forwarding = {800.0, 0.42};  // + software shuffle dequeue
+  cfg.max_pps = 14e6;
+  cfg.has_hw_traffic_manager = false;
+  cfg.exposes_rdma = true;
+  cfg.rdma = RdmaTiming{1900, 16.0, 350};  // Fig. 9/10 calibration
+  // Full-OS card; send/recv runs over DPDK-class software (Fig. 6).
+  cfg.nstack_base_ns = 1400.0;
+  cfg.nstack_per_byte_ns = 0.7;
+  return cfg;
+}
+
+NicConfig stingray_ps225() {
+  NicConfig cfg;
+  cfg.name = "Stingray PS225";
+  cfg.path = NicPath::kOffPath;
+  cfg.cores = 8;
+  cfg.freq_ghz = 3.0;
+  cfg.link_gbps = 25.0;
+  cfg.l1 = {32 * KiB, 1.3};
+  cfg.l2 = {16 * MiB, 25.1};
+  cfg.dram = {8 * GiB, 85.3};
+  cfg.cache_line = 64;
+  cfg.forwarding = {60.0, 0.08};   // Fig. 3 calibration (+180ns shuffle)
+  cfg.max_pps = 18e6;              // 128B cannot reach line rate (Fig. 3)
+  cfg.has_hw_traffic_manager = false;
+  cfg.exposes_rdma = true;
+  cfg.rdma = RdmaTiming{1750, 18.0, 300};
+  cfg.nstack_base_ns = 900.0;
+  cfg.nstack_per_byte_ns = 0.5;
+  return cfg;
+}
+
+NicConfig intel_xl710() {
+  NicConfig cfg;
+  cfg.name = "Intel XL710";
+  cfg.path = NicPath::kOffPath;
+  cfg.cores = 0;  // no programmable cores: pure host NIC
+  cfg.freq_ghz = 1.0;
+  cfg.link_gbps = 10.0;
+  cfg.max_pps = 30e6;
+  cfg.has_hw_traffic_manager = false;
+  return cfg;
+}
+
+NicConfig intel_xxv710() {
+  NicConfig cfg = intel_xl710();
+  cfg.name = "Intel XXV710-DA2";
+  cfg.link_gbps = 25.0;
+  cfg.max_pps = 45e6;
+  return cfg;
+}
+
+std::vector<NicConfig> smartnic_presets() {
+  return {liquidio_cn2350(), liquidio_cn2360(), bluefield_1m332a(),
+          stingray_ps225()};
+}
+
+}  // namespace ipipe::nic

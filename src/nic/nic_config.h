@@ -1,0 +1,109 @@
+// SmartNIC hardware descriptions.
+//
+// Each commodity card evaluated by the paper (Table 1) is described by a
+// NicConfig: processor geometry, link speed, memory hierarchy (Table 2),
+// per-packet forwarding cost and packet-rate ceiling (calibrated so that
+// the Figure 2/3 bandwidth-vs-cores curves are reproduced), DMA/RDMA
+// timing (Figures 7-10) and the accelerator bank (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ipipe::nic {
+
+enum class NicPath {
+  kOnPath,   ///< NIC cores sit on the packet path (LiquidIOII).
+  kOffPath,  ///< NIC switch steers flows to host or NIC cores (BlueField,
+             ///< Stingray).
+};
+
+/// One level of the on-NIC memory hierarchy.
+struct MemLevel {
+  std::uint64_t capacity_bytes = 0;
+  double latency_ns = 0.0;  ///< random-access load-to-use latency
+};
+
+/// DMA engine timing model (per-core PCIe Gen3 x8 endpoint).
+struct DmaTiming {
+  Ns blocking_base = 900;        ///< fixed round-trip cost of a blocking op
+  double read_gbps = 40.0;       ///< effective streaming read bandwidth
+  double write_gbps = 64.0;      ///< effective streaming write bandwidth
+  Ns nonblocking_post = 100;     ///< core-side cost to enqueue a command
+  std::uint32_t queue_depth = 64;
+  double engine_gbps = 40.0;     ///< per-engine service bandwidth
+};
+
+/// RDMA verbs timing model (off-path cards expose verbs, §2.2.5/Fig 9-10).
+struct RdmaTiming {
+  Ns base = 1900;          ///< one-sided op base latency
+  double gbps = 16.0;      ///< streaming bandwidth
+  Ns post_overhead = 350;  ///< per-op software overhead (vs native DMA)
+};
+
+/// Per-packet forwarding cost through one NIC core: cost(s) = a + b*s.
+/// Calibrated against Figure 2 (CN2350) / Figure 3 (Stingray).
+struct ForwardingCost {
+  double base_ns = 1900.0;
+  double per_byte_ns = 1.1;
+
+  [[nodiscard]] Ns cost(std::uint32_t frame_size) const noexcept {
+    return static_cast<Ns>(base_ns + per_byte_ns * frame_size);
+  }
+};
+
+struct NicConfig {
+  std::string name;
+  NicPath path = NicPath::kOnPath;
+  unsigned cores = 12;
+  double freq_ghz = 1.2;
+  double link_gbps = 10.0;
+  unsigned ports = 2;
+
+  MemLevel l1;      ///< per-core
+  MemLevel l2;      ///< shared
+  MemLevel dram;    ///< onboard DRAM
+  std::uint32_t cache_line = 64;
+  std::uint64_t scratchpad_bytes = 0;  ///< per-core scratchpad (LiquidIO)
+
+  ForwardingCost forwarding;
+  /// NIC-wide packet-rate ceiling (traffic manager / MAC limit), packets/s.
+  double max_pps = 50e6;
+  /// Cost for a core to pop one item from the shared hardware traffic
+  /// manager queue; near zero with hardware support (implication I2).
+  Ns tm_dequeue_cost = 15;
+  /// Extra cost when no hardware traffic manager exists and a software
+  /// shuffle layer provides the shared-queue abstraction (§3.2.6).
+  Ns sw_shuffle_cost = 180;
+  bool has_hw_traffic_manager = true;
+
+  DmaTiming dma;
+  RdmaTiming rdma;
+  bool exposes_rdma = false;  ///< off-path cards talk to host via verbs
+
+  /// NIC-side send/recv primitive cost (Fig. 6, hardware-assisted
+  /// messaging): cost(s) = base + per_byte * s.
+  double nstack_base_ns = 550.0;
+  double nstack_per_byte_ns = 0.45;
+
+  [[nodiscard]] double cycles_to_ns(double cycles) const noexcept {
+    return cycles / freq_ghz;
+  }
+};
+
+/// The four commodity SmartNICs characterized in the paper plus a "dumb"
+/// standard NIC used by client machines and DPDK baselines.
+[[nodiscard]] NicConfig liquidio_cn2350();   // 2x10GbE, 12x cnMIPS @1.2GHz
+[[nodiscard]] NicConfig liquidio_cn2360();   // 2x25GbE, 16x cnMIPS @1.5GHz
+[[nodiscard]] NicConfig bluefield_1m332a();  // 2x25GbE, 8x A72 @0.8GHz
+[[nodiscard]] NicConfig stingray_ps225();    // 2x25GbE, 8x A72 @3.0GHz
+[[nodiscard]] NicConfig intel_xl710();       // dumb 10GbE client NIC
+[[nodiscard]] NicConfig intel_xxv710();      // dumb 25GbE client NIC
+
+/// All four SmartNIC presets (for characterization sweeps).
+[[nodiscard]] std::vector<NicConfig> smartnic_presets();
+
+}  // namespace ipipe::nic

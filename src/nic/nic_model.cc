@@ -1,0 +1,199 @@
+#include "nic/nic_model.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ipipe::nic {
+
+Ns NicExecContext::now() const noexcept { return nic_.sim().now(); }
+
+void NicExecContext::charge_cycles(double cycles) noexcept {
+  consumed_ += static_cast<Ns>(nic_.config().cycles_to_ns(cycles));
+}
+
+void NicExecContext::mem(std::uint64_t working_set, std::uint64_t n) noexcept {
+  consumed_ += nic_.cache().chase_ns(working_set, n);
+}
+
+void NicExecContext::stream(std::uint64_t working_set, std::uint64_t bytes) noexcept {
+  consumed_ += nic_.cache().stream_ns(working_set, bytes);
+}
+
+void NicExecContext::accel(AccelKind kind, std::uint32_t bytes,
+                           std::uint32_t batch) noexcept {
+  consumed_ += nic_.accel().batch_cost(kind, bytes, batch);
+  nic_.accel().record_use(kind, batch);
+}
+
+void NicExecContext::charge_forwarding(std::uint32_t frame_size) noexcept {
+  consumed_ += nic_.config().forwarding.cost(frame_size);
+}
+
+void NicExecContext::charge_nstack(std::uint32_t frame_size) noexcept {
+  const auto& cfg = nic_.config();
+  consumed_ += static_cast<Ns>(cfg.nstack_base_ns +
+                               cfg.nstack_per_byte_ns * frame_size);
+}
+
+void NicExecContext::dma_read_blocking(std::uint32_t bytes) noexcept {
+  consumed_ += nic_.dma().blocking_read_latency(bytes);
+}
+
+void NicExecContext::dma_write_blocking(std::uint32_t bytes) noexcept {
+  consumed_ += nic_.dma().blocking_write_latency(bytes);
+}
+
+NicModel::NicModel(sim::Simulation& sim, NicConfig cfg, netsim::Network& net,
+                   netsim::NodeId node)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      net_(net),
+      node_(node),
+      dma_(sim, cfg_.dma),
+      cache_(CacheModel::for_nic(cfg_)),
+      active_cores_(cfg_.cores),
+      cores_(cfg_.cores) {
+  net_.attach(node_, *this, cfg_.link_gbps);
+  tm_.set_notify([this] { wake_all(); });
+}
+
+void NicModel::set_firmware(NicFirmware* fw) {
+  firmware_ = fw;
+  if (firmware_) {
+    firmware_->attached(*this);
+    wake_all();
+  }
+}
+
+void NicModel::set_active_cores(unsigned n) noexcept {
+  assert(n <= cfg_.cores);
+  active_cores_ = n;
+}
+
+void NicModel::receive(netsim::PacketPtr pkt) {
+  ++rx_frames_;
+
+  // Dumb NIC: straight to the host RX ring via DMA.
+  if (cfg_.cores == 0 || firmware_ == nullptr) {
+    deliver_to_host(std::move(pkt));
+    return;
+  }
+
+  if (cfg_.path == NicPath::kOffPath) {
+    // NIC-switch steering: only flows with a NIC-side rule visit cores.
+    const bool to_nic = steer_to_nic_ && steer_to_nic_(*pkt);
+    if (!to_nic) {
+      deliver_to_host(std::move(pkt));
+      return;
+    }
+  }
+  admit(std::move(pkt));
+}
+
+void NicModel::admit(netsim::PacketPtr pkt) {
+  // Stamp NIC entry time: host-originated frames (transmit path) have no
+  // wire-delivery timestamp, and response-time accounting needs one.
+  pkt->nic_arrival = sim_.now();
+  // NIC-wide packet-rate ceiling: arrivals are paced at max_pps.
+  const Ns gap = static_cast<Ns>(1e9 / cfg_.max_pps);
+  const Ns now = sim_.now();
+  if (next_admit_ <= now) {
+    next_admit_ = now + gap;
+    tm_.push(std::move(pkt));
+  } else {
+    const Ns when = next_admit_;
+    next_admit_ += gap;
+    auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+    sim_.schedule_at(when, [this, shared] { tm_.push(std::move(*shared)); });
+  }
+}
+
+void NicModel::host_tx(netsim::PacketPtr pkt) {
+  pkt->from_host = true;
+  // The NIC pulls the frame from host memory over PCIe, then hands it to
+  // the normal processing path (on-path) or straight to the MAC.
+  const Ns dma_delay = dma_.blocking_read_latency(pkt->frame_size);
+  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+  sim_.schedule(dma_delay, [this, shared] {
+    netsim::PacketPtr p = std::move(*shared);
+    if (cfg_.cores == 0 || firmware_ == nullptr ||
+        cfg_.path == NicPath::kOffPath) {
+      wire_tx(std::move(p));
+    } else {
+      admit(std::move(p));
+    }
+  });
+}
+
+void NicModel::wire_tx(netsim::PacketPtr pkt) {
+  ++tx_frames_;
+  pkt->src = node_;
+  net_.send(std::move(pkt));
+}
+
+void NicModel::deliver_to_host(netsim::PacketPtr pkt) {
+  ++to_host_frames_;
+  const Ns dma_delay = dma_.blocking_write_latency(pkt->frame_size);
+  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
+  sim_.schedule(dma_delay, [this, shared] {
+    if (host_rx_) {
+      host_rx_(std::move(*shared));
+    }
+  });
+}
+
+void NicModel::wake_core(unsigned core) {
+  if (core >= active_cores_) return;
+  CoreState& st = cores_[core];
+  if (!st.parked || st.executing) return;
+  st.parked = false;
+  sim_.schedule(0, [this, core] { run_core(core); });
+}
+
+void NicModel::wake_all() {
+  for (unsigned i = 0; i < active_cores_; ++i) wake_core(i);
+}
+
+void NicModel::wake_core_at(unsigned core, Ns when) {
+  sim_.schedule_at(when, [this, core] { wake_core(core); });
+}
+
+void NicModel::run_core(unsigned core) {
+  if (core >= active_cores_ || firmware_ == nullptr) {
+    cores_[core].parked = true;
+    return;
+  }
+  CoreState& st = cores_[core];
+  if (st.executing) return;
+
+  auto ctx = std::make_unique<NicExecContext>(*this, core);
+  const bool did_work = firmware_->run_once(*ctx, core);
+  if (!did_work) {
+    st.parked = true;
+    return;
+  }
+  st.executing = true;
+  const Ns cost = ctx->consumed();
+  st.busy_total += cost;
+  auto shared = std::make_shared<std::unique_ptr<NicExecContext>>(std::move(ctx));
+  sim_.schedule(cost, [this, core, shared] {
+    retire(core, std::move(*shared));
+  });
+}
+
+void NicModel::retire(unsigned core, std::unique_ptr<NicExecContext> ctx) {
+  for (auto& pkt : ctx->tx_queue_) wire_tx(std::move(pkt));
+  for (auto& pkt : ctx->host_queue_) deliver_to_host(std::move(pkt));
+  for (auto& fn : ctx->deferred_) fn();
+  cores_[core].executing = false;
+  run_core(core);
+}
+
+Ns NicModel::total_busy_ns() const noexcept {
+  Ns total = 0;
+  for (const auto& core : cores_) total += core.busy_total;
+  return total;
+}
+
+}  // namespace ipipe::nic

@@ -1,0 +1,55 @@
+// Hardware traffic manager: the shared ingress work queue that feeds NIC
+// cores on on-path SmartNICs (§2.2.2, implication I2).  Off-path cards
+// lack this unit; the iPipe runtime then layers a software shuffle queue
+// with a higher per-dequeue cost (§3.2.6), modeled by the NicConfig's
+// `sw_shuffle_cost`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "netsim/packet.h"
+
+namespace ipipe::nic {
+
+class TrafficManager {
+ public:
+  explicit TrafficManager(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Enqueue a work item; drops (tail-drop) when the packet buffer is full.
+  /// Returns false on drop.
+  bool push(netsim::PacketPtr pkt) {
+    if (queue_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    queue_.push_back(std::move(pkt));
+    if (notify_) notify_();
+    return true;
+  }
+
+  /// Dequeue the oldest item; nullptr when empty.
+  [[nodiscard]] netsim::PacketPtr pop() {
+    if (queue_.empty()) return nullptr;
+    auto pkt = std::move(queue_.front());
+    queue_.pop_front();
+    return pkt;
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Invoked on every push (used by the NIC to wake idle cores).
+  void set_notify(std::function<void()> fn) { notify_ = std::move(fn); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<netsim::PacketPtr> queue_;
+  std::uint64_t drops_ = 0;
+  std::function<void()> notify_;
+};
+
+}  // namespace ipipe::nic

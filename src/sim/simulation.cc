@@ -1,0 +1,53 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace ipipe::sim {
+
+EventId Simulation::schedule(Ns delay, EventFn fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(Ns when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulation::cancel(EventId id) noexcept {
+  // A cancelled event stays in the heap as a tombstone (its id is no
+  // longer in live_) and is skipped when it reaches the head.
+  return live_.erase(id) > 0;
+}
+
+bool Simulation::step(Ns until) {
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (head.when > until) return false;
+    if (live_.find(head.id) == live_.end()) {
+      queue_.pop();  // tombstone of a cancelled event
+      continue;
+    }
+    // Move the callback out before popping: executing it may schedule new
+    // events and reallocate the underlying heap.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+Ns Simulation::run(Ns until) {
+  while (step(until)) {
+  }
+  if (until != ~Ns{0} && now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace ipipe::sim

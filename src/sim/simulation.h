@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// Every component of the testbed (NIC cores, hosts, links, switches,
+// clients) is driven by events scheduled on a single `Simulation`.  Events
+// at the same timestamp execute in scheduling (FIFO) order, which makes
+// runs fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ipipe::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Ns now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now.  Returns a handle usable
+  /// with `cancel`.
+  EventId schedule(Ns delay, EventFn fn);
+
+  /// Schedule `fn` at an absolute timestamp (must be >= now()).
+  EventId schedule_at(Ns when, EventFn fn);
+
+  /// Cancel a pending event.  Returns false if it already ran or was
+  /// cancelled.  O(1): the event is tombstoned, not removed.
+  bool cancel(EventId id) noexcept;
+
+  /// Run until the event queue drains or `until` is reached (whichever is
+  /// first).  Returns the time at which the run stopped.
+  Ns run(Ns until = ~Ns{0});
+
+  /// Execute a single event.  Returns false when the queue is empty or the
+  /// head event is beyond `until`.
+  bool step(Ns until = ~Ns{0});
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Ns when;
+    EventId id;  // also the FIFO tie-breaker
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  Ns now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;  // scheduled and neither run nor cancelled
+};
+
+/// A handle that re-arms a callback on a fixed period until stopped.
+/// Useful for pollers (host runtime cores, statistics scrapers).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulation& sim, Ns period, EventFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  void start() {
+    running_ = true;
+    arm();
+  }
+  void stop() noexcept { running_ = false; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void arm() {
+    sim_.schedule(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulation& sim_;
+  Ns period_;
+  EventFn fn_;
+  bool running_ = false;
+};
+
+}  // namespace ipipe::sim

@@ -1,0 +1,84 @@
+#include "testbed/cluster.h"
+
+namespace ipipe::testbed {
+
+IPipeConfig config_for_mode(Mode mode, IPipeConfig base) {
+  switch (mode) {
+    case Mode::kIPipe:
+      return base;
+    case Mode::kDpdk:
+      // Raw DPDK implementation: no framework overheads, no migration.
+      base.enable_migration = false;
+      base.channel_handling_ns = 0;
+      base.dmo_translate_ns = 0;
+      base.sched_bookkeeping_ns = 0;
+      return base;
+    case Mode::kFloem:
+      // Static offload: elements stay where they were placed.
+      base.enable_migration = false;
+      return base;
+    case Mode::kHostIPipe:
+      // Host-only but with full iPipe machinery (overhead study).
+      base.enable_migration = false;
+      return base;
+  }
+  return base;
+}
+
+ServerNode::ServerNode(sim::Simulation& sim, netsim::Network& net,
+                       netsim::NodeId id, ServerSpec spec)
+    : id_(id), spec_(std::move(spec)), sim_(sim) {
+  if (spec_.mode == Mode::kDpdk) {
+    // DPDK baseline runs on a standard NIC of the same link speed.
+    nic::NicConfig dumb = spec_.nic.link_gbps > 10.0 ? nic::intel_xxv710()
+                                                     : nic::intel_xl710();
+    dumb.dma = spec_.nic.dma;
+    nic_ = std::make_unique<nic::NicModel>(sim, dumb, net, id);
+  } else {
+    nic_ = std::make_unique<nic::NicModel>(sim, spec_.nic, net, id);
+  }
+  host_ = std::make_unique<hostsim::HostModel>(sim, spec_.host, *nic_);
+  runtime_ = std::make_unique<Runtime>(sim, *nic_, *host_,
+                                       config_for_mode(spec_.mode, spec_.ipipe));
+}
+
+void ServerNode::snapshot() {
+  snapshot_at_ = sim_.now();
+  host_busy_snapshot_ = host_->total_busy_ns();
+  nic_busy_snapshot_ = nic_->total_busy_ns();
+}
+
+double ServerNode::host_cores_used() const {
+  const Ns window = sim_.now() - snapshot_at_;
+  if (window == 0) return 0.0;
+  return static_cast<double>(host_->total_busy_ns() - host_busy_snapshot_) /
+         static_cast<double>(window);
+}
+
+double ServerNode::nic_cores_used() const {
+  const Ns window = sim_.now() - snapshot_at_;
+  if (window == 0) return 0.0;
+  return static_cast<double>(nic_->total_busy_ns() - nic_busy_snapshot_) /
+         static_cast<double>(window);
+}
+
+ServerNode& Cluster::add_server(ServerSpec spec) {
+  const auto id = static_cast<netsim::NodeId>(servers_.size());
+  servers_.push_back(std::make_unique<ServerNode>(sim_, net_, id, std::move(spec)));
+  return *servers_.back();
+}
+
+workloads::ClientGen& Cluster::add_client(double link_gbps,
+                                          workloads::ClientGen::MakeReq make,
+                                          std::uint64_t seed) {
+  const auto id = static_cast<netsim::NodeId>(kClientBase + clients_.size());
+  clients_.push_back(std::make_unique<workloads::ClientGen>(
+      sim_, net_, id, link_gbps, std::move(make), seed));
+  return *clients_.back();
+}
+
+void Cluster::snapshot_all() {
+  for (auto& server : servers_) server->snapshot();
+}
+
+}  // namespace ipipe::testbed

@@ -1,0 +1,118 @@
+// Cluster harness: assembles servers (SmartNIC + host + runtime), clients
+// and the switch fabric into the paper's testbed (§2.2.1 / §5.1), and
+// collects the metrics the evaluation reports (host cores used, latency
+// distributions, throughput).
+//
+// Deployment modes:
+//   * kIPipe — SmartNIC runs the iPipe NIC runtime; actors start on the
+//     NIC (except host-pinned ones) and migrate dynamically.
+//   * kDpdk  — DPDK baseline: dumb NIC, every actor on the host, iPipe
+//     framework overheads zeroed (this is the paper's comparison target).
+//   * kFloem — static offload: actors placed once (initial location),
+//     migration disabled, overheads kept (Floem-style stationary
+//     elements, §5.6).
+//   * kHostIPipe — iPipe with every actor forced to the host (Fig. 17's
+//     "host-only with iPipe" overhead measurement).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hostsim/host_model.h"
+#include "ipipe/runtime.h"
+#include "netsim/network.h"
+#include "nic/nic_config.h"
+#include "nic/nic_model.h"
+#include "sim/simulation.h"
+#include "workloads/client.h"
+
+namespace ipipe::testbed {
+
+enum class Mode { kIPipe, kDpdk, kFloem, kHostIPipe };
+
+struct ServerSpec {
+  nic::NicConfig nic = nic::liquidio_cn2350();
+  hostsim::HostConfig host;
+  Mode mode = Mode::kIPipe;
+  IPipeConfig ipipe;
+};
+
+class ServerNode {
+ public:
+  ServerNode(sim::Simulation& sim, netsim::Network& net, netsim::NodeId id,
+             ServerSpec spec);
+
+  [[nodiscard]] netsim::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] nic::NicModel& nic() noexcept { return *nic_; }
+  [[nodiscard]] hostsim::HostModel& host() noexcept { return *host_; }
+  [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
+  [[nodiscard]] Mode mode() const noexcept { return spec_.mode; }
+
+  /// Default actor placement for this mode (used by app deploy helpers).
+  [[nodiscard]] ActorLoc default_loc() const noexcept {
+    return (spec_.mode == Mode::kDpdk || spec_.mode == Mode::kHostIPipe)
+               ? ActorLoc::kHost
+               : ActorLoc::kNic;
+  }
+
+  /// Snapshot host-core busy time (call at warm-up end).
+  void snapshot();
+  /// Average host cores used since the snapshot.
+  [[nodiscard]] double host_cores_used() const;
+  /// Average NIC cores used since the snapshot.
+  [[nodiscard]] double nic_cores_used() const;
+
+ private:
+  netsim::NodeId id_;
+  ServerSpec spec_;
+  sim::Simulation& sim_;
+  std::unique_ptr<nic::NicModel> nic_;
+  std::unique_ptr<hostsim::HostModel> host_;
+  std::unique_ptr<Runtime> runtime_;
+  Ns snapshot_at_ = 0;
+  Ns host_busy_snapshot_ = 0;
+  Ns nic_busy_snapshot_ = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(Ns switch_latency = 300)
+      : net_(sim_, switch_latency) {}
+
+  /// Add a server; returns its node id (0, 1, 2, ...).
+  ServerNode& add_server(ServerSpec spec);
+  /// Add a client endpoint with its own (dumb) NIC.
+  workloads::ClientGen& add_client(double link_gbps,
+                                   workloads::ClientGen::MakeReq make,
+                                   std::uint64_t seed = 42);
+
+  void run_until(Ns t) { sim_.run(t); }
+  void snapshot_all();
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] netsim::Network& net() noexcept { return net_; }
+  [[nodiscard]] ServerNode& server(std::size_t i) { return *servers_[i]; }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] workloads::ClientGen& client(std::size_t i) {
+    return *clients_[i];
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+
+  /// Node ids: servers are 0..N-1; clients get 1000, 1001, ...
+  static constexpr netsim::NodeId kClientBase = 1000;
+
+ private:
+  sim::Simulation sim_;
+  netsim::Network net_;
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::vector<std::unique_ptr<workloads::ClientGen>> clients_;
+};
+
+/// Convert a deployment mode into the runtime config tweaks it implies.
+[[nodiscard]] IPipeConfig config_for_mode(Mode mode, IPipeConfig base);
+
+}  // namespace ipipe::testbed

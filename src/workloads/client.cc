@@ -1,0 +1,71 @@
+#include "workloads/client.h"
+
+namespace ipipe::workloads {
+
+ClientGen::ClientGen(sim::Simulation& sim, netsim::Network& net,
+                     netsim::NodeId self, double link_gbps, MakeReq make,
+                     std::uint64_t seed)
+    : sim_(sim), net_(net), self_(self), make_(std::move(make)), rng_(seed) {
+  net_.attach(self_, *this, link_gbps);
+}
+
+ClientGen::~ClientGen() { net_.detach(self_); }
+
+void ClientGen::issue_one() {
+  if (sim_.now() >= stop_at_) return;
+  auto pkt = make_(next_seq_, rng_);
+  if (!pkt) return;
+  pkt->src = self_;
+  pkt->request_id = (static_cast<std::uint64_t>(self_) << 40) | next_seq_;
+  pkt->created_at = sim_.now();
+  ++next_seq_;
+  ++sent_;
+  inflight_.emplace(pkt->request_id, pkt->created_at);
+  net_.send(std::move(pkt));
+}
+
+void ClientGen::start_closed_loop(unsigned outstanding, Ns stop_at) {
+  closed_loop_ = true;
+  stop_at_ = stop_at;
+  for (unsigned i = 0; i < outstanding; ++i) issue_one();
+}
+
+void ClientGen::schedule_next_open() {
+  if (sim_.now() >= stop_at_) return;
+  const double gap_ns = 1e9 / rate_rps_;
+  const Ns delay = poisson_ ? static_cast<Ns>(rng_.exponential(gap_ns))
+                            : static_cast<Ns>(gap_ns);
+  sim_.schedule(delay, [this] {
+    issue_one();
+    schedule_next_open();
+  });
+}
+
+void ClientGen::start_open_loop(double rate_rps, Ns stop_at, bool poisson) {
+  closed_loop_ = false;
+  rate_rps_ = rate_rps;
+  poisson_ = poisson;
+  stop_at_ = stop_at;
+  schedule_next_open();
+}
+
+void ClientGen::receive(netsim::PacketPtr pkt) {
+  const auto it = inflight_.find(pkt->request_id);
+  if (it == inflight_.end()) {
+    if (on_reply_) on_reply_(*pkt);
+    return;  // unsolicited (e.g. duplicate or push traffic)
+  }
+  const Ns latency = sim_.now() - it->second;
+  inflight_.erase(it);
+  ++completed_;
+  last_completion_ = sim_.now();
+  if (sim_.now() >= warmup_until_) {
+    hist_.add(latency);
+    ++completed_measured_;
+    if (first_measured_ == 0) first_measured_ = sim_.now();
+  }
+  if (on_reply_) on_reply_(*pkt);
+  if (closed_loop_) issue_one();
+}
+
+}  // namespace ipipe::workloads

@@ -1,0 +1,85 @@
+// Workload-generator client: a network endpoint that issues requests
+// (closed-loop with fixed outstanding window, or open-loop Poisson) and
+// records end-to-end latencies.  Mirrors the paper's DPDK pkt-gen
+// augmented with application-layer packet formats (§2.2.1, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "netsim/network.h"
+#include "sim/simulation.h"
+
+namespace ipipe::workloads {
+
+class ClientGen : public netsim::Endpoint {
+ public:
+  /// Builds the next request; must set dst, dst_actor, msg_type, payload
+  /// and frame_size.  src/request_id/created_at are filled in by the
+  /// generator.
+  using MakeReq = std::function<netsim::PacketPtr(std::uint64_t seq, Rng& rng)>;
+
+  ClientGen(sim::Simulation& sim, netsim::Network& net, netsim::NodeId self,
+            double link_gbps, MakeReq make, std::uint64_t seed = 42);
+  ~ClientGen() override;
+
+  /// Closed loop: keep `outstanding` requests in flight until `stop_at`.
+  void start_closed_loop(unsigned outstanding, Ns stop_at);
+  /// Open loop at `rate_rps`; `poisson` draws exponential gaps.
+  void start_open_loop(double rate_rps, Ns stop_at, bool poisson = true);
+  /// Ignore latencies recorded before this time (warm-up).
+  void set_warmup(Ns until) noexcept { warmup_until_ = until; }
+
+  void receive(netsim::PacketPtr pkt) override;
+
+  [[nodiscard]] const LatencyHistogram& latencies() const noexcept {
+    return hist_;
+  }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t completed_after_warmup() const noexcept {
+    return completed_measured_;
+  }
+  [[nodiscard]] Ns first_measured_completion() const noexcept {
+    return first_measured_;
+  }
+  [[nodiscard]] Ns last_completion() const noexcept { return last_completion_; }
+  [[nodiscard]] netsim::NodeId node() const noexcept { return self_; }
+
+  /// Optional hook invoked on every reply (after accounting).
+  void set_on_reply(std::function<void(const netsim::Packet&)> fn) {
+    on_reply_ = std::move(fn);
+  }
+
+ private:
+  void issue_one();
+  void schedule_next_open();
+
+  sim::Simulation& sim_;
+  netsim::Network& net_;
+  netsim::NodeId self_;
+  MakeReq make_;
+  Rng rng_;
+
+  bool closed_loop_ = true;
+  double rate_rps_ = 0.0;
+  bool poisson_ = true;
+  Ns stop_at_ = 0;
+  Ns warmup_until_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t completed_measured_ = 0;
+  Ns first_measured_ = 0;
+  Ns last_completion_ = 0;
+  std::unordered_map<std::uint64_t, Ns> inflight_;
+  LatencyHistogram hist_;
+  std::function<void(const netsim::Packet&)> on_reply_;
+};
+
+}  // namespace ipipe::workloads

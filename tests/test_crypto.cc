@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/aes.h"
+#include "crypto/crc32.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+
+namespace ipipe::crypto {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+TEST(Crc32, KnownVectors) {
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(bytes_of(s)), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  const std::string abc = "abc";
+  EXPECT_EQ(crc32(bytes_of(abc)), 0x352441C2u);
+}
+
+TEST(Crc32, ChainedEqualsWhole) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  const auto whole = crc32(bytes_of(s));
+  // CRC of concatenation via seed chaining.
+  const std::string a = s.substr(0, 20);
+  const std::string b = s.substr(20);
+  const auto chained = crc32(bytes_of(b), crc32(bytes_of(a)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(to_hex(Md5::hash({})), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(to_hex(Md5::hash(bytes_of("a"))),
+            "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(to_hex(Md5::hash(bytes_of("abc"))),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(to_hex(Md5::hash(bytes_of("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(to_hex(Md5::hash(bytes_of(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"))),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Md5 md5;
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, msg.size() - i);
+    md5.update(bytes_of(msg.substr(i, n)));
+  }
+  EXPECT_EQ(to_hex(md5.finalize()), to_hex(Md5::hash(bytes_of(msg))));
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha1::hash(bytes_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(Sha1::hash({})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(Sha1::hash(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 sha;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(bytes_of(chunk));
+  EXPECT_EQ(to_hex(sha.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(HmacSha1, Rfc2202Vectors) {
+  // Test case 1.
+  const std::vector<std::uint8_t> key1(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha1(key1, bytes_of("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+  // Test case 2.
+  EXPECT_EQ(to_hex(hmac_sha1(bytes_of("Jefe"),
+                             bytes_of("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+  // Test case 3: 20x 0xaa key, 50x 0xdd data.
+  const std::vector<std::uint8_t> key3(20, 0xaa);
+  const std::vector<std::uint8_t> data3(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha1(key3, data3)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(Aes, Fips197Aes128) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto plain = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(out, 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  aes.decrypt_block(out, back);
+  EXPECT_EQ(0, std::memcmp(back, plain.data(), 16));
+}
+
+TEST(Aes, Fips197Aes256) {
+  const auto key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto plain = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  EXPECT_EQ(aes.rounds(), 14);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(out, 16)),
+            "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, CtrModeRfc3686Style) {
+  // NIST SP 800-38A F.5.1 CTR-AES128.
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto plain = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  std::array<std::uint8_t, 16> counter{};
+  const auto iv = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(iv.begin(), iv.end(), counter.begin());
+  Aes aes(key);
+  std::vector<std::uint8_t> out(plain.size());
+  aes_ctr_crypt(aes, counter, plain, out);
+  EXPECT_EQ(to_hex(out), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(Aes, CtrRoundTripArbitraryLength) {
+  const std::vector<std::uint8_t> key(32, 0x42);
+  Aes aes(key);
+  std::array<std::uint8_t, 16> counter{};
+  counter[15] = 1;
+  std::vector<std::uint8_t> plain(1000);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::vector<std::uint8_t> cipher(plain.size());
+  aes_ctr_crypt(aes, counter, plain, cipher);
+  EXPECT_NE(plain, cipher);
+  std::vector<std::uint8_t> back(plain.size());
+  aes_ctr_crypt(aes, counter, cipher, back);
+  EXPECT_EQ(plain, back);
+}
+
+}  // namespace
+}  // namespace ipipe::crypto

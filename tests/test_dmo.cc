@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "ipipe/dmo.h"
+
+namespace ipipe {
+namespace {
+
+TEST(RegionAllocator, AllocatesAlignedNonOverlapping) {
+  RegionAllocator alloc(0x1000, 64 * 1024);
+  std::map<std::uint64_t, std::uint64_t> live;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto size = 1 + rng.uniform_u64(500);
+    const auto addr = alloc.alloc(size);
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(*addr % 16, 0u);
+    // No overlap with any live allocation.
+    for (const auto& [a, s] : live) {
+      EXPECT_TRUE(*addr + size <= a || a + s <= *addr);
+    }
+    live[*addr] = size;
+  }
+}
+
+TEST(RegionAllocator, ExhaustionAndReuse) {
+  RegionAllocator alloc(0, 1024);
+  const auto a = alloc.alloc(512);
+  const auto b = alloc.alloc(512);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(alloc.alloc(16).has_value());
+  EXPECT_TRUE(alloc.free(*a));
+  const auto c = alloc.alloc(256);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(RegionAllocator, CoalescingRestoresFullBlock) {
+  RegionAllocator alloc(0, 4096);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 8; ++i) addrs.push_back(*alloc.alloc(512));
+  EXPECT_EQ(alloc.bytes_free(), 0u);
+  // Free in interleaved order to exercise both coalescing directions.
+  for (const int i : {1, 3, 5, 7, 0, 2, 4, 6}) {
+    EXPECT_TRUE(alloc.free(addrs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(alloc.bytes_free(), 4096u);
+  EXPECT_EQ(alloc.free_block_count(), 1u);
+  EXPECT_EQ(alloc.largest_free_block(), 4096u);
+}
+
+TEST(RegionAllocator, DoubleFreeRejected) {
+  RegionAllocator alloc(0, 1024);
+  const auto a = alloc.alloc(100);
+  EXPECT_TRUE(alloc.free(*a));
+  EXPECT_FALSE(alloc.free(*a));
+  EXPECT_FALSE(alloc.free(0xdeadbeef));
+}
+
+TEST(RegionAllocator, FragmentationProbe) {
+  RegionAllocator alloc(0, 16 * 1024);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 16; ++i) addrs.push_back(*alloc.alloc(1024));
+  for (std::size_t i = 0; i < addrs.size(); i += 2) alloc.free(addrs[i]);
+  // Half free, but fragmented: no block bigger than 1KB.
+  EXPECT_EQ(alloc.bytes_free(), 8 * 1024u);
+  EXPECT_EQ(alloc.largest_free_block(), 1024u);
+  EXPECT_FALSE(alloc.alloc(2048).has_value());
+}
+
+class ObjectTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table.register_actor(1, 1 << 20);
+    table.register_actor(2, 1 << 20);
+  }
+  ObjectTable table;
+};
+
+TEST_F(ObjectTableTest, AllocWriteReadRoundTrip) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 128, MemSide::kNic, id), DmoStatus::kOk);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  ASSERT_EQ(table.write(1, id, 10, data), DmoStatus::kOk);
+  std::vector<std::uint8_t> out(5);
+  ASSERT_EQ(table.read(1, id, 10, out), DmoStatus::kOk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ObjectTableTest, IsolationTrapOnForeignAccess) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  std::vector<std::uint8_t> buf(8);
+  EXPECT_EQ(table.read(2, id, 0, buf), DmoStatus::kWrongOwner);
+  EXPECT_EQ(table.write(2, id, 0, buf), DmoStatus::kWrongOwner);
+  EXPECT_EQ(table.free(2, id), DmoStatus::kWrongOwner);
+  EXPECT_EQ(table.traps(), 3u);
+}
+
+TEST_F(ObjectTableTest, OutOfBoundsTrap) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  std::vector<std::uint8_t> buf(32);
+  EXPECT_EQ(table.read(1, id, 40, buf), DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.write(1, id, 64, buf), DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.traps(), 2u);
+}
+
+TEST_F(ObjectTableTest, RegionExhaustion) {
+  table.register_actor(3, 1024);
+  ObjId id = kInvalidObj;
+  EXPECT_EQ(table.alloc(3, 900, MemSide::kNic, id), DmoStatus::kOk);
+  ObjId id2 = kInvalidObj;
+  EXPECT_EQ(table.alloc(3, 900, MemSide::kNic, id2), DmoStatus::kNoMemory);
+  // The other side has its own region, still usable.
+  EXPECT_EQ(table.alloc(3, 900, MemSide::kHost, id2), DmoStatus::kOk);
+}
+
+TEST_F(ObjectTableTest, MemsetAndCopy) {
+  ObjId a = kInvalidObj;
+  ObjId b = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 32, MemSide::kNic, a), DmoStatus::kOk);
+  ASSERT_EQ(table.alloc(1, 32, MemSide::kNic, b), DmoStatus::kOk);
+  ASSERT_EQ(table.memset(1, a, 0xAB, 0, 32), DmoStatus::kOk);
+  ASSERT_EQ(table.memcpy_obj(1, b, 0, a, 0, 32), DmoStatus::kOk);
+  std::vector<std::uint8_t> out(32);
+  ASSERT_EQ(table.read(1, b, 0, out), DmoStatus::kOk);
+  for (const auto v : out) EXPECT_EQ(v, 0xAB);
+}
+
+TEST_F(ObjectTableTest, MigratePreservesContent) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  const std::vector<std::uint8_t> data{9, 8, 7};
+  ASSERT_EQ(table.write(1, id, 0, data), DmoStatus::kOk);
+  ASSERT_EQ(table.migrate(1, id, MemSide::kHost), DmoStatus::kOk);
+  EXPECT_EQ(table.find(id)->side, MemSide::kHost);
+  std::vector<std::uint8_t> out(3);
+  ASSERT_EQ(table.read(1, id, 0, out), DmoStatus::kOk);
+  EXPECT_EQ(out, data);
+  // NIC-side region bytes are freed.
+  EXPECT_EQ(table.actor_bytes(1, MemSide::kNic), 0u);
+  EXPECT_GT(table.actor_bytes(1, MemSide::kHost), 0u);
+}
+
+TEST_F(ObjectTableTest, MigrateAllMovesEverything) {
+  std::vector<ObjId> ids(10);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto size = static_cast<std::uint32_t>(16 * (i + 1));
+    ASSERT_EQ(table.alloc(1, size, MemSide::kNic, ids[i]), DmoStatus::kOk);
+    expected += size;
+  }
+  EXPECT_EQ(table.migrate_all(1, MemSide::kHost), expected);
+  for (const ObjId id : ids) EXPECT_EQ(table.find(id)->side, MemSide::kHost);
+  EXPECT_EQ(table.migrate_all(1, MemSide::kHost), 0u);  // idempotent
+}
+
+TEST_F(ObjectTableTest, DeregisterFreesObjects) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  table.deregister_actor(1);
+  EXPECT_EQ(table.find(id), nullptr);
+  EXPECT_FALSE(table.actor_registered(1));
+}
+
+TEST_F(ObjectTableTest, WorkingSetTracksLiveBytes) {
+  ObjId a = kInvalidObj;
+  ObjId b = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 100, MemSide::kNic, a), DmoStatus::kOk);
+  ASSERT_EQ(table.alloc(1, 200, MemSide::kHost, b), DmoStatus::kOk);
+  // Working set counts allocator bytes (16B-aligned): 112 + 208.
+  EXPECT_EQ(table.working_set(1), 320u);
+  ASSERT_EQ(table.free(1, a), DmoStatus::kOk);
+  EXPECT_EQ(table.working_set(1), 208u);
+}
+
+}  // namespace
+}  // namespace ipipe

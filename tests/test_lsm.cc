@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/rkv/lsm.h"
+#include "common/rng.h"
+
+namespace ipipe::rkv {
+namespace {
+
+std::vector<std::uint8_t> val(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<SstEntry> sorted_entries(
+    std::initializer_list<std::pair<std::string, std::string>> kvs) {
+  std::vector<SstEntry> entries;
+  for (const auto& [k, v] : kvs) entries.push_back({k, val(v), false});
+  std::sort(entries.begin(), entries.end(),
+            [](const SstEntry& a, const SstEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+TEST(SsTable, BinarySearchLookup) {
+  SsTable table(sorted_entries({{"a", "1"}, {"c", "3"}, {"e", "5"}}));
+  SsTable::LookupStats stats;
+  const auto* e = table.get("c", &stats);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, val("3"));
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_EQ(table.get("b"), nullptr);
+  EXPECT_EQ(table.get("z"), nullptr);
+}
+
+TEST(LsmTree, NewestTableWinsInL0) {
+  LsmTree lsm;
+  lsm.add_l0(sorted_entries({{"k", "old"}}));
+  lsm.add_l0(sorted_entries({{"k", "new"}}));
+  EXPECT_EQ(lsm.get("k").value(), val("new"));
+}
+
+TEST(LsmTree, TombstoneHidesOlderValue) {
+  LsmTree lsm;
+  lsm.add_l0(sorted_entries({{"k", "value"}}));
+  std::vector<SstEntry> del{{"k", {}, true}};
+  lsm.add_l0(std::move(del));
+  EXPECT_FALSE(lsm.get("k").has_value());
+}
+
+TEST(LsmTree, CompactionPreservesData) {
+  LsmTree::Config cfg;
+  cfg.level0_bytes = 512;
+  cfg.level0_max_tables = 2;
+  LsmTree lsm(cfg);
+  std::map<std::string, std::string> oracle;
+  Rng rng(10);
+  for (int batch = 0; batch < 30; ++batch) {
+    std::vector<SstEntry> entries;
+    for (int i = 0; i < 20; ++i) {
+      const std::string k = "key" + std::to_string(rng.uniform_u64(200));
+      const std::string v = "v" + std::to_string(batch) + "_" + std::to_string(i);
+      entries.push_back({k, val(v), false});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const SstEntry& a, const SstEntry& b) { return a.key < b.key; });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const SstEntry& a, const SstEntry& b) {
+                                return a.key == b.key;
+                              }),
+                  entries.end());
+    for (const auto& e : entries) {
+      oracle[e.key] = std::string(e.value.begin(), e.value.end());
+    }
+    lsm.add_l0(std::move(entries));
+    lsm.maybe_compact();
+  }
+  EXPECT_GT(lsm.compactions(), 0u);
+  for (const auto& [k, v] : oracle) {
+    const auto got = lsm.get(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, val(v)) << k;
+  }
+}
+
+TEST(LsmTree, CompactionDropsTombstonesAtBottom) {
+  LsmTree::Config cfg;
+  cfg.level0_bytes = 64;
+  cfg.level0_max_tables = 1;
+  cfg.max_levels = 3;
+  LsmTree lsm(cfg);
+  lsm.add_l0(sorted_entries({{"a", "1"}, {"b", "2"}}));
+  std::vector<SstEntry> del{{"a", {}, true}};
+  lsm.add_l0(std::move(del));
+  lsm.maybe_compact();
+  EXPECT_FALSE(lsm.get("a").has_value());
+  EXPECT_TRUE(lsm.get("b").has_value());
+}
+
+TEST(MergeRuns, NewestWinsDedup) {
+  const std::vector<SstEntry> newer{{"a", val("new"), false},
+                                    {"b", val("b1"), false}};
+  const std::vector<SstEntry> older{{"a", val("old"), false},
+                                    {"c", val("c1"), false}};
+  const auto merged = merge_runs({&newer, &older}, false);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[0].value, val("new"));
+  EXPECT_EQ(merged[1].key, "b");
+  EXPECT_EQ(merged[2].key, "c");
+}
+
+TEST(LsmTree, GetStatsCountProbes) {
+  LsmTree lsm;
+  std::vector<SstEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back({"key" + std::to_string(1000 + i), val("v"), false});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SstEntry& a, const SstEntry& b) { return a.key < b.key; });
+  lsm.add_l0(std::move(entries));
+  LsmTree::GetStats stats;
+  EXPECT_TRUE(lsm.get("key1050", &stats).has_value());
+  EXPECT_GE(stats.probes, 5u);
+  EXPECT_EQ(stats.tables_probed, 1u);
+}
+
+}  // namespace
+}  // namespace ipipe::rkv

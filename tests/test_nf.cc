@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apps/nf/chain_repl.h"
+#include "apps/nf/count_min.h"
+#include "apps/nf/ipsec.h"
+#include "apps/nf/kv_cache.h"
+#include "apps/nf/leaky_bucket.h"
+#include "apps/nf/lpm_trie.h"
+#include "apps/nf/maglev.h"
+#include "apps/nf/naive_bayes.h"
+#include "apps/nf/pfabric.h"
+#include "apps/nf/tcam.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ipipe::nf {
+namespace {
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch sketch(1024, 4);
+  Rng rng(1);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.uniform_u64(500);
+    sketch.add(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.estimate(key), count);
+  }
+}
+
+TEST(CountMin, AccurateForHeavyHitters) {
+  CountMinSketch sketch(4096, 4);
+  for (int i = 0; i < 10'000; ++i) sketch.add(42);
+  for (int i = 0; i < 1000; ++i) sketch.add(static_cast<std::uint64_t>(i + 100));
+  const auto est = sketch.estimate(42);
+  EXPECT_GE(est, 10'000u);
+  EXPECT_LE(est, 10'050u);
+}
+
+TEST(SoftTcam, PriorityAndWildcards) {
+  SoftTcam tcam;
+  // Low priority: accept everything.
+  tcam.add_rule(TcamRule{{}, {}, 1, 100});
+  // High priority: drop traffic to port 22.
+  TcamRule ssh{};
+  ssh.value.dst_port = 22;
+  ssh.mask.dst_port = 0xFFFF;
+  ssh.priority = 10;
+  ssh.action = 0;
+  tcam.add_rule(ssh);
+
+  FiveTuple pkt;
+  pkt.dst_port = 22;
+  const auto r1 = tcam.lookup(pkt);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->action, 0u);
+  EXPECT_EQ(r1->rules_scanned, 1u);
+
+  pkt.dst_port = 80;
+  const auto r2 = tcam.lookup(pkt);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->action, 100u);
+  EXPECT_EQ(r2->rules_scanned, 2u);
+}
+
+TEST(SoftTcam, MatchesLinearScanOracle) {
+  Rng rng(2);
+  SoftTcam tcam;
+  std::vector<TcamRule> rules;
+  for (int i = 0; i < 200; ++i) {
+    TcamRule rule{};
+    rule.value.src_ip = static_cast<std::uint32_t>(rng.next());
+    rule.mask.src_ip = 0xFFFFFF00u << (rng.uniform_u64(3) * 4);
+    rule.value.proto = static_cast<std::uint8_t>(rng.uniform_u64(3));
+    rule.mask.proto = rng.bernoulli(0.5) ? 0xFF : 0x00;
+    rule.priority = static_cast<std::uint32_t>(rng.uniform_u64(1000));
+    rule.action = static_cast<std::uint32_t>(i + 1);
+    tcam.add_rule(rule);
+    rules.push_back(rule);
+  }
+  // Oracle: max-priority matching rule via linear scan.
+  for (int t = 0; t < 500; ++t) {
+    FiveTuple pkt;
+    pkt.src_ip = static_cast<std::uint32_t>(rng.next());
+    pkt.proto = static_cast<std::uint8_t>(rng.uniform_u64(3));
+    const TcamRule* best = nullptr;
+    for (const auto& rule : rules) {
+      if (rule.matches(pkt) && (best == nullptr || rule.priority > best->priority)) {
+        best = &rule;
+      }
+    }
+    const auto got = tcam.lookup(pkt);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->priority, best->priority);
+    }
+  }
+}
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie trie;
+  trie.insert(0x0A000000, 8, 1);   // 10.0.0.0/8
+  trie.insert(0x0A010000, 16, 2);  // 10.1.0.0/16
+  trie.insert(0x0A010100, 24, 3);  // 10.1.1.0/24
+
+  EXPECT_EQ(trie.lookup(0x0A010105)->next_hop, 3u);
+  EXPECT_EQ(trie.lookup(0x0A010205)->next_hop, 2u);
+  EXPECT_EQ(trie.lookup(0x0A020305)->next_hop, 1u);
+  EXPECT_FALSE(trie.lookup(0x0B000001).has_value());
+}
+
+TEST(LpmTrie, MatchesBruteForceOracle) {
+  Rng rng(3);
+  LpmTrie trie;
+  std::vector<std::tuple<std::uint32_t, unsigned, std::uint32_t>> prefixes;
+  for (int i = 0; i < 300; ++i) {
+    const unsigned len = 4 + static_cast<unsigned>(rng.uniform_u64(25));
+    const std::uint32_t prefix =
+        static_cast<std::uint32_t>(rng.next()) & (len == 32 ? ~0u : ~0u << (32 - len));
+    trie.insert(prefix, len, static_cast<std::uint32_t>(i + 1));
+    prefixes.emplace_back(prefix, len, static_cast<std::uint32_t>(i + 1));
+  }
+  for (int t = 0; t < 2000; ++t) {
+    const auto addr = static_cast<std::uint32_t>(rng.next());
+    unsigned best_len = 0;
+    std::uint32_t best_hop = 0;
+    bool found = false;
+    for (const auto& [prefix, len, hop] : prefixes) {
+      const std::uint32_t mask = len == 0 ? 0 : (len == 32 ? ~0u : ~0u << (32 - len));
+      if ((addr & mask) == (prefix & mask) && (!found || len >= best_len)) {
+        // On exact duplicate (prefix,len) the trie keeps the last insert.
+        if (!found || len > best_len ||
+            (len == best_len && hop > best_hop)) {
+          best_len = len;
+          best_hop = hop;
+        }
+        found = true;
+      }
+    }
+    const auto got = trie.lookup(addr);
+    EXPECT_EQ(got.has_value(), found);
+    if (found && got) EXPECT_EQ(got->prefix_len, best_len);
+  }
+}
+
+TEST(LpmTrie, EraseRemovesRoute) {
+  LpmTrie trie;
+  trie.insert(0x0A000000, 8, 1);
+  EXPECT_TRUE(trie.erase(0x0A000000, 8));
+  EXPECT_FALSE(trie.erase(0x0A000000, 8));
+  EXPECT_FALSE(trie.lookup(0x0A000001).has_value());
+}
+
+TEST(Maglev, BalancedDistribution) {
+  std::vector<std::string> backends;
+  for (int i = 0; i < 10; ++i) backends.push_back("be" + std::to_string(i));
+  MaglevTable table(backends, 65537);
+  const auto dist = table.load_distribution();
+  const auto [lo, hi] = std::minmax_element(dist.begin(), dist.end());
+  // Maglev guarantees near-perfect balance.
+  EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(*lo), 1.02);
+}
+
+TEST(Maglev, MinimalDisruptionOnBackendFailure) {
+  std::vector<std::string> backends;
+  for (int i = 0; i < 10; ++i) backends.push_back("be" + std::to_string(i));
+  MaglevTable table(backends, 65537);
+  const double disruption = table.remove_backend(3);
+  // Ideal: only the failed backend's ~10% of entries move; Maglev gets
+  // close to that (paper reports ~same order).
+  EXPECT_GT(disruption, 0.08);
+  EXPECT_LT(disruption, 0.25);
+  // No lookups land on the dead backend.
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_NE(table.lookup(rng.next()), 3u);
+  }
+}
+
+TEST(LeakyBucket, EnforcesRate) {
+  LeakyBucket bucket(8e6 /*1MB/s*/, 2000, 10'000);
+  Ns now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += usec(100);  // 10k pkts/s of 1KB => 10MB/s offered, 1MB/s allowed
+    bucket.offer(now, 1000);
+  }
+  bucket.drain(now);
+  // 100ms at 1MB/s = 100KB = ~100 packets (plus the 2KB burst).
+  EXPECT_NEAR(static_cast<double>(bucket.passed()), 102, 8);
+}
+
+TEST(LeakyBucket, BurstAllowsInitialSpike) {
+  LeakyBucket bucket(1e6, 10'000, 100);
+  int passed = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (bucket.offer(1, 1000)) ++passed;
+  }
+  EXPECT_EQ(passed, 10);  // exactly the burst budget
+}
+
+TEST(PFabric, DequeuesSmallestRemaining) {
+  PFabricScheduler sched;
+  Rng rng(5);
+  std::vector<std::uint32_t> remaining;
+  for (int i = 0; i < 500; ++i) {
+    const auto r = static_cast<std::uint32_t>(rng.uniform_u64(1'000'000));
+    sched.enqueue({static_cast<std::uint64_t>(i), r, 0});
+    remaining.push_back(r);
+  }
+  std::sort(remaining.begin(), remaining.end());
+  for (const auto expected : remaining) {
+    const auto e = sched.dequeue();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->remaining, expected);
+  }
+  EXPECT_FALSE(sched.dequeue().has_value());
+}
+
+TEST(PFabric, DropLowestEvictsLargest) {
+  PFabricScheduler sched;
+  sched.enqueue({1, 100, 0});
+  sched.enqueue({2, 900, 0});
+  sched.enqueue({3, 500, 0});
+  const auto dropped = sched.drop_lowest();
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->remaining, 900u);
+  EXPECT_EQ(sched.size(), 2u);
+}
+
+TEST(KvCache, PutGetDelete) {
+  KvCache cache(256, 1 << 20);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  EXPECT_EQ(cache.get("a").value_or(""), "1");
+  cache.put("a", "updated");
+  EXPECT_EQ(cache.get("a").value_or(""), "updated");
+  EXPECT_TRUE(cache.del("a"));
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.del("a"));
+}
+
+TEST(KvCache, EvictsUnderCapacity) {
+  KvCache cache(16, 1000);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("key" + std::to_string(i), std::string(50, 'x'));
+  }
+  EXPECT_LE(cache.memory_bytes(), 1000u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(NaiveBayes, LearnsSeparableClasses) {
+  NaiveBayes nb(2, 8);
+  Rng rng(6);
+  // Class 0: mass on features 0-3; class 1: mass on features 4-7.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint32_t> f0(8, 0);
+    std::vector<std::uint32_t> f1(8, 0);
+    for (int j = 0; j < 4; ++j) {
+      f0[static_cast<std::size_t>(j)] = 5 + static_cast<std::uint32_t>(rng.uniform_u64(10));
+      f1[static_cast<std::size_t>(j + 4)] = 5 + static_cast<std::uint32_t>(rng.uniform_u64(10));
+    }
+    nb.train(0, f0);
+    nb.train(1, f1);
+  }
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint32_t> f(8, 0);
+    const std::size_t cls = rng.bernoulli(0.5) ? 1 : 0;
+    for (int j = 0; j < 4; ++j) {
+      f[cls * 4 + static_cast<std::size_t>(j)] =
+          3 + static_cast<std::uint32_t>(rng.uniform_u64(8));
+    }
+    if (nb.classify(f).cls == cls) ++correct;
+  }
+  EXPECT_GT(correct, 95);
+}
+
+TEST(ChainReplicator, CommitAfterAllAcks) {
+  ChainReplicator chain({1, 2, 3});
+  const auto p = chain.submit();
+  EXPECT_EQ(p.seq, 1u);
+  EXPECT_EQ(p.acks_needed, 2u);
+  EXPECT_FALSE(chain.ack(p.seq));
+  EXPECT_TRUE(chain.ack(p.seq));
+  EXPECT_EQ(chain.committed(), 1u);
+  EXPECT_EQ(chain.pending_count(), 0u);
+  EXPECT_FALSE(chain.ack(p.seq));  // already committed
+}
+
+TEST(Ipsec, EncapsulateDecapsulateRoundTrip) {
+  const std::vector<std::uint8_t> aes_key(32, 0x11);
+  IpsecGateway tx(aes_key, {0x22, 0x22, 0x22, 0x22});
+  IpsecGateway rx(aes_key, {0x22, 0x22, 0x22, 0x22});
+
+  std::vector<std::uint8_t> plain(777);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto esp = tx.encapsulate(plain);
+  EXPECT_NE(esp.ciphertext, plain);
+  const auto back = rx.decapsulate(esp);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, plain);
+}
+
+TEST(Ipsec, RejectsTamperedCiphertext) {
+  const std::vector<std::uint8_t> aes_key(32, 0x11);
+  IpsecGateway tx(aes_key, {0x22});
+  IpsecGateway rx(aes_key, {0x22});
+  auto esp = tx.encapsulate(std::vector<std::uint8_t>(100, 0x5A));
+  esp.ciphertext[50] ^= 0x01;
+  EXPECT_FALSE(rx.decapsulate(esp).has_value());
+  EXPECT_EQ(rx.auth_failures(), 1u);
+}
+
+TEST(Ipsec, RejectsReplay) {
+  const std::vector<std::uint8_t> aes_key(32, 0x11);
+  IpsecGateway tx(aes_key, {0x22});
+  IpsecGateway rx(aes_key, {0x22});
+  const auto esp1 = tx.encapsulate(std::vector<std::uint8_t>(10, 1));
+  const auto esp2 = tx.encapsulate(std::vector<std::uint8_t>(10, 2));
+  EXPECT_TRUE(rx.decapsulate(esp1).has_value());
+  EXPECT_TRUE(rx.decapsulate(esp2).has_value());
+  EXPECT_FALSE(rx.decapsulate(esp1).has_value());  // replayed
+  EXPECT_EQ(rx.replays(), 1u);
+}
+
+TEST(Ipsec, WrongKeyFailsAuthentication) {
+  const std::vector<std::uint8_t> key_a(32, 0x11);
+  const std::vector<std::uint8_t> key_b(32, 0x12);
+  IpsecGateway tx(key_a, {0x22});
+  IpsecGateway rx(key_b, {0x23});
+  const auto esp = tx.encapsulate(std::vector<std::uint8_t>(64, 0xAB));
+  EXPECT_FALSE(rx.decapsulate(esp).has_value());
+}
+
+}  // namespace
+}  // namespace ipipe::nf

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "nic/accelerator.h"
+#include "nic/cache_model.h"
+#include "nic/dma_engine.h"
+#include "nic/nic_config.h"
+#include "nic/nic_model.h"
+#include "sim/simulation.h"
+#include "testbed/echo_firmware.h"
+#include "workloads/app_workloads.h"
+#include "workloads/client.h"
+
+namespace ipipe {
+namespace {
+
+/// Echo goodput for a given card / frame size / active cores.
+double echo_goodput_gbps(const nic::NicConfig& cfg, std::uint32_t frame,
+                         unsigned cores, double client_gbps = 100.0) {
+  sim::Simulation sim;
+  netsim::Network net(sim, 300);
+  nic::NicModel nic(sim, cfg, net, /*node=*/0);
+  nic.set_active_cores(cores);
+  // The echo server runs entirely on NIC cores; for off-path cards the
+  // NIC switch steers the echo flow to the cores.
+  nic.set_steer_to_nic([](const netsim::Packet&) { return true; });
+  testbed::EchoFirmware echo;
+  nic.set_firmware(&echo);
+
+  workloads::EchoWorkloadParams params;
+  params.server = 0;
+  params.frame_size = frame;
+  workloads::ClientGen client(sim, net, 1000, client_gbps,
+                              workloads::echo_workload(params));
+  const Ns duration = msec(10);
+  // Open loop at (beyond) line rate of the NIC's link.
+  const double rate = line_rate_pps(frame, cfg.link_gbps);
+  client.set_warmup(msec(2));
+  client.start_open_loop(rate * 1.05, duration, /*poisson=*/false);
+  sim.run(duration + msec(1));
+
+  const double measured_window =
+      to_sec(client.last_completion() - client.first_measured_completion());
+  if (measured_window <= 0.0) return 0.0;
+  const double pps =
+      static_cast<double>(client.completed_after_warmup()) / measured_window;
+  return goodput_gbps(pps, frame);
+}
+
+// Figure 2: cores needed for line rate on the 10GbE CN2350.
+struct CoreReq {
+  std::uint32_t frame;
+  unsigned enough;  // cores that reach line rate
+  unsigned not_enough;
+};
+
+class Fig2Calibration : public ::testing::TestWithParam<CoreReq> {};
+
+TEST_P(Fig2Calibration, LiquidIoCoreCounts) {
+  const auto cfg = nic::liquidio_cn2350();
+  const auto [frame, enough, not_enough] = GetParam();
+  const double line = goodput_gbps(line_rate_pps(frame, 10.0), frame);
+  EXPECT_GT(echo_goodput_gbps(cfg, frame, enough), 0.95 * line)
+      << frame << "B with " << enough << " cores should reach line rate";
+  EXPECT_LT(echo_goodput_gbps(cfg, frame, not_enough), 0.97 * line)
+      << frame << "B with " << not_enough << " cores should fall short";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFigure2, Fig2Calibration,
+                         ::testing::Values(CoreReq{256, 10, 9},
+                                           CoreReq{512, 6, 5},
+                                           CoreReq{1024, 4, 3},
+                                           CoreReq{1500, 3, 2}));
+
+TEST(Fig2Calibration, SmallFramesCannotReachLineRateEvenWithAllCores) {
+  const auto cfg = nic::liquidio_cn2350();
+  EXPECT_LT(echo_goodput_gbps(cfg, 64, 12),
+            0.9 * goodput_gbps(line_rate_pps(64, 10.0), 64));
+  EXPECT_LT(echo_goodput_gbps(cfg, 128, 12),
+            0.9 * goodput_gbps(line_rate_pps(128, 10.0), 128));
+}
+
+// Figure 3: Stingray core counts.
+class Fig3Calibration : public ::testing::TestWithParam<CoreReq> {};
+
+TEST_P(Fig3Calibration, StingrayCoreCounts) {
+  const auto cfg = nic::stingray_ps225();
+  const auto [frame, enough, not_enough] = GetParam();
+  const double line = goodput_gbps(line_rate_pps(frame, 25.0), frame);
+  EXPECT_GT(echo_goodput_gbps(cfg, frame, enough), 0.95 * line);
+  EXPECT_LT(echo_goodput_gbps(cfg, frame, not_enough), 0.97 * line);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFigure3, Fig3Calibration,
+                         ::testing::Values(CoreReq{256, 3, 2},
+                                           CoreReq{512, 2, 1},
+                                           CoreReq{1024, 1, 0}));
+
+TEST(Fig3Calibration, Stingray128BLimitedByPacketRateCeiling) {
+  const auto cfg = nic::stingray_ps225();
+  // 8 cores have enough compute for 128B line rate, but the NIC-wide
+  // packet-rate ceiling gates it (Fig. 3).
+  EXPECT_LT(echo_goodput_gbps(cfg, 128, 8),
+            0.92 * goodput_gbps(line_rate_pps(128, 25.0), 128));
+}
+
+TEST(CacheModel, Table2PointerChaseLatencies) {
+  // Working sets entirely inside one level must report that level's
+  // latency (Table 2).
+  auto check = [](const nic::NicConfig& cfg, double l1, double l2, double dram) {
+    nic::CacheModel cache = nic::CacheModel::for_nic(cfg);
+    EXPECT_NEAR(cache.expected_access_ns(16 * KiB), l1, 0.01);
+    // Working set of half L2: mostly L2 latency with an L1 fraction.
+    const double mid = cache.expected_access_ns(cfg.l2.capacity_bytes / 2);
+    EXPECT_GT(mid, l1);
+    EXPECT_LE(mid, l2);
+    // Huge working set: approaches DRAM latency.
+    EXPECT_NEAR(cache.expected_access_ns(2 * GiB), dram, dram * 0.05);
+  };
+  check(nic::liquidio_cn2350(), 8.3, 55.8, 115.0);
+  check(nic::bluefield_1m332a(), 5.0, 25.6, 132.0);
+  check(nic::stingray_ps225(), 1.3, 25.1, 85.3);
+}
+
+TEST(CacheModel, HostHierarchyFasterThanNics) {
+  auto host = nic::CacheModel::intel_host();
+  auto liquidio = nic::CacheModel::for_nic(nic::liquidio_cn2350());
+  for (const std::uint64_t ws : {16 * KiB, 1 * MiB, 64 * MiB}) {
+    EXPECT_LT(host.expected_access_ns(ws), liquidio.expected_access_ns(ws));
+  }
+}
+
+TEST(CacheModel, StochasticAccessMatchesExpectation) {
+  auto cache = nic::CacheModel::for_nic(nic::liquidio_cn2350());
+  Rng rng(3);
+  const std::uint64_t ws = 16 * MiB;
+  double total = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(cache.access(rng, ws));
+  }
+  EXPECT_NEAR(total / n, cache.expected_access_ns(ws), 1.0);
+  EXPECT_EQ(cache.accesses(), static_cast<std::uint64_t>(n));
+  EXPECT_GT(cache.llc_misses(), 0u);
+}
+
+TEST(Accelerator, Table3BatchLatenciesReproduced) {
+  const nic::AcceleratorBank bank;
+  struct Row {
+    nic::AccelKind kind;
+    double b1, b8, b32;  // µs per item at 1KB, from Table 3
+  };
+  const Row rows[] = {
+      {nic::AccelKind::kCrc, 2.6, 0.7, 0.3},
+      {nic::AccelKind::kMd5, 5.0, 3.1, 3.0},
+      {nic::AccelKind::kSha1, 3.5, 1.2, 0.9},
+      {nic::AccelKind::kTripleDes, 3.4, 1.3, 1.1},
+      {nic::AccelKind::kAes, 2.7, 1.0, 0.8},
+      {nic::AccelKind::kKasumi, 2.7, 1.1, 0.9},
+      {nic::AccelKind::kSms4, 3.5, 1.4, 1.2},
+      {nic::AccelKind::kSnow3g, 2.3, 0.9, 0.8},
+      {nic::AccelKind::kDfa, 9.2, 7.5, 7.3},
+  };
+  for (const auto& row : rows) {
+    EXPECT_NEAR(bank.per_item_us(row.kind, 1024, 1), row.b1, 0.01)
+        << accel_name(row.kind);
+    EXPECT_NEAR(bank.per_item_us(row.kind, 1024, 8), row.b8, 0.3)
+        << accel_name(row.kind);
+    EXPECT_NEAR(bank.per_item_us(row.kind, 1024, 32), row.b32, 0.01)
+        << accel_name(row.kind);
+  }
+  // ZIP: 190.9µs, not batchable.
+  EXPECT_NEAR(bank.per_item_us(nic::AccelKind::kZip, 1024, 1), 190.9, 0.1);
+}
+
+TEST(Accelerator, CostScalesWithBytes) {
+  const nic::AcceleratorBank bank;
+  const auto at_1k = bank.batch_cost(nic::AccelKind::kAes, 1024, 1);
+  const auto at_4k = bank.batch_cost(nic::AccelKind::kAes, 4096, 1);
+  EXPECT_GT(at_4k, at_1k);
+  EXPECT_LT(at_4k, 4 * at_1k);  // invocation overhead amortizes
+}
+
+TEST(DmaEngine, BlockingLatencyShape) {
+  sim::Simulation sim;
+  nic::DmaEngine dma(sim, nic::DmaTiming{});
+  // Small ops dominated by the fixed base; large ops by the transfer.
+  const Ns small_read = dma.blocking_read_latency(4);
+  const Ns big_read = dma.blocking_read_latency(2048);
+  EXPECT_NEAR(static_cast<double>(small_read), 900.0, 20.0);
+  EXPECT_GT(big_read, small_read + 300);
+  // Writes are faster than reads (no completion payload).
+  EXPECT_LT(dma.blocking_write_latency(2048), big_read);
+}
+
+TEST(DmaEngine, NonBlockingPostIsFlat) {
+  sim::Simulation sim;
+  nic::DmaEngine dma(sim, nic::DmaTiming{});
+  const Ns post_small = dma.nonblocking_write(4, nullptr);
+  const Ns post_big = dma.nonblocking_write(2048, nullptr);
+  EXPECT_EQ(post_small, post_big);  // queue not saturated
+  sim.run();
+}
+
+TEST(DmaEngine, CompletionCallbacksFireInOrder) {
+  sim::Simulation sim;
+  nic::DmaEngine dma(sim, nic::DmaTiming{});
+  std::vector<int> order;
+  dma.nonblocking_write(64, [&] { order.push_back(1); });
+  dma.nonblocking_write(64, [&] { order.push_back(2); });
+  dma.nonblocking_read(64, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(dma.ops_issued(), 3u);
+  EXPECT_EQ(dma.outstanding(), 0u);
+}
+
+TEST(DmaEngine, QueueBackpressureRaisesPostCost) {
+  sim::Simulation sim;
+  nic::DmaTiming timing;
+  timing.queue_depth = 4;
+  nic::DmaEngine dma(sim, timing);
+  Ns last_post = 0;
+  for (int i = 0; i < 16; ++i) last_post = dma.nonblocking_write(2048, nullptr);
+  EXPECT_GT(last_post, timing.nonblocking_post);
+  sim.run();
+}
+
+TEST(RdmaModel, RoughlyDoublesBlockingDmaLatency) {
+  sim::Simulation sim;
+  const auto cfg = nic::bluefield_1m332a();
+  nic::DmaEngine dma(sim, cfg.dma);
+  nic::RdmaModel rdma(cfg.rdma);
+  // §2.2.5: RDMA verbs nearly double the blocking-DMA latency.
+  const double ratio =
+      static_cast<double>(rdma.read_latency(64)) /
+      static_cast<double>(dma.blocking_read_latency(64));
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(NicModel, DumbNicDeliversToHost) {
+  sim::Simulation sim;
+  netsim::Network net(sim, 300);
+  nic::NicModel nic(sim, nic::intel_xl710(), net, 0);
+  std::vector<netsim::PacketPtr> host_rx;
+  nic.set_host_rx([&](netsim::PacketPtr p) { host_rx.push_back(std::move(p)); });
+
+  auto pkt = std::make_unique<netsim::Packet>();
+  pkt->src = 1;
+  pkt->dst = 0;
+  pkt->frame_size = 256;
+  // Use a second endpoint to inject.
+  class Null : public netsim::Endpoint {
+    void receive(netsim::PacketPtr) override {}
+  } null_ep;
+  net.attach(1, null_ep, 10.0);
+  net.send(std::move(pkt));
+  sim.run();
+  ASSERT_EQ(host_rx.size(), 1u);
+  EXPECT_EQ(nic.to_host_frames(), 1u);
+}
+
+TEST(NicModel, AdmissionPacingEnforcesMaxPps) {
+  sim::Simulation sim;
+  netsim::Network net(sim, 300);
+  auto cfg = nic::liquidio_cn2350();
+  cfg.max_pps = 1e6;  // 1us gap
+  nic::NicModel nic(sim, cfg, net, 0);
+  testbed::EchoFirmware echo;
+  nic.set_firmware(&echo);
+
+  workloads::EchoWorkloadParams params;
+  params.server = 0;
+  params.frame_size = 64;
+  workloads::ClientGen client(sim, net, 1000, 100.0,
+                              workloads::echo_workload(params));
+  client.start_open_loop(5e6, msec(5), false);
+  sim.run(msec(6));
+  // Admission paced at ~1Mpps over the 6ms simulated window.
+  EXPECT_LE(echo.echoed(), 6300u);
+  EXPECT_GT(echo.echoed(), 5000u);
+}
+
+}  // namespace
+}  // namespace ipipe

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "apps/rta/analytics.h"
+#include "apps/rta/regex.h"
+
+namespace ipipe::rta {
+namespace {
+
+TEST(Regex, Literals) {
+  Regex re("abc");
+  EXPECT_TRUE(re.match("abc"));
+  EXPECT_FALSE(re.match("ab"));
+  EXPECT_FALSE(re.match("abcd"));
+  EXPECT_TRUE(re.search("xxabcxx"));
+  EXPECT_FALSE(re.search("axbxc"));
+}
+
+TEST(Regex, Alternation) {
+  Regex re("cat|dog|bird");
+  EXPECT_TRUE(re.match("cat"));
+  EXPECT_TRUE(re.match("dog"));
+  EXPECT_TRUE(re.match("bird"));
+  EXPECT_FALSE(re.match("cow"));
+}
+
+TEST(Regex, StarPlusQuestion) {
+  EXPECT_TRUE(Regex("ab*c").match("ac"));
+  EXPECT_TRUE(Regex("ab*c").match("abbbbc"));
+  EXPECT_FALSE(Regex("ab+c").match("ac"));
+  EXPECT_TRUE(Regex("ab+c").match("abc"));
+  EXPECT_TRUE(Regex("ab?c").match("ac"));
+  EXPECT_TRUE(Regex("ab?c").match("abc"));
+  EXPECT_FALSE(Regex("ab?c").match("abbc"));
+}
+
+TEST(Regex, DotAndClasses) {
+  EXPECT_TRUE(Regex("a.c").match("axc"));
+  EXPECT_FALSE(Regex("a.c").match("ac"));
+  EXPECT_TRUE(Regex("[a-z]+").match("hello"));
+  EXPECT_FALSE(Regex("[a-z]+").match("Hello"));
+  EXPECT_TRUE(Regex("[^0-9]+").match("abc!"));
+  EXPECT_FALSE(Regex("[^0-9]+").match("ab1"));
+  EXPECT_TRUE(Regex("\\d+").match("12345"));
+  EXPECT_TRUE(Regex("\\w+").match("word_1"));
+}
+
+TEST(Regex, Grouping) {
+  Regex re("(ab)+c");
+  EXPECT_TRUE(re.match("abc"));
+  EXPECT_TRUE(re.match("ababc"));
+  EXPECT_FALSE(re.match("aabc"));
+  Regex re2("(a|b)*c");
+  EXPECT_TRUE(re2.match("c"));
+  EXPECT_TRUE(re2.match("abbac"));
+}
+
+TEST(Regex, PaperStylePatterns) {
+  Regex ing("[a-z]*ing");
+  EXPECT_TRUE(ing.search("networking"));
+  EXPECT_TRUE(ing.search("running fast"));
+  EXPECT_FALSE(ing.search("runs"));
+  Regex data("data[0-9]+");
+  EXPECT_TRUE(data.search("data42"));
+  EXPECT_FALSE(data.search("data"));
+}
+
+TEST(Regex, NoBacktrackingBlowup) {
+  // Classic pathological case for backtracking engines: (a?)^n a^n.
+  Regex re("a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?a?aaaaaaaaaaaaaaaaaaaa");
+  EXPECT_TRUE(re.match("aaaaaaaaaaaaaaaaaaaa"));
+  // Thompson simulation is linear: steps stay small.
+  EXPECT_LT(re.last_steps(), 10'000u);
+}
+
+TEST(Regex, SyntaxErrorsThrow) {
+  EXPECT_THROW(Regex("a("), std::invalid_argument);
+  EXPECT_THROW(Regex("[abc"), std::invalid_argument);
+  EXPECT_THROW(Regex("*a"), std::invalid_argument);
+  EXPECT_THROW(Regex("a)"), std::invalid_argument);
+}
+
+TEST(Tuples, PackUnpackRoundTrip) {
+  std::vector<Tuple> tuples;
+  tuples.push_back({"hello", 3, 100});
+  tuples.push_back({"world", 7, 200});
+  const auto bytes = pack_tuples(tuples);
+  const auto back = unpack_tuples(bytes);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].key, "hello");
+  EXPECT_EQ(back[0].count, 3u);
+  EXPECT_EQ(back[1].timestamp, 200u);
+}
+
+TEST(Filter, AdmitsOnlyMatchingTuples) {
+  Filter filter({"[a-z]*ing", "data[0-9]+"});
+  EXPECT_TRUE(filter.admit({"running", 1, 0}));
+  EXPECT_TRUE(filter.admit({"data99", 1, 0}));
+  EXPECT_FALSE(filter.admit({"plain", 1, 0}));
+  EXPECT_EQ(filter.admitted(), 2u);
+  EXPECT_EQ(filter.discarded(), 1u);
+  EXPECT_GT(filter.last_steps(), 0u);
+}
+
+TEST(SlidingCounter, WindowExpiry) {
+  SlidingCounter counter(msec(10), msec(1));
+  counter.add({"k", 5, msec(1)});
+  counter.add({"k", 3, msec(2)});
+  EXPECT_EQ(counter.count("k"), 8u);
+  // Advance beyond the window: old slots expire.
+  counter.advance(msec(20));
+  EXPECT_EQ(counter.count("k"), 0u);
+  EXPECT_EQ(counter.keys(), 0u);
+}
+
+TEST(SlidingCounter, PartialExpiry) {
+  SlidingCounter counter(msec(10), msec(1));
+  counter.add({"k", 5, msec(0)});
+  counter.add({"k", 3, msec(8)});
+  counter.advance(msec(11));  // first slot (t=0) expired, second alive
+  EXPECT_EQ(counter.count("k"), 3u);
+}
+
+TEST(TopNRanker, KeepsHighestCounts) {
+  TopNRanker ranker(3);
+  ranker.update("a", 10);
+  ranker.update("b", 50);
+  ranker.update("c", 30);
+  ranker.update("d", 40);
+  ranker.update("e", 5);
+  const auto top = ranker.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "b");
+  EXPECT_EQ(top[1].key, "d");
+  EXPECT_EQ(top[2].key, "c");
+}
+
+TEST(TopNRanker, UpdatesExistingKey) {
+  TopNRanker ranker(2);
+  ranker.update("a", 10);
+  ranker.update("b", 20);
+  ranker.update("a", 100);
+  const auto top = ranker.top();
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 100u);
+  EXPECT_EQ(ranker.size(), 2u);
+}
+
+TEST(Topology, NextHopRouting) {
+  Topology topo;
+  topo.set_next("filter", 0, 7);
+  topo.set_next("counter", 0, 8);
+  ASSERT_NE(topo.next("filter"), nullptr);
+  EXPECT_EQ(topo.next("filter")->actor, 7u);
+  EXPECT_EQ(topo.next("nonexistent"), nullptr);
+}
+
+}  // namespace
+}  // namespace ipipe::rta

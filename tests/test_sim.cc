@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace ipipe::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Simulation, FifoTieBreakAtSameTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, NestedSchedulingFromCallback) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    sim.schedule(5, [&] {
+      ++fired;
+      sim.schedule(5, [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule(100, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelAfterExecutionReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.schedule(200, [&] { ++fired; });
+  sim.run(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150u);
+  sim.run(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PendingCountsLiveEvents) {
+  Simulation sim;
+  const EventId a = sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(PeriodicTask, FiresUntilStopped) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicTask task(sim, 100, [&] {
+    if (++fired == 5) {
+      // stop from inside the callback
+    }
+  });
+  task.start();
+  sim.run(450);
+  EXPECT_EQ(fired, 4);
+  task.stop();
+  sim.run(10'000);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<std::uint64_t> stamps;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule(static_cast<Ns>((i * 37) % 50), [&stamps, &sim] {
+        stamps.push_back(sim.now());
+      });
+    }
+    sim.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ipipe::sim

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/rkv/skiplist.h"
+#include "fake_env.h"
+
+namespace ipipe::rkv {
+namespace {
+
+std::vector<std::uint8_t> val(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DmoSkipList, InsertAndGet) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  EXPECT_TRUE(list.insert(env, "banana", val("yellow")));
+  EXPECT_TRUE(list.insert(env, "apple", val("red")));
+  EXPECT_TRUE(list.insert(env, "cherry", val("dark")));
+
+  const auto a = list.get(env, "apple");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, val("red"));
+  EXPECT_FALSE(a->tombstone);
+  EXPECT_FALSE(list.get(env, "durian").has_value());
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(DmoSkipList, UpdateReplacesValue) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  EXPECT_TRUE(list.insert(env, "k", val("v1")));
+  EXPECT_TRUE(list.insert(env, "k", val("v2-longer")));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.get(env, "k")->value, val("v2-longer"));
+}
+
+TEST(DmoSkipList, TombstoneMarksDeletion) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  EXPECT_TRUE(list.insert(env, "k", val("v")));
+  EXPECT_TRUE(list.insert(env, "k", {}, /*tombstone=*/true));
+  const auto r = list.get(env, "k");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->tombstone);
+}
+
+TEST(DmoSkipList, ScanAllReturnsSortedEntries) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  for (const auto* k : {"delta", "alpha", "echo", "bravo", "charlie"}) {
+    ASSERT_TRUE(list.insert(env, k, val(k)));
+  }
+  const auto all = list.scan_all(env);
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(std::get<0>(all[i - 1]), std::get<0>(all[i]));
+  }
+}
+
+TEST(DmoSkipList, ClearFreesEverything) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(list.insert(env, "key" + std::to_string(i), val("v")));
+  }
+  const auto before = env.table().working_set(1);
+  list.clear(env);
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.get(env, "key7").has_value());
+  EXPECT_LT(env.table().working_set(1), before / 10);
+  // Reusable after clear.
+  EXPECT_TRUE(list.insert(env, "fresh", val("x")));
+  EXPECT_TRUE(list.get(env, "fresh").has_value());
+}
+
+TEST(DmoSkipList, MatchesMapOracleUnderRandomOps) {
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  std::map<std::string, std::pair<std::vector<std::uint8_t>, bool>> oracle;
+  Rng rng(1234);
+
+  for (int op = 0; op < 3000; ++op) {
+    const std::string key = "k" + std::to_string(rng.uniform_u64(300));
+    const double dice = rng.uniform();
+    if (dice < 0.55) {
+      std::vector<std::uint8_t> value(1 + rng.uniform_u64(40));
+      for (auto& b : value) b = static_cast<std::uint8_t>(rng.next());
+      ASSERT_TRUE(list.insert(env, key, value));
+      oracle[key] = {value, false};
+    } else if (dice < 0.7) {
+      ASSERT_TRUE(list.insert(env, key, {}, true));
+      oracle[key] = {{}, true};
+    } else {
+      const auto got = list.get(env, key);
+      const auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(got->tombstone, it->second.second);
+        EXPECT_EQ(got->value, it->second.first);
+      }
+    }
+  }
+  EXPECT_EQ(list.size(), oracle.size());
+
+  // Final scan matches the oracle exactly, in order.
+  const auto all = list.scan_all(env);
+  ASSERT_EQ(all.size(), oracle.size());
+  auto oit = oracle.begin();
+  for (const auto& [key, value, tombstone] : all) {
+    EXPECT_EQ(key, oit->first);
+    EXPECT_EQ(value, oit->second.first);
+    EXPECT_EQ(tombstone, oit->second.second);
+    ++oit;
+  }
+}
+
+TEST(DmoSkipList, SurvivesObjectTableMigration) {
+  // The defining property of the DMO skip list (Fig. 12): moving every
+  // object to the other side leaves the structure fully usable.
+  test::FakeEnv env;
+  DmoSkipList list;
+  list.create(env);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(list.insert(env, "key" + std::to_string(i),
+                            val("value" + std::to_string(i))));
+  }
+  env.table().migrate_all(1, MemSide::kHost);
+  env.set_on_nic(false);  // actor now runs on the host
+  for (int i = 0; i < 100; ++i) {
+    const auto got = list.get(env, "key" + std::to_string(i));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(got->value, val("value" + std::to_string(i)));
+  }
+  EXPECT_TRUE(list.insert(env, "post-migration", val("ok")));
+  EXPECT_TRUE(list.get(env, "post-migration").has_value());
+}
+
+TEST(DmoSkipList, FailsGracefullyOnRegionExhaustion) {
+  test::FakeEnv env(1, 16 * 1024);  // tiny region
+  DmoSkipList list;
+  list.create(env);
+  bool saw_failure = false;
+  for (int i = 0; i < 1000 && !saw_failure; ++i) {
+    saw_failure = !list.insert(env, "key" + std::to_string(i),
+                               std::vector<std::uint8_t>(64, 1));
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+}  // namespace
+}  // namespace ipipe::rkv

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "apps/dt/dt_actors.h"
+#include "apps/rkv/rkv_messages.h"
+#include "apps/rta/rta_actors.h"
+#include "workloads/app_workloads.h"
+
+namespace ipipe::workloads {
+namespace {
+
+TEST(KvWorkload, ReadWriteMixMatchesConfig) {
+  KvWorkloadParams params;
+  params.consensus_actor = 5;
+  params.read_fraction = 0.95;
+  params.frame_size = 512;
+  auto make = kv_workload(params);
+  Rng rng(1);
+  int reads = 0;
+  int writes = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_EQ(pkt->dst_actor, 5u);
+    EXPECT_EQ(pkt->frame_size, 512u);
+    const auto req = rkv::ClientReq::decode(pkt->payload);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->key.size(), 16u);  // §5.1: 16B keys
+    if (req->op == rkv::Op::kGet) {
+      ++reads;
+      EXPECT_TRUE(req->value.empty());
+    } else {
+      ++writes;
+      EXPECT_FALSE(req->value.empty());
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.95, 0.01);
+  EXPECT_EQ(reads + writes, n);
+}
+
+TEST(KvWorkload, ValueSizeScalesWithFrame) {
+  Rng rng(2);
+  std::size_t small_val = 0;
+  std::size_t big_val = 0;
+  for (const std::uint32_t frame : {256u, 1024u}) {
+    KvWorkloadParams params;
+    params.frame_size = frame;
+    params.read_fraction = 0.0;  // all writes
+    auto make = kv_workload(params);
+    const auto pkt = make(1, rng);
+    const auto req = rkv::ClientReq::decode(pkt->payload);
+    (frame == 256 ? small_val : big_val) = req->value.size();
+  }
+  EXPECT_GT(big_val, small_val * 2);
+}
+
+TEST(KvWorkload, ZipfSkewConcentratesKeys) {
+  KvWorkloadParams params;
+  params.num_keys = 10'000;
+  params.zipf_theta = 0.99;
+  params.read_fraction = 1.0;
+  auto make = kv_workload(params);
+  Rng rng(3);
+  std::unordered_map<std::string, int> counts;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    const auto req = rkv::ClientReq::decode(pkt->payload);
+    ++counts[req->key];
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Uniform would give ~2 per key; zipf-0.99 head gets hundreds.
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(TxnWorkload, ShapeMatchesPaperTransactions) {
+  TxnWorkloadParams params;
+  params.coordinator_actor = 9;
+  params.participants = {1, 2};
+  auto make = txn_workload(params);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    EXPECT_EQ(pkt->msg_type, dt::kTxnRequest);
+    const auto txn = dt::TxnRequest::decode(pkt->payload);
+    ASSERT_TRUE(txn.has_value());
+    // §5.1: two reads and one write per transaction.
+    EXPECT_EQ(txn->reads.size(), 2u);
+    EXPECT_EQ(txn->writes.size(), 1u);
+    for (const auto& r : txn->reads) {
+      EXPECT_TRUE(r.node == 1 || r.node == 2);
+    }
+    EXPECT_LE(txn->writes[0].value.size(), dt::DmoHashTable::kInlineValue);
+  }
+}
+
+TEST(RtaWorkload, TuplesPerRequestScaleWithFrame) {
+  Rng rng(5);
+  std::size_t small_n = 0;
+  std::size_t big_n = 0;
+  for (const std::uint32_t frame : {256u, 1024u}) {
+    RtaWorkloadParams params;
+    params.frame_size = frame;
+    auto make = rta_workload(params);
+    const auto pkt = make(1, rng);
+    EXPECT_EQ(pkt->msg_type, rta::kTuples);
+    (frame == 256 ? small_n : big_n) = rta::unpack_tuples(pkt->payload).size();
+  }
+  EXPECT_GT(big_n, small_n * 2);
+  EXPECT_GE(small_n, 1u);
+}
+
+TEST(MakeKey, FixedLengthZeroPadded) {
+  EXPECT_EQ(make_key(7, 16).size(), 16u);
+  EXPECT_EQ(make_key(123456789, 16).size(), 16u);
+  EXPECT_NE(make_key(1, 16), make_key(2, 16));
+}
+
+class FrameSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FrameSweep, EchoWorkloadRespectsFrameSize) {
+  EchoWorkloadParams params;
+  params.frame_size = GetParam();
+  params.server = 3;
+  auto make = echo_workload(params);
+  Rng rng(6);
+  const auto pkt = make(1, rng);
+  EXPECT_EQ(pkt->frame_size, GetParam());
+  EXPECT_EQ(pkt->dst, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, FrameSweep,
+                         ::testing::Values(64u, 128u, 256u, 512u, 1024u,
+                                           1500u));
+
+}  // namespace
+}  // namespace ipipe::workloads
