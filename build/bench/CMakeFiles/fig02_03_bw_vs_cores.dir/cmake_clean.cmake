@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_03_bw_vs_cores.dir/fig02_03_bw_vs_cores.cc.o"
+  "CMakeFiles/fig02_03_bw_vs_cores.dir/fig02_03_bw_vs_cores.cc.o.d"
+  "fig02_03_bw_vs_cores"
+  "fig02_03_bw_vs_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_03_bw_vs_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_headroom.dir/fig04_headroom.cc.o"
+  "CMakeFiles/fig04_headroom.dir/fig04_headroom.cc.o.d"
+  "fig04_headroom"
+  "fig04_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

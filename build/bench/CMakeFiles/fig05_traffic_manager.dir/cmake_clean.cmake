@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_traffic_manager.dir/fig05_traffic_manager.cc.o"
+  "CMakeFiles/fig05_traffic_manager.dir/fig05_traffic_manager.cc.o.d"
+  "fig05_traffic_manager"
+  "fig05_traffic_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_traffic_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sendrecv.dir/fig06_sendrecv.cc.o"
+  "CMakeFiles/fig06_sendrecv.dir/fig06_sendrecv.cc.o.d"
+  "fig06_sendrecv"
+  "fig06_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

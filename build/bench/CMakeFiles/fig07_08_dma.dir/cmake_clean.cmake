@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_dma.dir/fig07_08_dma.cc.o"
+  "CMakeFiles/fig07_08_dma.dir/fig07_08_dma.cc.o.d"
+  "fig07_08_dma"
+  "fig07_08_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

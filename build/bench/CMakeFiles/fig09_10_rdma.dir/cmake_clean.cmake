@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_rdma.dir/fig09_10_rdma.cc.o"
+  "CMakeFiles/fig09_10_rdma.dir/fig09_10_rdma.cc.o.d"
+  "fig09_10_rdma"
+  "fig09_10_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

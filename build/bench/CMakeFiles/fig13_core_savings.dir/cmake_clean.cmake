@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_core_savings.dir/fig13_core_savings.cc.o"
+  "CMakeFiles/fig13_core_savings.dir/fig13_core_savings.cc.o.d"
+  "fig13_core_savings"
+  "fig13_core_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_core_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

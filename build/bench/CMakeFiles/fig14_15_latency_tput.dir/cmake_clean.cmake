@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_latency_tput.dir/fig14_15_latency_tput.cc.o"
+  "CMakeFiles/fig14_15_latency_tput.dir/fig14_15_latency_tput.cc.o.d"
+  "fig14_15_latency_tput"
+  "fig14_15_latency_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_latency_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scheduler.dir/fig16_scheduler.cc.o"
+  "CMakeFiles/fig16_scheduler.dir/fig16_scheduler.cc.o.d"
+  "fig16_scheduler"
+  "fig16_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

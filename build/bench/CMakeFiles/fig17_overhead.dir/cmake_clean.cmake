@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_overhead.dir/fig17_overhead.cc.o"
+  "CMakeFiles/fig17_overhead.dir/fig17_overhead.cc.o.d"
+  "fig17_overhead"
+  "fig17_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_migration.dir/fig18_migration.cc.o"
+  "CMakeFiles/fig18_migration.dir/fig18_migration.cc.o.d"
+  "fig18_migration"
+  "fig18_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floem_compare.dir/floem_compare.cc.o"
+  "CMakeFiles/floem_compare.dir/floem_compare.cc.o.d"
+  "floem_compare"
+  "floem_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floem_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

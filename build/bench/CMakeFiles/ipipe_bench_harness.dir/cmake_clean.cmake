@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_bench_harness.dir/harness/app_harness.cc.o"
+  "CMakeFiles/ipipe_bench_harness.dir/harness/app_harness.cc.o.d"
+  "libipipe_bench_harness.a"
+  "libipipe_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

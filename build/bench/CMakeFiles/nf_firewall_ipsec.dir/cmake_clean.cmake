@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_firewall_ipsec.dir/nf_firewall_ipsec.cc.o"
+  "CMakeFiles/nf_firewall_ipsec.dir/nf_firewall_ipsec.cc.o.d"
+  "nf_firewall_ipsec"
+  "nf_firewall_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_firewall_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memory_latency.dir/table2_memory_latency.cc.o"
+  "CMakeFiles/table2_memory_latency.dir/table2_memory_latency.cc.o.d"
+  "table2_memory_latency"
+  "table2_memory_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

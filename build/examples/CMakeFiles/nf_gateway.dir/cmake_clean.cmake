@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_gateway.dir/nf_gateway.cpp.o"
+  "CMakeFiles/nf_gateway.dir/nf_gateway.cpp.o.d"
+  "nf_gateway"
+  "nf_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

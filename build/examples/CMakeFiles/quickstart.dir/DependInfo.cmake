@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/ipipe_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ipipe_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ipipe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipipe/CMakeFiles/ipipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/ipipe_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ipipe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ipipe_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dt/dt_actors.cc" "src/apps/CMakeFiles/ipipe_apps.dir/dt/dt_actors.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/dt/dt_actors.cc.o.d"
+  "/root/repo/src/apps/dt/hashtable.cc" "src/apps/CMakeFiles/ipipe_apps.dir/dt/hashtable.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/dt/hashtable.cc.o.d"
+  "/root/repo/src/apps/nf/chain_repl.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/chain_repl.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/chain_repl.cc.o.d"
+  "/root/repo/src/apps/nf/count_min.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/count_min.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/count_min.cc.o.d"
+  "/root/repo/src/apps/nf/ipsec.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/ipsec.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/ipsec.cc.o.d"
+  "/root/repo/src/apps/nf/kv_cache.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/kv_cache.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/kv_cache.cc.o.d"
+  "/root/repo/src/apps/nf/leaky_bucket.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/leaky_bucket.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/leaky_bucket.cc.o.d"
+  "/root/repo/src/apps/nf/lpm_trie.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/lpm_trie.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/lpm_trie.cc.o.d"
+  "/root/repo/src/apps/nf/maglev.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/maglev.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/maglev.cc.o.d"
+  "/root/repo/src/apps/nf/naive_bayes.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/naive_bayes.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/naive_bayes.cc.o.d"
+  "/root/repo/src/apps/nf/pfabric.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/pfabric.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/pfabric.cc.o.d"
+  "/root/repo/src/apps/nf/tcam.cc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/tcam.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/nf/tcam.cc.o.d"
+  "/root/repo/src/apps/rkv/lsm.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/lsm.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/lsm.cc.o.d"
+  "/root/repo/src/apps/rkv/rkv_actors.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/rkv_actors.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/rkv_actors.cc.o.d"
+  "/root/repo/src/apps/rkv/skiplist.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/skiplist.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rkv/skiplist.cc.o.d"
+  "/root/repo/src/apps/rta/analytics.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/analytics.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/analytics.cc.o.d"
+  "/root/repo/src/apps/rta/regex.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/regex.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/regex.cc.o.d"
+  "/root/repo/src/apps/rta/rta_actors.cc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/rta_actors.cc.o" "gcc" "src/apps/CMakeFiles/ipipe_apps.dir/rta/rta_actors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipipe/CMakeFiles/ipipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/ipipe_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ipipe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ipipe_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

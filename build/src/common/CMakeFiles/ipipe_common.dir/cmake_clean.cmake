@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_common.dir/logging.cc.o"
+  "CMakeFiles/ipipe_common.dir/logging.cc.o.d"
+  "CMakeFiles/ipipe_common.dir/rng.cc.o"
+  "CMakeFiles/ipipe_common.dir/rng.cc.o.d"
+  "CMakeFiles/ipipe_common.dir/stats.cc.o"
+  "CMakeFiles/ipipe_common.dir/stats.cc.o.d"
+  "libipipe_common.a"
+  "libipipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

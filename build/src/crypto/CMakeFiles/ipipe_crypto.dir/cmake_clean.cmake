@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_crypto.dir/aes.cc.o"
+  "CMakeFiles/ipipe_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/ipipe_crypto.dir/crc32.cc.o"
+  "CMakeFiles/ipipe_crypto.dir/crc32.cc.o.d"
+  "CMakeFiles/ipipe_crypto.dir/md5.cc.o"
+  "CMakeFiles/ipipe_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/ipipe_crypto.dir/sha1.cc.o"
+  "CMakeFiles/ipipe_crypto.dir/sha1.cc.o.d"
+  "libipipe_crypto.a"
+  "libipipe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

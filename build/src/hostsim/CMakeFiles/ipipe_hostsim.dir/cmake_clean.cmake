@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_hostsim.dir/host_model.cc.o"
+  "CMakeFiles/ipipe_hostsim.dir/host_model.cc.o.d"
+  "libipipe_hostsim.a"
+  "libipipe_hostsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_hostsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

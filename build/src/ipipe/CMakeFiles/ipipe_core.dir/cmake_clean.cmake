@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_core.dir/channel.cc.o"
+  "CMakeFiles/ipipe_core.dir/channel.cc.o.d"
+  "CMakeFiles/ipipe_core.dir/dmo.cc.o"
+  "CMakeFiles/ipipe_core.dir/dmo.cc.o.d"
+  "CMakeFiles/ipipe_core.dir/env.cc.o"
+  "CMakeFiles/ipipe_core.dir/env.cc.o.d"
+  "CMakeFiles/ipipe_core.dir/runtime.cc.o"
+  "CMakeFiles/ipipe_core.dir/runtime.cc.o.d"
+  "libipipe_core.a"
+  "libipipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_netsim.dir/network.cc.o"
+  "CMakeFiles/ipipe_netsim.dir/network.cc.o.d"
+  "libipipe_netsim.a"
+  "libipipe_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/accelerator.cc" "src/nic/CMakeFiles/ipipe_nic.dir/accelerator.cc.o" "gcc" "src/nic/CMakeFiles/ipipe_nic.dir/accelerator.cc.o.d"
+  "/root/repo/src/nic/cache_model.cc" "src/nic/CMakeFiles/ipipe_nic.dir/cache_model.cc.o" "gcc" "src/nic/CMakeFiles/ipipe_nic.dir/cache_model.cc.o.d"
+  "/root/repo/src/nic/dma_engine.cc" "src/nic/CMakeFiles/ipipe_nic.dir/dma_engine.cc.o" "gcc" "src/nic/CMakeFiles/ipipe_nic.dir/dma_engine.cc.o.d"
+  "/root/repo/src/nic/nic_config.cc" "src/nic/CMakeFiles/ipipe_nic.dir/nic_config.cc.o" "gcc" "src/nic/CMakeFiles/ipipe_nic.dir/nic_config.cc.o.d"
+  "/root/repo/src/nic/nic_model.cc" "src/nic/CMakeFiles/ipipe_nic.dir/nic_model.cc.o" "gcc" "src/nic/CMakeFiles/ipipe_nic.dir/nic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ipipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ipipe_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_nic.dir/accelerator.cc.o"
+  "CMakeFiles/ipipe_nic.dir/accelerator.cc.o.d"
+  "CMakeFiles/ipipe_nic.dir/cache_model.cc.o"
+  "CMakeFiles/ipipe_nic.dir/cache_model.cc.o.d"
+  "CMakeFiles/ipipe_nic.dir/dma_engine.cc.o"
+  "CMakeFiles/ipipe_nic.dir/dma_engine.cc.o.d"
+  "CMakeFiles/ipipe_nic.dir/nic_config.cc.o"
+  "CMakeFiles/ipipe_nic.dir/nic_config.cc.o.d"
+  "CMakeFiles/ipipe_nic.dir/nic_model.cc.o"
+  "CMakeFiles/ipipe_nic.dir/nic_model.cc.o.d"
+  "libipipe_nic.a"
+  "libipipe_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

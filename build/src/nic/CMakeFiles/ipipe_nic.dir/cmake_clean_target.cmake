@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipipe_nic.a"
+)

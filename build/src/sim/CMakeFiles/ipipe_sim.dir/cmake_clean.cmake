@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_sim.dir/simulation.cc.o"
+  "CMakeFiles/ipipe_sim.dir/simulation.cc.o.d"
+  "libipipe_sim.a"
+  "libipipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_testbed.dir/cluster.cc.o"
+  "CMakeFiles/ipipe_testbed.dir/cluster.cc.o.d"
+  "libipipe_testbed.a"
+  "libipipe_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

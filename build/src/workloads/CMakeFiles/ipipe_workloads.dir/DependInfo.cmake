@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_workloads.cc" "src/workloads/CMakeFiles/ipipe_workloads.dir/app_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ipipe_workloads.dir/app_workloads.cc.o.d"
+  "/root/repo/src/workloads/client.cc" "src/workloads/CMakeFiles/ipipe_workloads.dir/client.cc.o" "gcc" "src/workloads/CMakeFiles/ipipe_workloads.dir/client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipipe/CMakeFiles/ipipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ipipe_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/ipipe_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ipipe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ipipe_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

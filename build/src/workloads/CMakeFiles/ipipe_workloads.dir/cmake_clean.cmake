@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipipe_workloads.dir/app_workloads.cc.o"
+  "CMakeFiles/ipipe_workloads.dir/app_workloads.cc.o.d"
+  "CMakeFiles/ipipe_workloads.dir/client.cc.o"
+  "CMakeFiles/ipipe_workloads.dir/client.cc.o.d"
+  "libipipe_workloads.a"
+  "libipipe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipipe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps_cluster.cc" "tests/CMakeFiles/ipipe_tests.dir/test_apps_cluster.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_apps_cluster.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/ipipe_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_crypto.cc" "tests/CMakeFiles/ipipe_tests.dir/test_crypto.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_crypto.cc.o.d"
+  "/root/repo/tests/test_dmo.cc" "tests/CMakeFiles/ipipe_tests.dir/test_dmo.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_dmo.cc.o.d"
+  "/root/repo/tests/test_hashtable.cc" "tests/CMakeFiles/ipipe_tests.dir/test_hashtable.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_hashtable.cc.o.d"
+  "/root/repo/tests/test_lsm.cc" "tests/CMakeFiles/ipipe_tests.dir/test_lsm.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_lsm.cc.o.d"
+  "/root/repo/tests/test_netsim.cc" "tests/CMakeFiles/ipipe_tests.dir/test_netsim.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_netsim.cc.o.d"
+  "/root/repo/tests/test_nf.cc" "tests/CMakeFiles/ipipe_tests.dir/test_nf.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_nf.cc.o.d"
+  "/root/repo/tests/test_nic_model.cc" "tests/CMakeFiles/ipipe_tests.dir/test_nic_model.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_nic_model.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ipipe_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng_stats.cc" "tests/CMakeFiles/ipipe_tests.dir/test_rng_stats.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_rng_stats.cc.o.d"
+  "/root/repo/tests/test_rta.cc" "tests/CMakeFiles/ipipe_tests.dir/test_rta.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_rta.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/ipipe_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/ipipe_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_skiplist.cc" "tests/CMakeFiles/ipipe_tests.dir/test_skiplist.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_skiplist.cc.o.d"
+  "/root/repo/tests/test_testbed.cc" "tests/CMakeFiles/ipipe_tests.dir/test_testbed.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_testbed.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ipipe_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/ipipe_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ipipe_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ipipe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipipe/CMakeFiles/ipipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipipe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/ipipe_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ipipe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ipipe_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ipipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
