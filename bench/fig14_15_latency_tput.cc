@@ -49,6 +49,11 @@ void sweep(App app, bool use_25g) {
                      strf("%.1f", avg_us), strf("%.1f", p99_us)});
       auto& pts = mode == testbed::Mode::kDpdk ? dpdk_pts : ipipe_pts;
       pts.push_back({per_core, avg_us, p99_us, result.throughput_rps});
+      if (mode == testbed::Mode::kIPipe && outstanding == 48u) {
+        const std::string chan = channel_summary(result);
+        if (!chan.empty()) std::printf("  [%s @%u] %s\n", app_name(app),
+                                       outstanding, chan.c_str());
+      }
     }
   }
   table.print();

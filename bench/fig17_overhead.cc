@@ -57,5 +57,21 @@ int main() {
       "+12.3%% / +10.8%% — message handling, DMO translation and scheduler "
       "bookkeeping)\n",
       lead_overhead_sum / n * 100, follow_overhead_sum / n * 100);
+
+  // Channel reliability accounting at the heaviest window: every
+  // would-have-been drop must show up here as a recovered event.
+  {
+    RunConfig cfg;
+    cfg.app = App::kRkv;
+    cfg.mode = testbed::Mode::kIPipe;
+    cfg.frame_size = 512;
+    cfg.outstanding = 32;
+    cfg.warmup = msec(10);
+    cfg.duration = msec(40);
+    const auto result = run_app(cfg);
+    const std::string chan = channel_summary(result);
+    std::printf("Channel reliability (iPipe, win=32): %s\n",
+                chan.empty() ? "no channel traffic" : chan.c_str());
+  }
   return 0;
 }

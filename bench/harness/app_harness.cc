@@ -1,5 +1,7 @@
 #include "harness/app_harness.h"
 
+#include <cstdio>
+
 #include "apps/dt/dt_actors.h"
 #include "apps/rkv/rkv_actors.h"
 #include "apps/rta/rta_actors.h"
@@ -194,8 +196,27 @@ RunResult run_app(const RunConfig& cfg) {
     result.push_migrations +=
         cluster.server(i).runtime().push_migrations();
     result.downgrades += cluster.server(i).runtime().downgrades();
+    result.channel.merge(cluster.server(i).runtime().chan_to_host_stats());
+    result.channel.merge(cluster.server(i).runtime().chan_to_nic_stats());
   }
   return result;
+}
+
+std::string channel_summary(const RunResult& r) {
+  const ChannelDirStats& c = r.channel;
+  if (c.sent + c.queued == 0) return {};
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "chan: %llu sent, %llu queued, %llu retx, %llu drops avoided, "
+                "%llu corrupt, ring hwm %zuB, backpressure %.1fus (%llu ev)",
+                static_cast<unsigned long long>(c.sent),
+                static_cast<unsigned long long>(c.queued),
+                static_cast<unsigned long long>(c.retransmits),
+                static_cast<unsigned long long>(c.drops_avoided),
+                static_cast<unsigned long long>(c.corrupt_frames),
+                c.ring_high_watermark, to_us(c.backpressure_ns),
+                static_cast<unsigned long long>(c.backpressure_events));
+  return buf;
 }
 
 }  // namespace ipipe::bench

@@ -54,7 +54,14 @@ struct RunResult {
   std::uint64_t completed = 0;
   std::uint64_t push_migrations = 0;
   std::uint64_t downgrades = 0;
+  /// Reliable-channel counters aggregated over all servers and both
+  /// directions (drops avoided, retransmits, backpressure time, ...).
+  ChannelDirStats channel;
 };
+
+/// One-line reliability summary for bench output ("chan: ..." or empty
+/// when the channel saw no recoverable events).
+[[nodiscard]] std::string channel_summary(const RunResult& r);
 
 /// Role index inside RunResult::host_cores for this app:
 /// RTA: {worker, worker}; DT: {coordinator, participant};

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_apps_cluster.cc" "tests/CMakeFiles/ipipe_tests.dir/test_apps_cluster.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_apps_cluster.cc.o.d"
   "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/ipipe_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_channel_reliability.cc" "tests/CMakeFiles/ipipe_tests.dir/test_channel_reliability.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_channel_reliability.cc.o.d"
   "/root/repo/tests/test_crypto.cc" "tests/CMakeFiles/ipipe_tests.dir/test_crypto.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_crypto.cc.o.d"
   "/root/repo/tests/test_dmo.cc" "tests/CMakeFiles/ipipe_tests.dir/test_dmo.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_dmo.cc.o.d"
   "/root/repo/tests/test_hashtable.cc" "tests/CMakeFiles/ipipe_tests.dir/test_hashtable.cc.o" "gcc" "tests/CMakeFiles/ipipe_tests.dir/test_hashtable.cc.o.d"

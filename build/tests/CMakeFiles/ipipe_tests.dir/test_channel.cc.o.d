@@ -295,7 +295,8 @@ tests/CMakeFiles/ipipe_tests.dir/test_channel.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ipipe/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/span /root/repo/src/common/units.h \
+ /usr/include/c++/12/span /root/repo/src/common/rng.h \
+ /root/repo/src/common/stats.h /root/repo/src/common/units.h \
  /root/repo/src/netsim/packet.h /root/repo/src/nic/dma_engine.h \
  /root/repo/src/nic/nic_config.h /root/repo/src/sim/simulation.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \

@@ -310,9 +310,10 @@ tests/CMakeFiles/ipipe_tests.dir/test_properties.cc.o: \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/apps/rta/regex.h /root/repo/src/common/rng.h \
  /root/repo/src/ipipe/channel.h /usr/include/c++/12/span \
- /root/repo/src/common/units.h /root/repo/src/netsim/packet.h \
- /root/repo/src/nic/dma_engine.h /root/repo/src/nic/nic_config.h \
- /root/repo/src/sim/simulation.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/common/stats.h /root/repo/src/common/units.h \
+ /root/repo/src/netsim/packet.h /root/repo/src/nic/dma_engine.h \
+ /root/repo/src/nic/nic_config.h /root/repo/src/sim/simulation.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ipipe/dmo.h \
  /root/repo/src/nic/cache_model.h

@@ -83,4 +83,20 @@ void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void ChannelDirStats::merge(const ChannelDirStats& other) noexcept {
+  sent += other.sent;
+  queued += other.queued;
+  retransmits += other.retransmits;
+  drops_avoided += other.drops_avoided;
+  corrupt_frames += other.corrupt_frames;
+  framing_resyncs += other.framing_resyncs;
+  duplicates_dropped += other.duplicates_dropped;
+  backpressure_events += other.backpressure_events;
+  backpressure_ns += other.backpressure_ns;
+  ring_high_watermark = std::max(ring_high_watermark, other.ring_high_watermark);
+  pending_high_watermark =
+      std::max(pending_high_watermark, other.pending_high_watermark);
+  queue_delay.merge(other.queue_delay);
+}
+
 }  // namespace ipipe

@@ -125,4 +125,29 @@ class LatencyHistogram {
   Ns max_ = 0;
 };
 
+/// Counters for one direction of the reliable host<->NIC message channel
+/// (§3.5 + the reliability/backpressure layer).  Every event that would
+/// have been a silent drop in the fire-and-forget design is accounted
+/// here instead.
+struct ChannelDirStats {
+  std::uint64_t sent = 0;            ///< frames successfully pushed to the ring
+  std::uint64_t queued = 0;          ///< sends parked in the pending queue
+  std::uint64_t retransmits = 0;     ///< frames re-pushed after loss
+  std::uint64_t drops_avoided = 0;   ///< ring-full / corrupt events recovered
+  std::uint64_t corrupt_frames = 0;  ///< CRC failures observed at the consumer
+  std::uint64_t framing_resyncs = 0;  ///< corrupt-length desync recoveries
+  std::uint64_t duplicates_dropped = 0;   ///< stale retransmits discarded
+  std::uint64_t backpressure_events = 0;  ///< pending queue empty->non-empty
+  Ns backpressure_ns = 0;  ///< cumulative time with a non-empty pending queue
+  std::size_t ring_high_watermark = 0;     ///< max occupied ring bytes seen
+  std::size_t pending_high_watermark = 0;  ///< max parked messages seen
+  LatencyHistogram queue_delay;  ///< time messages spent parked before send
+
+  [[nodiscard]] std::uint64_t total_recovered() const noexcept {
+    return retransmits + drops_avoided;
+  }
+  /// Fold another direction's counters in (bench aggregation).
+  void merge(const ChannelDirStats& other) noexcept;
+};
+
 }  // namespace ipipe

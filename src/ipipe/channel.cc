@@ -1,5 +1,6 @@
 #include "ipipe/channel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -68,6 +69,7 @@ std::vector<std::uint8_t> serialize(const ChannelMsg& msg) {
   put(out, msg.request_id);
   put(out, msg.created_at);
   put(out, msg.frame_size);
+  put(out, msg.seq);
   put(out, static_cast<std::uint32_t>(msg.payload.size()));
   out.insert(out.end(), msg.payload.begin(), msg.payload.end());
   return out;
@@ -82,7 +84,8 @@ std::optional<ChannelMsg> parse_msg(std::span<const std::uint8_t> bytes) {
       !get(bytes, off, msg.flags) || !get(bytes, off, msg.src_node) ||
       !get(bytes, off, msg.dst_node) || !get(bytes, off, msg.flow) ||
       !get(bytes, off, msg.request_id) || !get(bytes, off, msg.created_at) ||
-      !get(bytes, off, msg.frame_size) || !get(bytes, off, payload_len)) {
+      !get(bytes, off, msg.frame_size) || !get(bytes, off, msg.seq) ||
+      !get(bytes, off, payload_len)) {
     return std::nullopt;
   }
   if (off + payload_len > bytes.size()) return std::nullopt;
@@ -126,9 +129,12 @@ bool ChannelRing::push(std::span<const std::uint8_t> body) {
   return true;
 }
 
-std::optional<std::vector<std::uint8_t>> ChannelRing::pop(bool* corrupt) {
+std::optional<std::vector<std::uint8_t>> ChannelRing::pop(
+    bool* corrupt, std::size_t* discarded) {
   if (corrupt) *corrupt = false;
-  if (write_pos_ - read_pos_ < 8) return std::nullopt;
+  if (discarded) *discarded = 0;
+  const std::size_t avail = write_pos_ - read_pos_;
+  if (avail < 8) return std::nullopt;
 
   std::uint8_t hdr[8];
   read_bytes(hdr);
@@ -136,7 +142,20 @@ std::optional<std::vector<std::uint8_t>> ChannelRing::pop(bool* corrupt) {
   std::uint32_t crc;
   std::memcpy(&len, hdr, 4);
   std::memcpy(&crc, hdr + 4, 4);
-  assert(write_pos_ - read_pos_ >= len && "framing invariant violated");
+
+  // A corrupt `len` desyncs the byte stream: frame boundaries after it
+  // cannot be trusted.  Recover by discarding every unread byte; the
+  // reliability layer redelivers the lost frames.
+  if (len > avail - 8 || len + 8 > buf_.size()) {
+    const std::uint64_t lost = pushed_ - popped_;
+    ++framing_errors_;
+    popped_ += lost;
+    consumed_unacked_ += avail;
+    read_pos_ = write_pos_;
+    if (corrupt) *corrupt = true;
+    if (discarded) *discarded = static_cast<std::size_t>(lost);
+    return std::nullopt;
+  }
 
   std::vector<std::uint8_t> body(len);
   read_bytes(body);
@@ -146,6 +165,7 @@ std::optional<std::vector<std::uint8_t>> ChannelRing::pop(bool* corrupt) {
   if (crypto::crc32(body) != crc) {
     ++crc_failures_;
     if (corrupt) *corrupt = true;
+    if (discarded) *discarded = 1;
     return std::nullopt;
   }
   return body;
@@ -157,73 +177,250 @@ void ChannelRing::ack() {
 }
 
 MessageChannel::MessageChannel(sim::Simulation& sim, nic::DmaEngine& dma,
-                               std::size_t ring_bytes)
-    : sim_(sim), dma_(dma), to_host_(ring_bytes), to_nic_(ring_bytes) {}
+                               std::size_t ring_bytes, ChannelTuning tuning)
+    : sim_(sim),
+      dma_(dma),
+      tuning_(tuning),
+      to_host_(ring_bytes),
+      to_nic_(ring_bytes) {}
 
-std::optional<Ns> MessageChannel::send(ChannelRing& ring,
-                                       std::deque<Pending>& vis,
-                                       const ChannelMsg& msg,
-                                       std::function<void()>* notify) {
+void MessageChannel::maybe_inject_fault(Dir& dir, std::size_t frame_start,
+                                        std::size_t body_len) {
+  if (fault_rate_ <= 0.0 || body_len == 0) return;
+  if (!fault_rng_.bernoulli(fault_rate_)) return;
+  // Flip a byte somewhere inside the just-written body; the consumer's
+  // CRC check will catch it and the reliability layer must recover.
+  const std::size_t off = 8 + fault_rng_.uniform_u64(body_len);
+  dir.ring.corrupt_byte(frame_start + off, 0xFF);
+}
+
+std::optional<Ns> MessageChannel::try_push(Dir& dir, const ChannelMsg& msg) {
   const auto body = serialize(msg);
-  if (!ring.push(body)) {
-    ++send_failures_;
-    return std::nullopt;
-  }
+  const std::size_t frame_start = dir.ring.write_pos();
+  if (!dir.ring.push(body)) return std::nullopt;
+  maybe_inject_fault(dir, frame_start, body.size());
+
+  dir.stats.ring_high_watermark =
+      std::max(dir.stats.ring_high_watermark, dir.ring.occupied());
+
   // The message body crosses PCIe as one non-blocking DMA write; it is
   // only poppable on the far side once the transfer completes.
   const Ns post = dma_.nonblocking_write(
       static_cast<std::uint32_t>(body.size() + 8), nullptr);
   const Ns visible = sim_.now() + dma_.blocking_write_latency(
                                       static_cast<std::uint32_t>(body.size() + 8));
-  vis.push_back(Pending{visible});
+  dir.vis.push_back(Pending{visible, msg.seq});
   // Always schedule the visibility edge so pollers (and tests) running the
   // event loop observe the message without an external timer.
+  auto* notify = notify_of(dir);
   sim_.schedule_at(visible, [notify] {
     if (notify != nullptr && *notify) (*notify)();
   });
   return post;
 }
 
-std::optional<ChannelMsg> MessageChannel::poll(ChannelRing& ring,
-                                               std::deque<Pending>& vis) {
-  if (vis.empty() || vis.front().visible_at > sim_.now()) return std::nullopt;
+void MessageChannel::note_backpressure_start(Dir& dir) {
+  if (dir.backpressure_active || !dir.pending.empty()) return;
+  dir.backpressure_active = true;
+  dir.backpressure_since = sim_.now();
+  ++dir.stats.backpressure_events;
+}
 
-  bool corrupt = false;
-  auto body = ring.pop(&corrupt);
-  // Lazy header-pointer sync back to the producer.
-  if (ring.unacked() > ring.capacity() / 2) ring.ack();
-  if (!body) {
-    if (corrupt) vis.pop_front();  // the frame was consumed and discarded
+void MessageChannel::note_backpressure_end(Dir& dir) {
+  if (!dir.backpressure_active) return;
+  dir.stats.backpressure_ns += sim_.now() - dir.backpressure_since;
+  dir.backpressure_active = false;
+  dir.backpressure_since = 0;
+}
+
+void MessageChannel::arm_retry(Dir& dir) {
+  if (dir.retry_armed) return;
+  dir.retry_armed = true;
+  dir.backoff = dir.backoff == 0
+                    ? tuning_.retry_base
+                    : std::min(dir.backoff * 2, tuning_.retry_cap);
+  sim_.schedule(dir.backoff, [this, &dir] {
+    dir.retry_armed = false;
+    flush_pending(dir);
+  });
+}
+
+void MessageChannel::flush_pending(Dir& dir) {
+  bool progressed = false;
+  while (!dir.pending.empty()) {
+    Parked& head = dir.pending.front();
+    if (!try_push(dir, head.msg)) break;
+    progressed = true;
+    ++dir.stats.sent;
+    if (head.is_retransmit) ++dir.stats.retransmits;
+    dir.stats.queue_delay.add(sim_.now() - head.queued_at);
+    dir.pending.pop_front();
+  }
+  if (dir.pending.empty()) {
+    dir.backoff = 0;
+    note_backpressure_end(dir);
+  } else {
+    if (progressed) dir.backoff = 0;  // the ring is draining again
+    arm_retry(dir);
+  }
+}
+
+void MessageChannel::schedule_retransmit(Dir& dir, std::uint64_t seq) {
+  ++dir.stats.drops_avoided;
+  // Model the consumer->producer NACK crossing PCIe before the producer
+  // can react.
+  sim_.schedule(tuning_.nack_delay, [this, &dir, seq] {
+    if (seq < dir.next_deliver) return;            // delivered meanwhile
+    if (dir.reorder.count(seq) != 0) return;       // already received
+    for (const Parked& p : dir.pending) {
+      if (p.seq == seq) return;                    // already queued
+    }
+    for (const Retained& r : dir.retained) {
+      if (r.seq != seq) continue;
+      // Jump the queue: the receiver is head-of-line blocked on this seq
+      // (the reorder buffer fixes up delivery order regardless).
+      note_backpressure_start(dir);
+      dir.pending.push_front(Parked{seq, r.msg, sim_.now(), true});
+      dir.stats.pending_high_watermark =
+          std::max(dir.stats.pending_high_watermark, dir.pending.size());
+      flush_pending(dir);
+      return;
+    }
+  });
+}
+
+void MessageChannel::release_retained(Dir& dir) {
+  while (!dir.retained.empty() && dir.retained.front().seq < dir.next_deliver) {
+    dir.retained.pop_front();
+  }
+}
+
+SendTicket MessageChannel::send_or_queue(Dir& dir, ChannelMsg msg) {
+  msg.seq = dir.next_seq++;
+  dir.retained.push_back(Retained{msg.seq, msg});
+
+  if (dir.pending.empty()) {
+    if (const auto cost = try_push(dir, msg)) {
+      ++dir.stats.sent;
+      return SendTicket{SendOutcome::kSent, *cost};
+    }
+  }
+  // Ring full (or earlier messages already parked): preserve FIFO order
+  // by appending to the pending queue — never drop.
+  ++dir.stats.queued;
+  ++dir.stats.drops_avoided;
+  note_backpressure_start(dir);
+  dir.pending.push_back(Parked{msg.seq, std::move(msg), sim_.now(), false});
+  dir.stats.pending_high_watermark =
+      std::max(dir.stats.pending_high_watermark, dir.pending.size());
+  arm_retry(dir);
+  const bool over_cap = dir.pending.size() > tuning_.pending_cap;
+  return SendTicket{over_cap ? SendOutcome::kBackpressured : SendOutcome::kQueued,
+                    0};
+}
+
+std::optional<Ns> MessageChannel::send_legacy(Dir& dir, const ChannelMsg& msg) {
+  ChannelMsg stamped = msg;
+  stamped.seq = dir.next_seq;
+  const auto cost = try_push(dir, stamped);
+  if (!cost) {
+    ++send_failures_;
     return std::nullopt;
   }
-  vis.pop_front();
-  return parse_msg(*body);
+  ++dir.next_seq;
+  ++dir.stats.sent;
+  dir.retained.push_back(Retained{stamped.seq, std::move(stamped)});
+  return cost;
+}
+
+std::optional<ChannelMsg> MessageChannel::poll(Dir& dir) {
+  // In-order redeliveries waiting in the reorder buffer go first.
+  auto it = dir.reorder.begin();
+  if (it != dir.reorder.end() && it->first == dir.next_deliver) {
+    ChannelMsg msg = std::move(it->second);
+    dir.reorder.erase(it);
+    ++dir.next_deliver;
+    release_retained(dir);
+    return msg;
+  }
+
+  if (dir.vis.empty() || dir.vis.front().visible_at > sim_.now()) {
+    return std::nullopt;
+  }
+
+  bool corrupt = false;
+  std::size_t discarded = 0;
+  auto body = dir.ring.pop(&corrupt, &discarded);
+  // Lazy header-pointer sync back to the producer.
+  if (dir.ring.unacked() > dir.ring.capacity() / 2) dir.ring.ack();
+
+  if (!body) {
+    if (corrupt) {
+      ++dir.stats.corrupt_frames;
+      if (discarded > 1) ++dir.stats.framing_resyncs;
+      // Every discarded frame is identified by its FIFO position: request
+      // redelivery for each lost sequence number.
+      for (std::size_t i = 0; i < discarded && !dir.vis.empty(); ++i) {
+        schedule_retransmit(dir, dir.vis.front().seq);
+        dir.vis.pop_front();
+      }
+    }
+    return std::nullopt;
+  }
+  const std::uint64_t frame_seq = dir.vis.front().seq;
+  dir.vis.pop_front();
+
+  auto msg = parse_msg(*body);
+  if (!msg) {
+    // CRC-clean but unparseable should not happen; treat as corrupt so
+    // the message is still redelivered rather than lost.
+    ++dir.stats.corrupt_frames;
+    schedule_retransmit(dir, frame_seq);
+    return std::nullopt;
+  }
+
+  if (msg->seq == dir.next_deliver) {
+    ++dir.next_deliver;
+    release_retained(dir);
+    return msg;
+  }
+  if (msg->seq > dir.next_deliver) {
+    // A retransmit for an earlier loss is still in flight: hold this one.
+    dir.reorder.emplace(msg->seq, std::move(*msg));
+    return std::nullopt;
+  }
+  ++dir.stats.duplicates_dropped;
+  return std::nullopt;
+}
+
+bool MessageChannel::has_data(const Dir& dir) const noexcept {
+  const auto it = dir.reorder.begin();
+  if (it != dir.reorder.end() && it->first == dir.next_deliver) return true;
+  return !dir.vis.empty() && dir.vis.front().visible_at <= sim_.now();
+}
+
+SendTicket MessageChannel::send_or_queue_to_host(const ChannelMsg& msg) {
+  return send_or_queue(to_host_, msg);
+}
+
+SendTicket MessageChannel::send_or_queue_to_nic(const ChannelMsg& msg) {
+  return send_or_queue(to_nic_, msg);
 }
 
 std::optional<Ns> MessageChannel::nic_send(const ChannelMsg& msg) {
-  return send(to_host_, to_host_visibility_, msg, &host_notify_);
+  return send_legacy(to_host_, msg);
 }
 
 std::optional<Ns> MessageChannel::host_send(const ChannelMsg& msg) {
-  return send(to_nic_, to_nic_visibility_, msg, &nic_notify_);
+  return send_legacy(to_nic_, msg);
 }
 
-std::optional<ChannelMsg> MessageChannel::host_poll() {
-  return poll(to_host_, to_host_visibility_);
-}
+std::optional<ChannelMsg> MessageChannel::host_poll() { return poll(to_host_); }
 
-std::optional<ChannelMsg> MessageChannel::nic_poll() {
-  return poll(to_nic_, to_nic_visibility_);
-}
+std::optional<ChannelMsg> MessageChannel::nic_poll() { return poll(to_nic_); }
 
-bool MessageChannel::host_has_data() const noexcept {
-  return !to_host_visibility_.empty() &&
-         to_host_visibility_.front().visible_at <= sim_.now();
-}
+bool MessageChannel::host_has_data() const noexcept { return has_data(to_host_); }
 
-bool MessageChannel::nic_has_data() const noexcept {
-  return !to_nic_visibility_.empty() &&
-         to_nic_visibility_.front().visible_at <= sim_.now();
-}
+bool MessageChannel::nic_has_data() const noexcept { return has_data(to_nic_); }
 
 }  // namespace ipipe

@@ -110,7 +110,13 @@ void NicEnv::reply(const netsim::Packet& req, std::uint16_t type,
 void NicEnv::local_send(ActorId dst_actor, std::uint16_t type,
                         std::vector<std::uint8_t> payload) {
   auto pkt = make_packet(node(), dst_actor, type, std::move(payload), 0);
-  charge(rt_.config().channel_handling_ns / 2);
+  // Same-side delivery is a cheap queue insert; crossing PCIe pays the
+  // full per-message channel handling cost (the send itself happens in
+  // deliver_local once this slice retires).
+  const auto* dst = rt_.control(dst_actor);
+  const bool crosses = dst != nullptr && dst->loc == ActorLoc::kHost;
+  charge(crosses ? rt_.config().channel_handling_ns
+                 : rt_.config().channel_handling_ns / 2);
   Runtime& rt = rt_;
   auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
   ctx_.defer([&rt, shared] {
@@ -159,7 +165,10 @@ void HostEnv::reply(const netsim::Packet& req, std::uint16_t type,
 void HostEnv::local_send(ActorId dst_actor, std::uint16_t type,
                          std::vector<std::uint8_t> payload) {
   auto pkt = make_packet(node(), dst_actor, type, std::move(payload), 0);
-  charge(rt_.config().channel_handling_ns / 2);
+  const auto* dst = rt_.control(dst_actor);
+  const bool crosses = dst != nullptr && dst->loc == ActorLoc::kNic;
+  charge(crosses ? rt_.config().channel_handling_ns
+                 : rt_.config().channel_handling_ns / 2);
   Runtime& rt = rt_;
   auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
   ctx_.defer([&rt, shared] {

@@ -4,6 +4,9 @@
 // execution contexts of NicModel / HostModel: cost hooks resolve against
 // the local clock, IPC and cache hierarchy, and messaging routes through
 // the wire, the PCIe channel or the local work queues as appropriate.
+// Cross-PCIe local_send goes through the runtime's reliable
+// send_or_queue path and charges the full per-message channel handling
+// cost; same-side delivery charges half (a plain queue insert).
 #pragma once
 
 #include "hostsim/host_model.h"

@@ -73,9 +73,19 @@ Runtime::Runtime(sim::Simulation& sim, nic::NicModel& nic,
       rng_(0x1B1BEULL),
       nic_fw_(*this),
       host_rt_(*this),
-      channel_(sim, nic.dma(), cfg.channel_bytes),
+      channel_(sim, nic.dma(), cfg.channel_bytes, cfg.channel_tuning),
       roles_(nic.config().cores, CoreRole::kFcfs),
-      busy_snapshot_(nic.config().cores, 0) {
+      busy_snapshot_(nic.config().cores, 0),
+      busy_snapshot_at_(sim.now()) {
+  // Seed the autoscale window from the current core-busy counters: a
+  // window anchored at t=0 on an already-running NIC reads near-zero
+  // utilization and retires DRR cores spuriously.
+  for (unsigned i = 0; i < nic.config().cores; ++i) {
+    busy_snapshot_[i] = nic.core_busy_ns(i);
+  }
+  if (cfg.channel_fault_rate > 0.0) {
+    channel_.set_fault_injection(cfg.channel_fault_rate, cfg.channel_fault_seed);
+  }
   channel_.set_host_notify([this] { host_.wake_all(); });
   channel_.set_nic_notify([this] { nic_.wake_all(); });
   nic_.set_steer_to_nic([this](const netsim::Packet& pkt) {
@@ -258,12 +268,10 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
         ac->mig_buffer.pop_front();
         ctx.charge(cfg_.channel_handling_ns);
         if (ac->loc == ActorLoc::kHost) {
-          auto msg = ChannelMsg::from_packet(*pkt);
-          if (const auto cost = channel_.nic_send(msg)) {
-            ctx.charge(*cost);
-          } else {
-            ac->mig_buffer.push_front(std::move(pkt));  // ring full; retry
-          }
+          // Reliable path: a full ring parks the message inside the
+          // channel (retransmitted with backoff) instead of stalling the
+          // migration's phase 4 on a bounced buffer.
+          ctx.charge(send_or_queue(MemSide::kNic, ChannelMsg::from_packet(*pkt)));
         } else {
           auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
           ctx.defer([this, shared] { nic_.tm().push(std::move(*shared)); });
@@ -307,6 +315,7 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
   }
 
   if (auto pkt = nic_.tm().pop()) {
+    const Ns pkt_start = ctx.consumed();
     const auto& nic_cfg = nic_.config();
     ctx.charge(nic_cfg.has_hw_traffic_manager ? nic_cfg.tm_dequeue_cost
                                               : nic_cfg.sw_shuffle_cost);
@@ -314,7 +323,7 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
     // wire RX/TX tax; only frames from the MAC or the host DMA path do.
     const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
     if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
-    dispatch_nic(ctx, std::move(pkt));
+    dispatch_nic(ctx, std::move(pkt), pkt_start);
     if (cfg_.policy == SchedPolicy::kHybrid && fcfs_stats_.seeded()) {
       if (fcfs_stats_.tail() > static_cast<double>(cfg_.tail_thresh)) {
         // Downgrade only on *persistent* violations — transient EWMA
@@ -334,10 +343,11 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
   // Nothing on the wire path: serve host->NIC channel messages.
   if (channel_.nic_has_data()) {
     if (auto msg = channel_.nic_poll()) {
+      const Ns pkt_start = ctx.consumed();
       ctx.charge(cfg_.channel_handling_ns);
       auto pkt = msg->to_packet();
       pkt->nic_arrival = sim_.now();
-      dispatch_nic(ctx, std::move(pkt));
+      dispatch_nic(ctx, std::move(pkt), pkt_start);
       return true;
     }
     ctx.charge(cfg_.channel_handling_ns);  // corrupt/incomplete frame
@@ -351,12 +361,19 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
   return false;
 }
 
-void Runtime::dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt) {
+void Runtime::dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt,
+                           Ns consumed_before) {
+  // Forwarding-path response time = queueing + the *per-packet* slice of
+  // core time.  Charging the cumulative ctx.consumed() of the whole core
+  // slice (which includes management work and DRR scan rounds) inflated
+  // fcfs_stats_ tails and triggered spurious downgrades/migrations.
+  const Ns pkt_consumed = ctx.consumed() - consumed_before;
+
   // Transit traffic: frames handed up by the host (or looped through the
   // TM) that are destined to another node go straight to the wire —
   // actor ids are node-local and must not be resolved here.
   if (pkt->dst != nic_.node()) {
-    const Ns response = sim_.now() - pkt->nic_arrival + ctx.consumed();
+    const Ns response = sim_.now() - pkt->nic_arrival + pkt_consumed;
     fcfs_stats_.add(static_cast<double>(response));
     ++fcfs_samples_;
     ctx.tx(std::move(pkt));
@@ -367,7 +384,7 @@ void Runtime::dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt) {
 
   if (pkt->dst_actor == netsim::kForwardOnly || ac == nullptr || ac->killed) {
     // Plain forwarded traffic: the NIC's basic duty.
-    const Ns response = sim_.now() - pkt->nic_arrival + ctx.consumed();
+    const Ns response = sim_.now() - pkt->nic_arrival + pkt_consumed;
     fcfs_stats_.add(static_cast<double>(response));
     ++fcfs_samples_;
     if (pkt->from_host) {
@@ -433,13 +450,20 @@ void Runtime::execute_on_nic(nic::NicExecContext& ctx, ActorControl& ac,
 
 void Runtime::forward_to_host(nic::NicExecContext& ctx, netsim::PacketPtr pkt) {
   ctx.charge(cfg_.channel_handling_ns);
-  auto msg = ChannelMsg::from_packet(*pkt);
-  if (const auto cost = channel_.nic_send(msg)) {
-    ctx.charge(*cost);
-  } else {
-    // Channel full: fall back to the raw DMA path.
-    ctx.to_host(std::move(pkt));
+  ctx.charge(send_or_queue(MemSide::kNic, ChannelMsg::from_packet(*pkt)));
+}
+
+Ns Runtime::send_or_queue(MemSide from, const ChannelMsg& msg) {
+  const SendTicket ticket = from == MemSide::kNic
+                                ? channel_.send_or_queue_to_host(msg)
+                                : channel_.send_or_queue_to_nic(msg);
+  Ns cost = ticket.cost;
+  if (ticket.outcome == SendOutcome::kBackpressured) {
+    // The pending queue is over its cap: charge a stall so the producer
+    // side visibly slows down instead of racing ahead of the consumer.
+    cost += cfg_.channel_backpressure_stall_ns;
   }
+  return cost;
 }
 
 void Runtime::maybe_downgrade() {
@@ -566,12 +590,13 @@ bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
   // of idling (dedicating a lone FCFS core to dispatch would bottleneck
   // small-core NICs).
   if (auto pkt = nic_.tm().pop()) {
+    const Ns pkt_start = ctx.consumed();
     const auto& nic_cfg = nic_.config();
     ctx.charge(nic_cfg.has_hw_traffic_manager ? nic_cfg.tm_dequeue_cost
                                               : nic_cfg.sw_shuffle_cost);
     const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
     if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
-    dispatch_nic(ctx, std::move(pkt));
+    dispatch_nic(ctx, std::move(pkt), pkt_start);
     return true;
   }
   // Park only when there is neither handler nor dispatch work; deficits
@@ -685,7 +710,19 @@ void Runtime::spawn_drr_core() {
   }
 }
 
+bool Runtime::drr_work_pending() const {
+  for (const ActorId id : drr_queue_) {
+    const auto* ac = control(id);
+    if (ac != nullptr && !ac->killed && !ac->mailbox.empty()) return true;
+  }
+  return false;
+}
+
 void Runtime::retire_drr_core() {
+  // Never retire the last DRR core while DRR mailboxes still hold work:
+  // FCFS cores do not scan those mailboxes, so the parked requests would
+  // be stranded forever.
+  if (drr_cores() <= 1 && drr_work_pending()) return;
   for (unsigned i = 1; i < nic_.active_cores(); ++i) {
     if (roles_[i] == CoreRole::kDrr) {
       roles_[i] = CoreRole::kFcfs;
@@ -739,9 +776,9 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
         return true;
       }
       if (ac->loc == ActorLoc::kNic) {
-        // Stale: bounce back to the NIC.
-        auto bounce = ChannelMsg::from_packet(*pkt);
-        if (const auto cost = channel_.host_send(bounce)) ctx.charge(*cost);
+        // Stale: bounce back to the NIC (reliably — a full ring must not
+        // eat the request).
+        ctx.charge(send_or_queue(MemSide::kHost, ChannelMsg::from_packet(*pkt)));
         return true;
       }
       execute_on_host(ctx, *ac, std::move(pkt));
@@ -761,8 +798,7 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
       return true;
     }
     if (ac->loc == ActorLoc::kNic) {
-      auto msg = ChannelMsg::from_packet(*pkt);
-      if (const auto cost = channel_.host_send(msg)) ctx.charge(*cost);
+      ctx.charge(send_or_queue(MemSide::kHost, ChannelMsg::from_packet(*pkt)));
       return true;
     }
     execute_on_host(ctx, *ac, std::move(pkt));
@@ -782,8 +818,7 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
     if (ac->loc == ActorLoc::kHost) {
       execute_on_host(ctx, *ac, std::move(pkt));
     } else {
-      auto msg = ChannelMsg::from_packet(*pkt);
-      if (const auto cost = channel_.host_send(msg)) ctx.charge(*cost);
+      ctx.charge(send_or_queue(MemSide::kHost, ChannelMsg::from_packet(*pkt)));
     }
     return true;
   }
@@ -820,13 +855,10 @@ void Runtime::deliver_local(ActorId dst, netsim::PacketPtr msg, MemSide from) {
   const MemSide target =
       ac->loc == ActorLoc::kNic ? MemSide::kNic : MemSide::kHost;
   if (from != target) {
-    // Crossing PCIe: go through the message channel.
-    auto cm = ChannelMsg::from_packet(*msg);
-    if (from == MemSide::kNic) {
-      channel_.nic_send(cm);
-    } else {
-      channel_.host_send(cm);
-    }
+    // Crossing PCIe: go through the (reliable) message channel.  The
+    // sender's core slice has already retired, so the post cost cannot be
+    // charged — but the message can no longer be silently dropped either.
+    (void)send_or_queue(from, ChannelMsg::from_packet(*msg));
     return;
   }
 

@@ -76,6 +76,17 @@ struct IPipeConfig {
   Ns channel_handling_ns = 90;
   Ns dmo_translate_ns = 7;
   Ns sched_bookkeeping_ns = 30;
+
+  /// Reliable-channel tuning: retransmit backoff, NACK latency and the
+  /// pending-queue backpressure cap (see ChannelTuning).
+  ChannelTuning channel_tuning{};
+  /// Extra stall charged to a sender whose direction is backpressured
+  /// (pending queue over cap) — models the producer slowing down.
+  Ns channel_backpressure_stall_ns = 500;
+  /// Fault injection for tests: probability that a pushed frame body is
+  /// corrupted in the ring (0 disables).
+  double channel_fault_rate = 0.0;
+  std::uint64_t channel_fault_seed = 0x5EEDULL;
 };
 
 class Runtime;
@@ -171,6 +182,14 @@ class Runtime {
   [[nodiscard]] const LatencyHistogram& response_hist() const noexcept {
     return response_hist_;
   }
+  /// Reliable-channel counters, per direction (drops avoided, retransmits,
+  /// corrupt frames, ring/pending high watermarks, backpressure time).
+  [[nodiscard]] const ChannelDirStats& chan_to_host_stats() const noexcept {
+    return channel_.to_host_stats();
+  }
+  [[nodiscard]] const ChannelDirStats& chan_to_nic_stats() const noexcept {
+    return channel_.to_nic_stats();
+  }
 
   // ---- internals shared with env/adapters (not for applications) -----------
   bool nic_run_once(nic::NicExecContext& ctx, unsigned core);
@@ -179,6 +198,16 @@ class Runtime {
   /// Same-node actor-to-actor message delivery; `from` is the side the
   /// sender ran on (crossing PCIe goes through the message channel).
   void deliver_local(ActorId dst, netsim::PacketPtr msg, MemSide from);
+  /// The single reliable cross-PCIe send path: every channel message goes
+  /// through here and is either sent or parked for retransmit — never
+  /// dropped.  Returns the core-side cost to charge.
+  Ns send_or_queue(MemSide from, const ChannelMsg& msg);
+  /// Auto-scaling primitives (exposed for regression tests): retiring
+  /// refuses to drop the last DRR core while DRR mailboxes hold work.
+  void spawn_drr_core();
+  void retire_drr_core();
+  /// True when any DRR-group actor still has a non-empty mailbox.
+  [[nodiscard]] bool drr_work_pending() const;
 
  private:
   enum class CoreRole : std::uint8_t { kFcfs, kDrr };
@@ -200,12 +229,14 @@ class Runtime {
                       netsim::PacketPtr pkt);
   void execute_on_host(hostsim::HostExecContext& ctx, ActorControl& ac,
                        netsim::PacketPtr pkt);
-  void dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt);
+  /// `consumed_before` is ctx.consumed() when this packet's processing
+  /// began — forwarding-path stats record the per-packet delta, not the
+  /// cumulative slice time.
+  void dispatch_nic(nic::NicExecContext& ctx, netsim::PacketPtr pkt,
+                    Ns consumed_before);
   void maybe_downgrade();
   void maybe_upgrade();
   void check_autoscale();
-  void spawn_drr_core();
-  void retire_drr_core();
   void wake_drr_cores();
   [[nodiscard]] double drr_quantum_ns(const ActorControl& ac) const;
   void forward_to_host(nic::NicExecContext& ctx, netsim::PacketPtr pkt);
