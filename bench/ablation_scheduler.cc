@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/trace_opts.h"
 #include "ipipe/runtime.h"
 #include "testbed/cluster.h"
 #include "workloads/app_workloads.h"
@@ -16,6 +17,10 @@
 using namespace ipipe;
 
 namespace {
+
+/// --trace-out= captures the first sweep point (defaults-like config).
+bench::TraceOpts g_trace;
+bool g_trace_written = false;
 
 class BimodalActor final : public Actor {
  public:
@@ -37,6 +42,8 @@ Outcome run_with(IPipeConfig cfg) {
   testbed::Cluster cluster;
   testbed::ServerSpec spec;
   spec.ipipe = cfg;
+  const bool traced = g_trace.enabled() && !g_trace_written;
+  if (traced) g_trace.apply(spec.ipipe);
   auto& server = cluster.add_server(spec);
   std::vector<ActorId> actors;
   for (int i = 0; i < 3; ++i) {
@@ -56,6 +63,10 @@ Outcome run_with(IPipeConfig cfg) {
   client.set_warmup(msec(10));
   client.start_open_loop(rate, msec(50), true);
   cluster.run_until(msec(65));
+  if (traced) {
+    bench::write_cluster_trace(g_trace, cluster, "ablation/bimodal");
+    g_trace_written = true;
+  }
 
   Outcome out;
   out.p99_us = to_us(client.latencies().p99());
@@ -82,7 +93,8 @@ void emit(const char* title, const char* knob,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = bench::parse_trace_opts(argc, argv);
   IPipeConfig base;
   base.tail_thresh = usec(90);
   base.mean_thresh = usec(55);

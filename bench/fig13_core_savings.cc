@@ -12,6 +12,10 @@ using namespace ipipe::bench;
 
 namespace {
 
+/// --trace-out= captures the first iPipe-mode run only (one file).
+TraceOpts g_trace;
+bool g_trace_written = false;
+
 void run_link(bool use_25g) {
   std::printf("\nFigure 13%s: host cores used, DPDK vs iPipe (%sGbE)\n",
               use_25g ? "b" : "a", use_25g ? "25" : "10");
@@ -43,6 +47,11 @@ void run_link(bool use_25g) {
     cfg.outstanding = 48;  // saturating closed-loop load
     cfg.warmup = msec(10);
     cfg.duration = msec(40);
+    if (mode == testbed::Mode::kIPipe && !g_trace_written &&
+        g_trace.enabled()) {
+      cfg.trace = g_trace;
+      g_trace_written = true;
+    }
     cache.emplace_back(Key{app, mode, frame}, run_app(cfg));
     return cache.back().second;
   };
@@ -83,7 +92,8 @@ void run_link(bool use_25g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = parse_trace_opts(argc, argv);
   run_link(false);
   run_link(true);
   return 0;

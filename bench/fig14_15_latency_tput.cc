@@ -13,6 +13,10 @@ using namespace ipipe::bench;
 
 namespace {
 
+/// --trace-out= captures the first iPipe run at the deepest window.
+TraceOpts g_trace;
+bool g_trace_written = false;
+
 void sweep(App app, bool use_25g) {
   std::printf("\n%s — %s, 512B, %sGbE: latency vs per-core throughput\n",
               use_25g ? "Figure 15" : "Figure 14", app_name(app),
@@ -37,6 +41,11 @@ void sweep(App app, bool use_25g) {
       cfg.outstanding = outstanding;
       cfg.warmup = msec(10);
       cfg.duration = msec(40);
+      if (mode == testbed::Mode::kIPipe && outstanding == 48u &&
+          !g_trace_written && g_trace.enabled()) {
+        cfg.trace = g_trace;
+        g_trace_written = true;
+      }
       const auto result = run_app(cfg);
       const double cores = std::max(result.host_cores[0], 0.05);
       const double per_core = result.throughput_rps / cores / 1e6;
@@ -94,6 +103,7 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--25g") run_10g = false;
     if (std::string_view(argv[i]) == "--10g") run_25g = false;
   }
+  g_trace = parse_trace_opts(argc, argv);
   for (const bool use_25g : {false, true}) {
     if ((use_25g && !run_25g) || (!use_25g && !run_10g)) continue;
     for (const App app : {App::kRta, App::kDt, App::kRkv}) {

@@ -11,7 +11,9 @@
 using namespace ipipe;
 using namespace ipipe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out= captures the final full-iPipe channel-accounting run.
+  const TraceOpts trace = parse_trace_opts(argc, argv);
   std::printf(
       "\nFigure 17: host CPU usage (%% of one core) of RKV leader/follower, "
       "host-only with and without iPipe, 512B, 10GbE\n");
@@ -68,6 +70,7 @@ int main() {
     cfg.outstanding = 32;
     cfg.warmup = msec(10);
     cfg.duration = msec(40);
+    cfg.trace = trace;
     const auto result = run_app(cfg);
     const std::string chan = channel_summary(result);
     std::printf("Channel reliability (iPipe, win=32): %s\n",

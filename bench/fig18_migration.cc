@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/trace_opts.h"
 #include "ipipe/runtime.h"
 #include "testbed/cluster.h"
 #include "workloads/app_workloads.h"
@@ -58,7 +59,11 @@ struct Candidate {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out= captures the first candidate's run (all four migration
+  // phases plus the surrounding exec/channel activity).
+  const bench::TraceOpts trace = bench::parse_trace_opts(argc, argv);
+  bool trace_written = false;
   // Actor state sizes follow §4 / Fig. 18: the LSM memtable dominates
   // (~32MB); filters are stateless; rankers/coordinators hold KBs-MBs.
   const Candidate candidates[] = {
@@ -81,6 +86,7 @@ int main() {
     testbed::Cluster cluster;
     testbed::ServerSpec spec;
     spec.ipipe.enable_migration = false;  // only the forced migration
+    if (!trace_written) trace.apply(spec.ipipe);
     auto& server = cluster.add_server(spec);
     const ActorId id = server.runtime().register_actor(
         std::make_unique<AppActor>(cand.name, cand.state_bytes, cand.cost));
@@ -100,6 +106,11 @@ int main() {
       server.runtime().start_migration(id, ActorLoc::kHost);
     });
     cluster.run_until(msec(120));
+    if (trace.enabled() && !trace_written) {
+      bench::write_cluster_trace(trace, cluster,
+                                 std::string("fig18/") + cand.name);
+      trace_written = true;
+    }
 
     const auto* control = server.runtime().control(id);
     const auto& phases = control->mig_phase_ns;

@@ -11,7 +11,11 @@
 using namespace ipipe;
 using namespace ipipe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out= captures the first iPipe run (64B: full migration to the
+  // host, the most eventful placement activity in this comparison).
+  const TraceOpts trace = parse_trace_opts(argc, argv);
+  bool trace_written = false;
   std::printf(
       "\n§5.6: RTA throughput per host core — Floem (static offload) vs "
       "iPipe (dynamic), 10GbE CN2350\n");
@@ -31,6 +35,11 @@ int main() {
       // common computation elements of Floem mainly comprise of simple
       // tasks ... complex ones are performed on the host side").
       cfg.floem_split = mode == testbed::Mode::kFloem;
+      if (mode == testbed::Mode::kIPipe && !trace_written &&
+          trace.enabled()) {
+        cfg.trace = trace;
+        trace_written = true;
+      }
       return run_app(cfg);
     };
     const auto floem = run(testbed::Mode::kFloem);

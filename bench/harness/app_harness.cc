@@ -58,6 +58,7 @@ testbed::ServerSpec make_spec(const RunConfig& cfg) {
   spec.nic = cfg.use_25g ? nic::liquidio_cn2360() : nic::liquidio_cn2350();
   spec.mode = cfg.mode;
   spec.ipipe = cfg.ipipe;
+  cfg.trace.apply(spec.ipipe);
   return spec;
 }
 
@@ -198,6 +199,11 @@ RunResult run_app(const RunConfig& cfg) {
     result.downgrades += cluster.server(i).runtime().downgrades();
     result.channel.merge(cluster.server(i).runtime().chan_to_host_stats());
     result.channel.merge(cluster.server(i).runtime().chan_to_nic_stats());
+  }
+  if (cfg.trace.enabled()) {
+    write_cluster_trace(cfg.trace, cluster,
+                        std::string(app_name(cfg.app)) + "/" +
+                            testbed::mode_name(cfg.mode));
   }
   return result;
 }

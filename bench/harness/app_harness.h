@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "harness/trace_opts.h"
 #include "testbed/cluster.h"
 
 namespace ipipe::bench {
@@ -42,6 +43,9 @@ struct RunConfig {
   /// Floem-style static split for RTA: filter on the NIC, counter and
   /// ranker pinned to the host (stationary placement).
   bool floem_split = false;
+  /// When set, tracing is enabled on every server and a trace document is
+  /// written at the end of the run (label = app/mode).
+  TraceOpts trace;
 };
 
 struct RunResult {

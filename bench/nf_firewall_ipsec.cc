@@ -8,6 +8,7 @@
 #include "apps/nf/ipsec.h"
 #include "apps/nf/tcam.h"
 #include "common/table.h"
+#include "harness/trace_opts.h"
 #include "ipipe/runtime.h"
 #include "testbed/cluster.h"
 #include "workloads/app_workloads.h"
@@ -78,7 +79,9 @@ class IpsecActor final : public Actor {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out= captures the 0.9-load firewall run.
+  const bench::TraceOpts trace = bench::parse_trace_opts(argc, argv);
   // ---- Firewall latency vs load -----------------------------------------
   std::printf(
       "\n§5.7 firewall: avg packet latency (us), 8K wildcard rules, 1KB "
@@ -86,7 +89,10 @@ int main() {
   TablePrinter fw_table({"load", "avg(us)", "p99(us)"});
   for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     testbed::Cluster cluster;
-    auto& server = cluster.add_server(testbed::ServerSpec{});
+    testbed::ServerSpec spec;
+    const bool traced = trace.enabled() && load >= 0.9;
+    if (traced) trace.apply(spec.ipipe);
+    auto& server = cluster.add_server(spec);
     const ActorId id = server.runtime().register_actor(
         std::make_unique<FirewallActor>(8192));
     workloads::EchoWorkloadParams wl;
@@ -98,6 +104,7 @@ int main() {
     client.set_warmup(msec(10));
     client.start_open_loop(load * line_rate_pps(1024, 10.0), msec(50), true);
     cluster.run_until(msec(60));
+    if (traced) bench::write_cluster_trace(trace, cluster, "nf/firewall");
     fw_table.add_row({strf("%.1f", load),
                       strf("%.2f", client.latencies().mean_ns() / 1000.0),
                       strf("%.2f", to_us(client.latencies().p99()))});

@@ -77,14 +77,16 @@ bool DmoHashTable::insert_entry(ActorEnv& env, std::string_view key,
   if (idx < 0) {
     e = Entry{};
     e.key_len = static_cast<std::uint8_t>(key.size());
-    std::memcpy(e.key, key.data(), key.size());
+    if (!key.empty()) std::memcpy(e.key, key.data(), key.size());
     ++bucket.count;
     ++size_;
   }
   e.version = version;
   e.locked = locked ? 1 : 0;
   e.value_len = static_cast<std::uint16_t>(value.size());
-  std::memcpy(e.value, value.data(), value.size());
+  // Placeholder locks insert empty values: data() is null there, and
+  // memcpy(_, nullptr, 0) is still UB.
+  if (!value.empty()) std::memcpy(e.value, value.data(), value.size());
   return env.dmo_put(id, bucket);
 }
 

@@ -1,0 +1,312 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ipipe::trace {
+
+const char* cat_name(Cat cat) noexcept {
+  switch (cat) {
+    case Cat::kSched:
+      return "sched";
+    case Cat::kExec:
+      return "exec";
+    case Cat::kChannel:
+      return "channel";
+    case Cat::kDmo:
+      return "dmo";
+    case Cat::kMig:
+      return "migration";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- Tracer --
+
+void Tracer::enable(std::size_t capacity) {
+  if (ring_.size() != capacity) {
+    ring_.assign(std::max<std::size_t>(capacity, 16), Event{});
+    total_ = 0;
+  }
+  enabled_ = true;
+}
+
+void Tracer::push(Event e) {
+  ring_[total_ % ring_.size()] = e;
+  ++total_;
+}
+
+void Tracer::instant(Cat cat, const char* name, std::uint32_t tid,
+                     std::uint64_t actor, Arg a0, Arg a1) {
+  if (!enabled_) return;
+  push(Event{now(), 0, cat, tid, actor, name, a0, a1});
+}
+
+void Tracer::span(Cat cat, const char* name, std::uint32_t tid, Ns start,
+                  Ns end, std::uint64_t actor, Arg a0, Arg a1) {
+  if (!enabled_) return;
+  push(Event{start, end > start ? end - start : 0, cat, tid, actor, name, a0,
+             a1});
+}
+
+std::size_t Tracer::size() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void Tracer::clear() noexcept { total_ = 0; }
+
+void Tracer::for_each(const std::function<void(const Event&)>& fn) const {
+  if (ring_.empty() || total_ == 0) return;
+  const std::uint64_t n = std::min<std::uint64_t>(total_, ring_.size());
+  const std::uint64_t start = total_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    fn(ring_[(start + i) % ring_.size()]);
+  }
+}
+
+// ----------------------------------------------------------------- export --
+
+namespace {
+
+/// JSON string escaping for names that may come from application actors.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome trace timestamps are microseconds; keep ns precision as a
+/// fractional part.
+std::string ts_us(Ns t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[48];
+  // %g keeps counters compact while preserving enough precision for UIs.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string event_args(const Event& e) {
+  std::string args;
+  if (e.actor != 0) args += "\"actor\":" + num(static_cast<double>(e.actor));
+  for (const Arg* a : {&e.a0, &e.a1}) {
+    if (a->name == nullptr) continue;
+    if (!args.empty()) args += ",";
+    args += "\"" + json_escape(a->name) + "\":" + num(a->value);
+  }
+  return args;
+}
+
+std::string event_record(const Event& e, int pid) {
+  std::string rec = "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"";
+  rec += cat_name(e.cat);
+  rec += "\",\"ph\":\"";
+  rec += e.dur > 0 ? "X" : "i";
+  rec += "\",\"ts\":" + ts_us(e.ts);
+  if (e.dur > 0) rec += ",\"dur\":" + ts_us(e.dur);
+  if (e.dur == 0) rec += ",\"s\":\"t\"";
+  rec += ",\"pid\":" + std::to_string(pid);
+  rec += ",\"tid\":" + std::to_string(e.tid);
+  const std::string args = event_args(e);
+  if (!args.empty()) rec += ",\"args\":{" + args + "}";
+  rec += "}";
+  return rec;
+}
+
+std::string counter_record(const char* name, Ns ts, int pid,
+                           const std::string& args) {
+  std::string rec = "{\"name\":\"";
+  rec += name;
+  rec += "\",\"ph\":\"C\",\"ts\":" + ts_us(ts);
+  rec += ",\"pid\":" + std::to_string(pid);
+  rec += ",\"tid\":0,\"args\":{" + args + "}}";
+  return rec;
+}
+
+std::string meta_record(const char* kind, int pid,
+                        const std::string& name_arg,
+                        const std::uint32_t* tid = nullptr) {
+  std::string rec = "{\"name\":\"";
+  rec += kind;
+  rec += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (tid != nullptr) rec += ",\"tid\":" + std::to_string(*tid);
+  rec += ",\"args\":{\"name\":\"" + json_escape(name_arg) + "\"}}";
+  return rec;
+}
+
+std::string tid_label(std::uint32_t t) {
+  if (t < tid::kHostCore0) return "nic-core-" + std::to_string(t);
+  if (t < tid::kChanToHost) {
+    return "host-core-" + std::to_string(t - tid::kHostCore0);
+  }
+  if (t == tid::kChanToHost) return "chan-to-host";
+  if (t == tid::kChanToNic) return "chan-to-nic";
+  if (t == tid::kDmo) return "dmo";
+  return "track-" + std::to_string(t);
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::emit(const std::string& record) {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  os_ << record;
+}
+
+void ChromeTraceWriter::add_process(int pid, const std::string& name,
+                                    const Tracer& tracer,
+                                    const MetricsRegistry* metrics) {
+  emit(meta_record("process_name", pid, name));
+
+  std::vector<std::uint32_t> tids;
+  tracer.for_each([&](const Event& e) {
+    emit(event_record(e, pid));
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  });
+  for (const std::uint32_t t : tids) {
+    emit(meta_record("thread_name", pid, tid_label(t), &t));
+  }
+
+  if (metrics == nullptr) return;
+  for (const Snapshot& s : metrics->snapshots()) {
+    emit(counter_record("cores", s.ts, pid,
+                        "\"fcfs\":" + std::to_string(s.fcfs_cores) +
+                            ",\"drr\":" + std::to_string(s.drr_cores)));
+    emit(counter_record("core_util", s.ts, pid,
+                        "\"fcfs\":" + num(s.fcfs_util) +
+                            ",\"drr\":" + num(s.drr_util)));
+    emit(counter_record(
+        "channel", s.ts, pid,
+        "\"sent\":" + num(static_cast<double>(s.chan_sent)) +
+            ",\"queued\":" + num(static_cast<double>(s.chan_queued)) +
+            ",\"retransmits\":" +
+            num(static_cast<double>(s.chan_retransmits)) +
+            ",\"backpressure_us\":" +
+            num(static_cast<double>(s.chan_backpressure_ns) / 1000.0)));
+    emit(counter_record(
+        "response_us", s.ts, pid,
+        "\"mean\":" + num(s.resp_mean_ns / 1000.0) +
+            ",\"p50\":" + num(static_cast<double>(s.resp_p50_ns) / 1000.0) +
+            ",\"p99\":" + num(static_cast<double>(s.resp_p99_ns) / 1000.0)));
+    for (const ActorSample& a : s.actors) {
+      const std::string name_esc = json_escape(a.name);
+      emit(counter_record(
+          ("actor/" + name_esc + "#" + std::to_string(a.actor)).c_str(), s.ts,
+          pid,
+          "\"mailbox\":" + num(static_cast<double>(a.mailbox)) +
+              ",\"working_set_kb\":" +
+              num(static_cast<double>(a.working_set) / 1024.0) +
+              ",\"lat_mean_us\":" + num(a.lat_mean_ns / 1000.0) +
+              ",\"lat_tail_us\":" + num(a.lat_tail_ns / 1000.0)));
+    }
+  }
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "]}\n";
+}
+
+void export_chrome_json(std::ostream& os, const Tracer& tracer,
+                        const MetricsRegistry* metrics, int pid) {
+  ChromeTraceWriter writer(os);
+  writer.add_process(pid, "ipipe", tracer, metrics);
+  writer.finish();
+}
+
+void export_text(std::ostream& os, const Tracer& tracer,
+                 const MetricsRegistry* metrics) {
+  char line[256];
+  os << "# events (" << tracer.size() << " retained, " << tracer.dropped()
+     << " dropped)\n";
+  os << "#         ts_us     dur_us  cat        tid  actor  name "
+        "[args]\n";
+  tracer.for_each([&](const Event& e) {
+    std::snprintf(line, sizeof(line), "%14.3f %10.3f  %-9s %4u %6llu  %s",
+                  static_cast<double>(e.ts) / 1000.0,
+                  static_cast<double>(e.dur) / 1000.0, cat_name(e.cat), e.tid,
+                  static_cast<unsigned long long>(e.actor), e.name);
+    os << line;
+    for (const Arg* a : {&e.a0, &e.a1}) {
+      if (a->name == nullptr) continue;
+      std::snprintf(line, sizeof(line), " %s=%.6g", a->name, a->value);
+      os << line;
+    }
+    os << "\n";
+  });
+
+  if (metrics == nullptr) return;
+  for (const Snapshot& s : metrics->snapshots()) {
+    std::snprintf(line, sizeof(line),
+                  "\n# snapshot @%.3fus  cores fcfs=%u drr=%u  util "
+                  "fcfs=%.2f drr=%.2f  chan sent=%llu queued=%llu retx=%llu  "
+                  "resp mean=%.1fus p99=%.1fus n=%llu\n",
+                  static_cast<double>(s.ts) / 1000.0, s.fcfs_cores,
+                  s.drr_cores, s.fcfs_util, s.drr_util,
+                  static_cast<unsigned long long>(s.chan_sent),
+                  static_cast<unsigned long long>(s.chan_queued),
+                  static_cast<unsigned long long>(s.chan_retransmits),
+                  s.resp_mean_ns / 1000.0,
+                  static_cast<double>(s.resp_p99_ns) / 1000.0,
+                  static_cast<unsigned long long>(s.resp_count));
+    os << line;
+    for (const ActorSample& a : s.actors) {
+      std::snprintf(
+          line, sizeof(line),
+          "  actor %-4llu %-12s %s%s  mu=%8.1fns sigma=%8.1fns "
+          "mailbox=%4llu ws=%8lluB reqs=%llu\n",
+          static_cast<unsigned long long>(a.actor), a.name.c_str(),
+          a.on_nic ? "nic " : "host", a.is_drr ? "/drr" : "    ",
+          a.lat_mean_ns, a.lat_std_ns,
+          static_cast<unsigned long long>(a.mailbox),
+          static_cast<unsigned long long>(a.working_set),
+          static_cast<unsigned long long>(a.requests));
+      os << line;
+    }
+  }
+}
+
+}  // namespace ipipe::trace

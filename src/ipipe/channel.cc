@@ -224,11 +224,20 @@ void MessageChannel::note_backpressure_start(Dir& dir) {
   dir.backpressure_active = true;
   dir.backpressure_since = sim_.now();
   ++dir.stats.backpressure_events;
+  if (tracing()) {
+    tracer_->instant(trace::Cat::kChannel, "chan_backpressure_start",
+                     tid_of(dir), 0,
+                     {"pending", static_cast<double>(dir.pending.size())});
+  }
 }
 
 void MessageChannel::note_backpressure_end(Dir& dir) {
   if (!dir.backpressure_active) return;
   dir.stats.backpressure_ns += sim_.now() - dir.backpressure_since;
+  if (tracing()) {
+    tracer_->span(trace::Cat::kChannel, "backpressure", tid_of(dir),
+                  dir.backpressure_since, sim_.now());
+  }
   dir.backpressure_active = false;
   dir.backpressure_since = 0;
 }
@@ -252,7 +261,14 @@ void MessageChannel::flush_pending(Dir& dir) {
     if (!try_push(dir, head.msg)) break;
     progressed = true;
     ++dir.stats.sent;
-    if (head.is_retransmit) ++dir.stats.retransmits;
+    if (head.is_retransmit) {
+      ++dir.stats.retransmits;
+      if (tracing()) {
+        tracer_->instant(trace::Cat::kChannel, "chan_retransmit", tid_of(dir),
+                         head.msg.dst_actor,
+                         {"seq", static_cast<double>(head.seq)});
+      }
+    }
     dir.stats.queue_delay.add(sim_.now() - head.queued_at);
     dir.pending.pop_front();
   }
@@ -267,6 +283,10 @@ void MessageChannel::flush_pending(Dir& dir) {
 
 void MessageChannel::schedule_retransmit(Dir& dir, std::uint64_t seq) {
   ++dir.stats.drops_avoided;
+  if (tracing()) {
+    tracer_->instant(trace::Cat::kChannel, "chan_nack", tid_of(dir), 0,
+                     {"seq", static_cast<double>(seq)});
+  }
   // Model the consumer->producer NACK crossing PCIe before the producer
   // can react.
   sim_.schedule(tuning_.nack_delay, [this, &dir, seq] {
@@ -307,6 +327,12 @@ SendTicket MessageChannel::send_or_queue(Dir& dir, ChannelMsg msg) {
   }
   // Ring full (or earlier messages already parked): preserve FIFO order
   // by appending to the pending queue — never drop.
+  if (tracing()) {
+    tracer_->instant(trace::Cat::kChannel, "chan_queued", tid_of(dir),
+                     msg.dst_actor,
+                     {"pending", static_cast<double>(dir.pending.size() + 1)},
+                     {"seq", static_cast<double>(msg.seq)});
+  }
   ++dir.stats.queued;
   ++dir.stats.drops_avoided;
   note_backpressure_start(dir);
@@ -357,6 +383,10 @@ std::optional<ChannelMsg> MessageChannel::poll(Dir& dir) {
   if (!body) {
     if (corrupt) {
       ++dir.stats.corrupt_frames;
+      if (tracing()) {
+        tracer_->instant(trace::Cat::kChannel, "chan_corrupt", tid_of(dir), 0,
+                         {"discarded", static_cast<double>(discarded)});
+      }
       if (discarded > 1) ++dir.stats.framing_resyncs;
       // Every discarded frame is identified by its FIFO position: request
       // redelivery for each lost sequence number.

@@ -32,6 +32,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "netsim/packet.h"
 #include "nic/dma_engine.h"
@@ -218,6 +219,10 @@ class MessageChannel {
   void set_host_notify(std::function<void()> fn) { host_notify_ = std::move(fn); }
   void set_nic_notify(std::function<void()> fn) { nic_notify_ = std::move(fn); }
 
+  /// Optional event tracer (send/retransmit/backpressure land on the
+  /// chan-to-host / chan-to-nic tracks).
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   /// One ring frame that has been pushed but not yet popped.
   struct Pending {
@@ -261,6 +266,12 @@ class MessageChannel {
   [[nodiscard]] std::function<void()>* notify_of(Dir& dir) noexcept {
     return &dir == &to_host_ ? &host_notify_ : &nic_notify_;
   }
+  [[nodiscard]] std::uint32_t tid_of(const Dir& dir) const noexcept {
+    return &dir == &to_host_ ? trace::tid::kChanToHost : trace::tid::kChanToNic;
+  }
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
 
   /// Push one framed message into `dir`'s ring; wires up visibility and
   /// the wake notification.  Returns the core-side post cost, nullopt if
@@ -293,6 +304,7 @@ class MessageChannel {
   std::uint64_t send_failures_ = 0;
   double fault_rate_ = 0.0;
   Rng fault_rng_{0x5EEDULL};
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ipipe

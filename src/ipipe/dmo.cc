@@ -118,13 +118,19 @@ DmoStatus ObjectTable::alloc(ActorId actor, std::uint32_t size, MemSide side,
   return DmoStatus::kOk;
 }
 
+DmoStatus ObjectTable::trap(ActorId actor, DmoStatus status) const {
+  ++traps_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(trace::Cat::kDmo, "dmo_trap", trace::tid::kDmo, actor,
+                     {"status", static_cast<double>(status)});
+  }
+  return status;
+}
+
 DmoStatus ObjectTable::free(ActorId actor, ObjId id) {
   DmoRecord* rec = find_mut(id);
   if (rec == nullptr) return DmoStatus::kNoSuchObject;
-  if (rec->owner != actor) {
-    ++traps_;
-    return DmoStatus::kWrongOwner;
-  }
+  if (rec->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
   const auto region_it = regions_.find(actor);
   assert(region_it != regions_.end());
   allocator(region_it->second, rec->side).free(rec->addr);
@@ -135,48 +141,54 @@ DmoStatus ObjectTable::free(ActorId actor, ObjId id) {
 }
 
 DmoStatus ObjectTable::read(ActorId actor, ObjId id, std::uint32_t offset,
-                            std::span<std::uint8_t> out) const {
+                            std::span<std::uint8_t> out,
+                            std::optional<MemSide> exec_side) const {
   const DmoRecord* rec = find(id);
   if (rec == nullptr) return DmoStatus::kNoSuchObject;
-  if (rec->owner != actor) {
-    ++traps_;
-    return DmoStatus::kWrongOwner;
+  if (rec->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
+  // 64-bit sum: with 32-bit offset + 32-bit length the check
+  // `offset + len > size` wraps (e.g. offset=8, len=0xFFFFFFF8) and
+  // admits a heap overflow past the object payload.
+  if (std::uint64_t{offset} + out.size() > rec->size) {
+    return trap(actor, DmoStatus::kOutOfBounds);
   }
-  if (offset + out.size() > rec->size) {
-    ++traps_;
-    return DmoStatus::kOutOfBounds;
+  if (exec_side.has_value() && *exec_side != rec->side) {
+    ++wrong_side_hits_;
+    return DmoStatus::kWrongSide;
   }
   std::memcpy(out.data(), rec->data.data() + offset, out.size());
   return DmoStatus::kOk;
 }
 
 DmoStatus ObjectTable::write(ActorId actor, ObjId id, std::uint32_t offset,
-                             std::span<const std::uint8_t> in) {
+                             std::span<const std::uint8_t> in,
+                             std::optional<MemSide> exec_side) {
   DmoRecord* rec = find_mut(id);
   if (rec == nullptr) return DmoStatus::kNoSuchObject;
-  if (rec->owner != actor) {
-    ++traps_;
-    return DmoStatus::kWrongOwner;
+  if (rec->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
+  if (std::uint64_t{offset} + in.size() > rec->size) {
+    return trap(actor, DmoStatus::kOutOfBounds);
   }
-  if (offset + in.size() > rec->size) {
-    ++traps_;
-    return DmoStatus::kOutOfBounds;
+  if (exec_side.has_value() && *exec_side != rec->side) {
+    ++wrong_side_hits_;
+    return DmoStatus::kWrongSide;
   }
   std::memcpy(rec->data.data() + offset, in.data(), in.size());
   return DmoStatus::kOk;
 }
 
 DmoStatus ObjectTable::memset(ActorId actor, ObjId id, std::uint8_t value,
-                              std::uint32_t offset, std::uint32_t len) {
+                              std::uint32_t offset, std::uint32_t len,
+                              std::optional<MemSide> exec_side) {
   DmoRecord* rec = find_mut(id);
   if (rec == nullptr) return DmoStatus::kNoSuchObject;
-  if (rec->owner != actor) {
-    ++traps_;
-    return DmoStatus::kWrongOwner;
+  if (rec->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
+  if (std::uint64_t{offset} + len > rec->size) {
+    return trap(actor, DmoStatus::kOutOfBounds);
   }
-  if (offset + len > rec->size) {
-    ++traps_;
-    return DmoStatus::kOutOfBounds;
+  if (exec_side.has_value() && *exec_side != rec->side) {
+    ++wrong_side_hits_;
+    return DmoStatus::kWrongSide;
   }
   std::memset(rec->data.data() + offset, value, len);
   return DmoStatus::kOk;
@@ -185,6 +197,20 @@ DmoStatus ObjectTable::memset(ActorId actor, ObjId id, std::uint8_t value,
 DmoStatus ObjectTable::memcpy_obj(ActorId actor, ObjId dst, std::uint32_t dst_off,
                                   ObjId src, std::uint32_t src_off,
                                   std::uint32_t len) {
+  // Validate both ranges (64-bit, same rationale as read/write) *before*
+  // allocating scratch: a hostile len of ~4 GiB must trap, not allocate.
+  const DmoRecord* s = find(src);
+  if (s == nullptr) return DmoStatus::kNoSuchObject;
+  if (s->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
+  if (std::uint64_t{src_off} + len > s->size) {
+    return trap(actor, DmoStatus::kOutOfBounds);
+  }
+  const DmoRecord* d = find(dst);
+  if (d == nullptr) return DmoStatus::kNoSuchObject;
+  if (d->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
+  if (std::uint64_t{dst_off} + len > d->size) {
+    return trap(actor, DmoStatus::kOutOfBounds);
+  }
   std::vector<std::uint8_t> tmp(len);
   if (const auto st = read(actor, src, src_off, tmp); st != DmoStatus::kOk)
     return st;
@@ -194,10 +220,7 @@ DmoStatus ObjectTable::memcpy_obj(ActorId actor, ObjId dst, std::uint32_t dst_of
 DmoStatus ObjectTable::migrate(ActorId actor, ObjId id, MemSide to) {
   DmoRecord* rec = find_mut(id);
   if (rec == nullptr) return DmoStatus::kNoSuchObject;
-  if (rec->owner != actor) {
-    ++traps_;
-    return DmoStatus::kWrongOwner;
-  }
+  if (rec->owner != actor) return trap(actor, DmoStatus::kWrongOwner);
   if (rec->side == to) return DmoStatus::kOk;
 
   const auto region_it = regions_.find(actor);
@@ -207,19 +230,47 @@ DmoStatus ObjectTable::migrate(ActorId actor, ObjId id, MemSide to) {
   allocator(region_it->second, rec->side).free(rec->addr);
   rec->addr = *new_addr;
   rec->side = to;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(trace::Cat::kDmo, "dmo_migrate", trace::tid::kDmo, actor,
+                     {"bytes", static_cast<double>(rec->size)},
+                     {"to_host", to == MemSide::kHost ? 1.0 : 0.0});
+  }
   return DmoStatus::kOk;
 }
 
-std::uint64_t ObjectTable::migrate_all(ActorId actor, MemSide to) {
+MigrateResult ObjectTable::migrate_all(ActorId actor, MemSide to) {
+  MigrateResult result;
   const auto region_it = regions_.find(actor);
-  if (region_it == regions_.end()) return 0;
-  std::uint64_t moved = 0;
+  if (region_it == regions_.end()) return result;
+  RegionAllocator& target = allocator(region_it->second, to);
   for (const ObjId id : region_it->second.objects) {
     DmoRecord* rec = find_mut(id);
     if (rec == nullptr || rec->side == to) continue;
-    if (migrate(actor, id, to) == DmoStatus::kOk) moved += rec->size;
+    const std::uint64_t target_used_before = target.bytes_used();
+    switch (migrate(actor, id, to)) {
+      case DmoStatus::kOk:
+        result.payload_bytes += rec->size;
+        result.padded_bytes += target.bytes_used() - target_used_before;
+        ++result.moved_objects;
+        break;
+      case DmoStatus::kNoMemory:
+        // Target region exhausted: the object stays behind.  Keep going —
+        // smaller objects may still fit — but report the split residency
+        // instead of swallowing it.
+        ++result.failed_objects;
+        break;
+      default:
+        ++result.failed_objects;
+        break;
+    }
   }
-  return moved;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(
+        trace::Cat::kDmo, "dmo_migrate_all", trace::tid::kDmo, actor,
+        {"payload_bytes", static_cast<double>(result.payload_bytes)},
+        {"failed_objects", static_cast<double>(result.failed_objects)});
+  }
+  return result;
 }
 
 const DmoRecord* ObjectTable::find(ObjId id) const {

@@ -19,8 +19,10 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/trace.h"
 #include "netsim/packet.h"
 
 namespace ipipe {
@@ -53,6 +55,12 @@ class RegionAllocator {
   [[nodiscard]] std::size_t free_block_count() const noexcept {
     return free_blocks_.size();
   }
+  /// Snapshot of the free list as (addr, size) pairs in address order —
+  /// introspection for invariant checks (tests) and fragmentation dumps.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  free_blocks() const {
+    return {free_blocks_.begin(), free_blocks_.end()};
+  }
 
  private:
   std::uint64_t base_;
@@ -81,6 +89,17 @@ struct DmoRecord {
   std::vector<std::uint8_t> data;  ///< real payload bytes
 };
 
+/// Outcome of `ObjectTable::migrate_all`.  A mid-loop allocation failure
+/// on the target side no longer passes silently: the caller sees exactly
+/// how much moved and how many objects stayed behind (split residency).
+struct MigrateResult {
+  std::uint64_t payload_bytes = 0;  ///< sum of rec->size actually moved
+  std::uint64_t padded_bytes = 0;   ///< allocator bytes consumed on the target
+  std::uint64_t moved_objects = 0;
+  std::uint64_t failed_objects = 0;  ///< kNoMemory on the target region
+  [[nodiscard]] bool complete() const noexcept { return failed_objects == 0; }
+};
+
 /// Object table (one logical table spanning both sides, with per-object
 /// location, Figure 12-a).  The runtime consults `side` to decide
 /// whether an access is local; actors never observe raw addresses.
@@ -99,14 +118,21 @@ class ObjectTable {
   /// dmo_free.
   DmoStatus free(ActorId actor, ObjId id);
 
-  /// Checked read/write (dmo_memcpy to/from actor scratch).
+  /// Checked read/write (dmo_memcpy to/from actor scratch).  When
+  /// `exec_side` is given, the access is additionally checked against the
+  /// object's current residency: touching an object on the far side of
+  /// PCIe returns kWrongSide *without* performing the access, and the
+  /// runtime decides whether to charge the DMA cost and retry or to trap.
   DmoStatus read(ActorId actor, ObjId id, std::uint32_t offset,
-                 std::span<std::uint8_t> out) const;
+                 std::span<std::uint8_t> out,
+                 std::optional<MemSide> exec_side = std::nullopt) const;
   DmoStatus write(ActorId actor, ObjId id, std::uint32_t offset,
-                  std::span<const std::uint8_t> in);
+                  std::span<const std::uint8_t> in,
+                  std::optional<MemSide> exec_side = std::nullopt);
   /// dmo_memset.
   DmoStatus memset(ActorId actor, ObjId id, std::uint8_t value,
-                   std::uint32_t offset, std::uint32_t len);
+                   std::uint32_t offset, std::uint32_t len,
+                   std::optional<MemSide> exec_side = std::nullopt);
   /// dmo_memcpy between two objects of the same actor.
   DmoStatus memcpy_obj(ActorId actor, ObjId dst, std::uint32_t dst_off,
                        ObjId src, std::uint32_t src_off, std::uint32_t len);
@@ -115,9 +141,12 @@ class ObjectTable {
   /// it; the caller charges the PCIe time).
   DmoStatus migrate(ActorId actor, ObjId id, MemSide to);
 
-  /// Move *all* of an actor's objects to `to`; returns total payload
-  /// bytes moved (for migration cost accounting, Fig. 18 phase 3).
-  std::uint64_t migrate_all(ActorId actor, MemSide to);
+  /// Move *all* of an actor's objects to `to` (migration phase 3 /
+  /// Fig. 18).  Partial failure (target region exhausted mid-loop) is
+  /// reported, not swallowed: the result distinguishes payload bytes
+  /// (what the caller charges PCIe time for) from padded allocator bytes
+  /// (what the target region actually consumed) and counts stragglers.
+  MigrateResult migrate_all(ActorId actor, MemSide to);
 
   [[nodiscard]] const DmoRecord* find(ObjId id) const;
   [[nodiscard]] std::uint64_t actor_bytes(ActorId actor, MemSide side) const;
@@ -126,6 +155,15 @@ class ObjectTable {
   [[nodiscard]] std::uint64_t working_set(ActorId actor) const;
 
   [[nodiscard]] std::uint64_t traps() const noexcept { return traps_; }
+  /// Accesses rejected with kWrongSide (remote-residency hits).  These
+  /// are not isolation traps: the runtime normally retries them as
+  /// DMA-charged remote accesses.
+  [[nodiscard]] std::uint64_t wrong_side_hits() const noexcept {
+    return wrong_side_hits_;
+  }
+
+  /// Optional event tracer (DMO traps + migrations land on tid::kDmo).
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
  private:
   struct ActorRegion {
@@ -138,12 +176,16 @@ class ObjectTable {
   [[nodiscard]] RegionAllocator& allocator(ActorRegion& region, MemSide side) {
     return side == MemSide::kNic ? region.nic_alloc : region.host_alloc;
   }
+  /// Count an isolation trap and trace it.
+  DmoStatus trap(ActorId actor, DmoStatus status) const;
 
   std::unordered_map<ActorId, ActorRegion> regions_;
   std::unordered_map<ObjId, DmoRecord> objects_;
   ObjId next_id_ = 1;
   mutable std::uint64_t traps_ = 0;
+  mutable std::uint64_t wrong_side_hits_ = 0;
   std::uint64_t next_region_base_ = 0x10f0000000ULL;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ipipe

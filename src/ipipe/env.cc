@@ -1,5 +1,7 @@
 #include "ipipe/env.h"
 
+#include <algorithm>
+
 namespace ipipe {
 
 void EnvBase::charge_dmo(std::uint64_t bytes) {
@@ -19,9 +21,24 @@ bool EnvBase::check(DmoStatus status) {
       // Isolation trap (§3.4): the runtime deregisters the offender.
       rt_.kill_actor(ac_.id, /*isolation_trap=*/true);
       return false;
+    case DmoStatus::kWrongSide:
+      // Not a fault: the object lives across PCIe.  charge_remote already
+      // billed the DMA round trip and the access was retried unchecked.
+      return false;
     default:
       return false;
   }
+}
+
+void EnvBase::charge_remote(std::uint64_t bytes, bool is_write) {
+  // Remote DMO access: a blocking DMA to the far side of PCIe.  Before
+  // kWrongSide was enforced, these accesses were billed at *local* memory
+  // cost, flattering actors with split or stale residency.
+  const auto& dma = rt_.nic().dma();
+  const auto sz = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(bytes, 0xFFFFFFFFULL));
+  charge(is_write ? dma.blocking_write_latency(sz)
+                  : dma.blocking_read_latency(sz));
 }
 
 ObjId EnvBase::dmo_alloc(std::uint32_t size) {
@@ -39,19 +56,34 @@ bool EnvBase::dmo_free(ObjId id) {
 bool EnvBase::dmo_read(ObjId id, std::uint32_t off,
                        std::span<std::uint8_t> out) {
   charge_dmo(out.size());
-  return check(rt_.objects().read(ac_.id, id, off, out));
+  const auto status = rt_.objects().read(ac_.id, id, off, out, side());
+  if (status == DmoStatus::kWrongSide) {
+    charge_remote(out.size(), /*is_write=*/false);
+    return check(rt_.objects().read(ac_.id, id, off, out));
+  }
+  return check(status);
 }
 
 bool EnvBase::dmo_write(ObjId id, std::uint32_t off,
                         std::span<const std::uint8_t> in) {
   charge_dmo(in.size());
-  return check(rt_.objects().write(ac_.id, id, off, in));
+  const auto status = rt_.objects().write(ac_.id, id, off, in, side());
+  if (status == DmoStatus::kWrongSide) {
+    charge_remote(in.size(), /*is_write=*/true);
+    return check(rt_.objects().write(ac_.id, id, off, in));
+  }
+  return check(status);
 }
 
 bool EnvBase::dmo_memset(ObjId id, std::uint8_t value, std::uint32_t off,
                          std::uint32_t len) {
   charge_dmo(len);
-  return check(rt_.objects().memset(ac_.id, id, value, off, len));
+  const auto status = rt_.objects().memset(ac_.id, id, value, off, len, side());
+  if (status == DmoStatus::kWrongSide) {
+    charge_remote(len, /*is_write=*/true);
+    return check(rt_.objects().memset(ac_.id, id, value, off, len));
+  }
+  return check(status);
 }
 
 std::uint32_t EnvBase::dmo_size(ObjId id) const {

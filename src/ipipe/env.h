@@ -39,6 +39,9 @@ class EnvBase : public ActorEnv {
  protected:
   /// Charge the DMO translation + memory cost for touching `bytes`.
   void charge_dmo(std::uint64_t bytes);
+  /// Charge a blocking PCIe DMA for a remote-residency (kWrongSide) DMO
+  /// access, then the caller retries the access unchecked.
+  void charge_remote(std::uint64_t bytes, bool is_write);
   bool check(DmoStatus status);
   [[nodiscard]] netsim::PacketPtr make_packet(NodeId dst, ActorId dst_actor,
                                               std::uint16_t type,

@@ -86,6 +86,13 @@ Runtime::Runtime(sim::Simulation& sim, nic::NicModel& nic,
   if (cfg.channel_fault_rate > 0.0) {
     channel_.set_fault_injection(cfg.channel_fault_rate, cfg.channel_fault_seed);
   }
+  tracer_.set_clock(sim.clock());
+  channel_.set_tracer(&tracer_);
+  objects_.set_tracer(&tracer_);
+  if (cfg.trace) {
+    tracer_.enable(cfg.trace_capacity);
+    metrics_.set_period(cfg.trace_metrics_period);
+  }
   channel_.set_host_notify([this] { host_.wake_all(); });
   channel_.set_nic_notify([this] { nic_.wake_all(); });
   nic_.set_steer_to_nic([this](const netsim::Packet& pkt) {
@@ -169,6 +176,10 @@ void Runtime::kill_actor(ActorId id, bool isolation_trap) {
   } else {
     ++watchdog_kills_;
   }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kSched, "actor_kill", trace::tid::kNicCore0, id,
+                    {"isolation", isolation_trap ? 1.0 : 0.0});
+  }
   LOG_WARN("actor %u (%s) killed (%s)", id, ac->actor->name().c_str(),
            isolation_trap ? "isolation trap" : "watchdog timeout");
 }
@@ -198,6 +209,11 @@ bool Runtime::start_migration(ActorId id, ActorLoc to) {
   } else {
     ++pull_migrations_;
   }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kMig, "migration_start", trace::tid::kNicCore0,
+                    id, {"to_host", to == ActorLoc::kHost ? 1.0 : 0.0},
+                    {"mailbox", static_cast<double>(ac->mailbox.size())});
+  }
   nic_.wake_core(0);
   return true;
 }
@@ -215,6 +231,10 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
       // Phase 1 -> 2: runtime lock/unlock + dispatcher removal.
       ctx.charge(cfg_.sched_bookkeeping_ns * 4);
       ac->mig_phase_ns[0] = sim_.now() - migration_->phase_start;
+      if (tracer_.enabled()) {
+        tracer_.span(trace::Cat::kMig, "mig_phase1_prepare", ctx.core(),
+                     migration_->phase_start, sim_.now(), ac->id);
+      }
       migration_->phase = 2;
       migration_->phase_start = sim_.now();
       return true;
@@ -229,6 +249,10 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
       }
       ac->mig = MigState::kReady;
       ac->mig_phase_ns[1] = sim_.now() - migration_->phase_start;
+      if (tracer_.enabled()) {
+        tracer_.span(trace::Cat::kMig, "mig_phase2_drain", ctx.core(),
+                     migration_->phase_start, sim_.now(), ac->id);
+      }
       migration_->phase = 3;
       migration_->phase_start = sim_.now();
       ctx.charge(cfg_.sched_bookkeeping_ns);
@@ -241,20 +265,39 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
                                   ? MemSide::kHost
                                   : MemSide::kNic;
       const std::uint64_t obj_count = objects_.actor_object_count(ac->id);
-      const std::uint64_t bytes = objects_.migrate_all(ac->id, to_side);
-      migration_->bytes = bytes;
-      const Ns xfer = static_cast<Ns>(static_cast<double>(bytes) * 8.0 /
-                                      cfg_.mig_gbps) +
-                      obj_count * cfg_.mig_per_object_ns;
+      const MigrateResult moved = objects_.migrate_all(ac->id, to_side);
+      if (!moved.complete()) {
+        // The target region could not take every object: the actor now has
+        // split residency (stragglers pay remote-access DMA costs).  Loud,
+        // because a silent split made Fig. 18 numbers unexplainable.
+        ++partial_migrations_;
+        LOG_WARN("actor %u migration left %llu object(s) behind (%llu moved, "
+                 "target region exhausted)",
+                 ac->id,
+                 static_cast<unsigned long long>(moved.failed_objects),
+                 static_cast<unsigned long long>(moved.moved_objects));
+      }
+      migration_->bytes = moved.payload_bytes;
+      const Ns xfer =
+          static_cast<Ns>(static_cast<double>(moved.payload_bytes) * 8.0 /
+                          cfg_.mig_gbps) +
+          obj_count * cfg_.mig_per_object_ns;
       ctx.charge(xfer);
       ac->mig = MigState::kGone;
       ac->loc = migration_->to;
       ac->is_drr = false;
       ac->deficit_ns = 0.0;
       migration_->phase = 4;
-      ctx.defer([this, id = ac->id] {
+      ctx.defer([this, id = ac->id, core = ctx.core(),
+                 start = migration_->phase_start] {
         auto* a = control(id);
-        if (a != nullptr) a->mig_phase_ns[2] = sim_.now() - migration_->phase_start;
+        if (a != nullptr) {
+          a->mig_phase_ns[2] = sim_.now() - start;
+          if (tracer_.enabled()) {
+            tracer_.span(trace::Cat::kMig, "mig_phase3_dmo_transfer", core,
+                         start, sim_.now(), id);
+          }
+        }
         if (migration_.has_value()) migration_->phase_start = sim_.now();
       });
       return true;
@@ -279,6 +322,11 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
         return true;
       }
       ac->mig_phase_ns[3] = sim_.now() - migration_->phase_start;
+      if (tracer_.enabled()) {
+        tracer_.span(trace::Cat::kMig, "mig_phase4_resume", ctx.core(),
+                     migration_->phase_start, sim_.now(), ac->id,
+                     {"bytes", static_cast<double>(migration_->bytes)});
+      }
       ac->mig = MigState::kStable;
       ++ac->migrations;
       last_migration_end_ = sim_.now();
@@ -441,6 +489,15 @@ void Runtime::execute_on_nic(nic::NicExecContext& ctx, ActorControl& ac,
   fcfs_stats_.add(static_cast<double>(response));
   ++fcfs_samples_;
   response_hist_.add(response);
+  if (tracer_.enabled()) {
+    // Slice time is charged, not simulated: place the span at the
+    // consumed-time offset within the slice so per-core tracks tile.
+    tracer_.span(trace::Cat::kExec,
+                 ac.is_drr ? "drr_handle" : "fcfs_handle",
+                 trace::tid::kNicCore0 + ctx.core(), sim_.now() + before,
+                 sim_.now() + ctx.consumed(), ac.id,
+                 {"queue_us", static_cast<double>(queue_delay) / 1000.0});
+  }
   ctx.charge(cfg_.sched_bookkeeping_ns);
 
   if (exec > cfg_.watchdog_limit) {
@@ -489,6 +546,13 @@ void Runtime::maybe_downgrade() {
   worst->deficit_ns = 0.0;
   drr_queue_.push_back(worst->id);
   ++downgrades_;
+  if (tracer_.enabled()) {
+    // The decision inputs, not just the decision: the EWMA mu/sigma that
+    // made this actor the dispersion-worst candidate.
+    tracer_.instant(trace::Cat::kSched, "demote_to_drr", trace::tid::kNicCore0,
+                    worst->id, {"mu_us", worst->latency.mean() / 1000.0},
+                    {"sigma_us", worst->latency.stddev() / 1000.0});
+  }
   if (drr_cores() == 0) spawn_drr_core();
 }
 
@@ -508,6 +572,12 @@ void Runtime::maybe_upgrade() {
   best->is_drr = false;
   ++upgrades_;
   last_policy_change_ = sim_.now();
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kSched, "promote_to_fcfs",
+                    trace::tid::kNicCore0, best->id,
+                    {"mu_us", best->latency.mean() / 1000.0},
+                    {"sigma_us", best->latency.stddev() / 1000.0});
+  }
   // Requeue pending mailbox items through the shared queue.
   while (!best->mailbox.empty()) {
     nic_.tm().push(std::move(best->mailbox.front()));
@@ -613,6 +683,7 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
   ctx.charge(cfg_.sched_bookkeeping_ns * 2);
 
   check_autoscale();
+  if (tracer_.enabled() && metrics_.due(sim_.now())) snapshot_metrics();
 
   if (!cfg_.enable_migration || migration_.has_value() ||
       !fcfs_stats_.seeded()) {
@@ -655,6 +726,48 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
     if (lightest != nullptr) return start_migration(lightest->id, ActorLoc::kNic);
   }
   return false;
+}
+
+void Runtime::snapshot_metrics() {
+  trace::Snapshot snap;
+  snap.ts = sim_.now();
+  snap.fcfs_cores = fcfs_cores();
+  snap.drr_cores = drr_cores();
+  snap.fcfs_util = fcfs_util_;
+  snap.drr_util = drr_util_;
+  snap.upgrades = upgrades_;
+  snap.downgrades = downgrades_;
+  snap.push_migrations = push_migrations_;
+  snap.pull_migrations = pull_migrations_;
+  const ChannelDirStats& th = channel_.to_host_stats();
+  const ChannelDirStats& tn = channel_.to_nic_stats();
+  snap.chan_sent = th.sent + tn.sent;
+  snap.chan_queued = th.queued + tn.queued;
+  snap.chan_retransmits = th.retransmits + tn.retransmits;
+  snap.chan_backpressure_ns = th.backpressure_ns + tn.backpressure_ns;
+  snap.resp_mean_ns = response_hist_.mean_ns();
+  snap.resp_p50_ns = response_hist_.p50();
+  snap.resp_p99_ns = response_hist_.p99();
+  snap.resp_count = response_hist_.count();
+  snap.actors.reserve(actors_.size());
+  for (const auto& [id, ac] : actors_) {
+    if (ac.killed) continue;
+    trace::ActorSample a;
+    a.actor = id;
+    a.name = ac.actor->name();
+    a.on_nic = ac.loc == ActorLoc::kNic;
+    a.is_drr = ac.is_drr;
+    a.lat_mean_ns = ac.latency.mean();
+    a.lat_std_ns = ac.latency.stddev();
+    a.lat_tail_ns = ac.latency.tail();
+    a.exec_mean_ns = ac.exec_cost.seeded() ? ac.exec_cost.mean() : 0.0;
+    a.mailbox = ac.mailbox.size();
+    a.working_set = objects_.working_set(id);
+    a.requests = ac.requests;
+    a.migrations = ac.migrations;
+    snap.actors.push_back(std::move(a));
+  }
+  metrics_.record(std::move(snap));
 }
 
 void Runtime::check_autoscale() {
@@ -704,6 +817,11 @@ void Runtime::spawn_drr_core() {
   for (unsigned i = nic_.active_cores(); i-- > 1;) {
     if (roles_[i] == CoreRole::kFcfs) {
       roles_[i] = CoreRole::kDrr;
+      if (tracer_.enabled()) {
+        tracer_.instant(trace::Cat::kSched, "drr_core_spawn", i, 0,
+                        {"drr_cores", static_cast<double>(drr_cores())},
+                        {"drr_util", drr_util_});
+      }
       nic_.wake_core(i);
       return;
     }
@@ -726,6 +844,11 @@ void Runtime::retire_drr_core() {
   for (unsigned i = 1; i < nic_.active_cores(); ++i) {
     if (roles_[i] == CoreRole::kDrr) {
       roles_[i] = CoreRole::kFcfs;
+      if (tracer_.enabled()) {
+        tracer_.instant(trace::Cat::kSched, "drr_core_retire", i, 0,
+                        {"drr_cores", static_cast<double>(drr_cores())},
+                        {"drr_util", drr_util_});
+      }
       nic_.wake_core(i);
       return;
     }
@@ -840,6 +963,12 @@ void Runtime::execute_on_host(hostsim::HostExecContext& ctx, ActorControl& ac,
   ac.latency.add(static_cast<double>(queue_delay + exec));
   ac.exec_cost.add(static_cast<double>(exec));
   response_hist_.add(queue_delay + exec);
+  if (tracer_.enabled()) {
+    tracer_.span(trace::Cat::kExec, "host_handle",
+                 trace::tid::kHostCore0 + ctx.core(), sim_.now() + before,
+                 sim_.now() + ctx.consumed(), ac.id,
+                 {"queue_us", static_cast<double>(queue_delay) / 1000.0});
+  }
 }
 
 void Runtime::deliver_local(ActorId dst, netsim::PacketPtr msg, MemSide from) {

@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "hostsim/host_model.h"
 #include "ipipe/actor.h"
 #include "ipipe/channel.h"
@@ -87,6 +88,14 @@ struct IPipeConfig {
   /// corrupted in the ring (0 disables).
   double channel_fault_rate = 0.0;
   std::uint64_t channel_fault_seed = 0x5EEDULL;
+
+  /// Observability (see common/trace.h).  Off by default: every hook is a
+  /// single predicted-false branch, and timestamps are virtual time, so
+  /// enabling tracing never shifts measured latencies either.
+  bool trace = false;
+  std::size_t trace_capacity = trace::Tracer::kDefaultCapacity;
+  /// Virtual-time cadence of metrics snapshots (0 disables snapshots).
+  Ns trace_metrics_period = usec(500);
 };
 
 class Runtime;
@@ -190,6 +199,24 @@ class Runtime {
   [[nodiscard]] const ChannelDirStats& chan_to_nic_stats() const noexcept {
     return channel_.to_nic_stats();
   }
+  /// migrate_all calls that left objects behind (target region exhausted).
+  [[nodiscard]] std::uint64_t partial_migrations() const noexcept {
+    return partial_migrations_;
+  }
+
+  // ---- tracing & metrics ----------------------------------------------------
+  [[nodiscard]] trace::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const trace::Tracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] trace::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const trace::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  /// Turn tracing on after construction (same effect as cfg.trace=true).
+  void enable_tracing(std::size_t capacity = trace::Tracer::kDefaultCapacity,
+                      Ns metrics_period = usec(500)) {
+    tracer_.enable(capacity);
+    metrics_.set_period(metrics_period);
+  }
 
   // ---- internals shared with env/adapters (not for applications) -----------
   bool nic_run_once(nic::NicExecContext& ctx, unsigned core);
@@ -237,6 +264,8 @@ class Runtime {
   void maybe_downgrade();
   void maybe_upgrade();
   void check_autoscale();
+  /// Record one metrics snapshot (management core, when due).
+  void snapshot_metrics();
   void wake_drr_cores();
   [[nodiscard]] double drr_quantum_ns(const ActorControl& ac) const;
   void forward_to_host(nic::NicExecContext& ctx, netsim::PacketPtr pkt);
@@ -249,6 +278,9 @@ class Runtime {
 
   detail::NicFw nic_fw_;
   detail::HostRt host_rt_;
+
+  trace::Tracer tracer_;
+  trace::MetricsRegistry metrics_;
 
   ObjectTable objects_;
   MessageChannel channel_;
@@ -285,6 +317,7 @@ class Runtime {
   std::uint64_t isolation_kills_ = 0;
   std::uint64_t requests_on_nic_ = 0;
   std::uint64_t requests_on_host_ = 0;
+  std::uint64_t partial_migrations_ = 0;
 };
 
 }  // namespace ipipe

@@ -28,6 +28,12 @@ class Simulation {
   /// Current simulated time.
   [[nodiscard]] Ns now() const noexcept { return now_; }
 
+  /// A callable view of the simulation clock, for components that need
+  /// timestamps but must not depend on the engine (e.g. trace::Tracer).
+  [[nodiscard]] std::function<Ns()> clock() const {
+    return [this] { return now_; };
+  }
+
   /// Schedule `fn` to run `delay` ns from now.  Returns a handle usable
   /// with `cancel`.
   EventId schedule(Ns delay, EventFn fn);

@@ -30,6 +30,20 @@ namespace ipipe::testbed {
 
 enum class Mode { kIPipe, kDpdk, kFloem, kHostIPipe };
 
+[[nodiscard]] constexpr const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kIPipe:
+      return "ipipe";
+    case Mode::kDpdk:
+      return "dpdk";
+    case Mode::kFloem:
+      return "floem";
+    case Mode::kHostIPipe:
+      return "host-ipipe";
+  }
+  return "?";
+}
+
 struct ServerSpec {
   nic::NicConfig nic = nic::liquidio_cn2350();
   hostsim::HostConfig host;

@@ -70,6 +70,47 @@ TEST(RegionAllocator, FragmentationProbe) {
   EXPECT_FALSE(alloc.alloc(2048).has_value());
 }
 
+TEST(RegionAllocator, FreeListInvariantsHoldUnderChurn) {
+  // Property test: after any interleaving of allocs and frees the free
+  // list must stay sorted, fully coalesced (no adjacent blocks), and its
+  // bookkeeping must agree with bytes_free()/largest_free_block().
+  constexpr std::uint64_t kRegion = 64 * 1024;
+  RegionAllocator alloc(0x4000, kRegion);
+  std::vector<std::uint64_t> live;
+  Rng rng(99);
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      const auto addr = alloc.alloc(1 + rng.uniform_u64(700));
+      if (addr) live.push_back(*addr);
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_u64(live.size() - 1));
+      ASSERT_TRUE(alloc.free(live[idx]));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+
+    const auto blocks = alloc.free_blocks();
+    std::uint64_t sum = 0;
+    std::uint64_t largest = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      ASSERT_GT(blocks[i].second, 0u);
+      if (i > 0) {
+        // Sorted and coalesced: strictly increasing with a gap between
+        // consecutive blocks (adjacent free blocks must have merged).
+        ASSERT_LT(blocks[i - 1].first + blocks[i - 1].second,
+                  blocks[i].first);
+      }
+      sum += blocks[i].second;
+      largest = std::max(largest, blocks[i].second);
+    }
+    ASSERT_EQ(sum, alloc.bytes_free());
+    ASSERT_EQ(largest, alloc.largest_free_block());
+    ASSERT_LE(alloc.largest_free_block(), alloc.bytes_free());
+    ASSERT_EQ(alloc.bytes_used() + alloc.bytes_free(), kRegion);
+  }
+}
+
 class ObjectTableTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -106,6 +147,111 @@ TEST_F(ObjectTableTest, OutOfBoundsTrap) {
   EXPECT_EQ(table.read(1, id, 40, buf), DmoStatus::kOutOfBounds);
   EXPECT_EQ(table.write(1, id, 64, buf), DmoStatus::kOutOfBounds);
   EXPECT_EQ(table.traps(), 2u);
+}
+
+TEST_F(ObjectTableTest, MemsetOffsetPlusLenOverflowTraps) {
+  // Regression: the bounds check used to compute offset + len in 32 bits,
+  // so a length near 2^32 wrapped past the object size and memset scribbled
+  // over the heap.  The sum must be evaluated in 64 bits and trap.
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  const auto traps_before = table.traps();
+  EXPECT_EQ(table.memset(1, id, 0xFF, 8, 0xFFFFFFF8u),
+            DmoStatus::kOutOfBounds);
+  // offset + len == 2^32 exactly — the classic wrap-to-zero case.
+  EXPECT_EQ(table.memset(1, id, 0xFF, 16, 0xFFFFFFF0u),
+            DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.traps(), traps_before + 2);
+  // Object content untouched (memset never ran).
+  std::vector<std::uint8_t> out(64);
+  ASSERT_EQ(table.read(1, id, 0, out), DmoStatus::kOk);
+  for (const auto v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(ObjectTableTest, ReadWriteOffsetOverflowTraps) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  std::vector<std::uint8_t> huge(16);
+  // offset chosen so that a 32-bit offset + size wraps below the object
+  // size; the 64-bit check must still reject it.
+  EXPECT_EQ(table.read(1, id, 0xFFFFFFF8u, huge), DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.write(1, id, 0xFFFFFFF8u, huge), DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.traps(), 2u);
+}
+
+TEST_F(ObjectTableTest, MemcpyObjOverflowTrapsBeforeCopy) {
+  ObjId a = kInvalidObj;
+  ObjId b = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, a), DmoStatus::kOk);
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, b), DmoStatus::kOk);
+  // Both the src and dst ranges must be validated with 64-bit arithmetic
+  // BEFORE any staging buffer is sized from len.
+  EXPECT_EQ(table.memcpy_obj(1, b, 8, a, 0, 0xFFFFFFF8u),
+            DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.memcpy_obj(1, b, 0, a, 8, 0xFFFFFFF8u),
+            DmoStatus::kOutOfBounds);
+  EXPECT_EQ(table.traps(), 2u);
+}
+
+TEST_F(ObjectTableTest, WrongSideRejectedWithoutTrap) {
+  ObjId id = kInvalidObj;
+  ASSERT_EQ(table.alloc(1, 64, MemSide::kNic, id), DmoStatus::kOk);
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  ASSERT_EQ(table.write(1, id, 0, data), DmoStatus::kOk);
+
+  // Host-side execution touching a NIC-resident object: rejected with
+  // kWrongSide, no payload transfer, no isolation trap.
+  std::vector<std::uint8_t> out(3, 0xEE);
+  EXPECT_EQ(table.read(1, id, 0, out, MemSide::kHost),
+            DmoStatus::kWrongSide);
+  EXPECT_EQ(out[0], 0xEE);  // read did not happen
+  EXPECT_EQ(table.write(1, id, 0, data, MemSide::kHost),
+            DmoStatus::kWrongSide);
+  EXPECT_EQ(table.memset(1, id, 0x55, 0, 8, MemSide::kHost),
+            DmoStatus::kWrongSide);
+  EXPECT_EQ(table.wrong_side_hits(), 3u);
+  EXPECT_EQ(table.traps(), 0u);
+
+  // Matching side — and side-agnostic (runtime-internal) access — succeed.
+  EXPECT_EQ(table.read(1, id, 0, out, MemSide::kNic), DmoStatus::kOk);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(table.read(1, id, 0, out), DmoStatus::kOk);
+
+  // After migration the host side is the local one.
+  ASSERT_EQ(table.migrate(1, id, MemSide::kHost), DmoStatus::kOk);
+  EXPECT_EQ(table.read(1, id, 0, out, MemSide::kHost), DmoStatus::kOk);
+  EXPECT_EQ(table.read(1, id, 0, out, MemSide::kNic),
+            DmoStatus::kWrongSide);
+  EXPECT_EQ(table.wrong_side_hits(), 4u);
+}
+
+TEST_F(ObjectTableTest, MigrateAllReportsPartialFailure) {
+  // Target (host) region too small for everything: migrate_all must move
+  // what fits, count the stragglers, and leave them readable on the NIC.
+  table.register_actor(7, 8192);
+  std::vector<ObjId> ids(4);
+  for (auto& id : ids) {
+    ASSERT_EQ(table.alloc(7, 1500, MemSide::kNic, id), DmoStatus::kOk);
+  }
+  // Fill most of the host region so only one 1500B object fits.
+  ObjId blocker = kInvalidObj;
+  ASSERT_EQ(table.alloc(7, 6600, MemSide::kHost, blocker), DmoStatus::kOk);
+
+  const MigrateResult res = table.migrate_all(7, MemSide::kHost);
+  EXPECT_FALSE(res.complete());
+  EXPECT_EQ(res.moved_objects, 1u);
+  EXPECT_EQ(res.failed_objects, 3u);
+  EXPECT_EQ(res.payload_bytes, 1500u);
+  EXPECT_GE(res.padded_bytes, res.payload_bytes);
+
+  // Split residency is visible, and the stragglers stay usable.
+  std::size_t on_host = 0;
+  for (const ObjId id : ids) {
+    if (table.find(id)->side == MemSide::kHost) ++on_host;
+    std::vector<std::uint8_t> out(8);
+    EXPECT_EQ(table.read(7, id, 0, out), DmoStatus::kOk);
+  }
+  EXPECT_EQ(on_host, 1u);
 }
 
 TEST_F(ObjectTableTest, RegionExhaustion) {
@@ -153,9 +299,17 @@ TEST_F(ObjectTableTest, MigrateAllMovesEverything) {
     ASSERT_EQ(table.alloc(1, size, MemSide::kNic, ids[i]), DmoStatus::kOk);
     expected += size;
   }
-  EXPECT_EQ(table.migrate_all(1, MemSide::kHost), expected);
+  const MigrateResult res = table.migrate_all(1, MemSide::kHost);
+  EXPECT_EQ(res.payload_bytes, expected);
+  EXPECT_EQ(res.moved_objects, ids.size());
+  EXPECT_EQ(res.failed_objects, 0u);
+  EXPECT_TRUE(res.complete());
+  // All sizes here are 16-aligned, so padded == payload.
+  EXPECT_EQ(res.padded_bytes, expected);
   for (const ObjId id : ids) EXPECT_EQ(table.find(id)->side, MemSide::kHost);
-  EXPECT_EQ(table.migrate_all(1, MemSide::kHost), 0u);  // idempotent
+  const MigrateResult again = table.migrate_all(1, MemSide::kHost);
+  EXPECT_EQ(again.payload_bytes, 0u);  // idempotent
+  EXPECT_EQ(again.moved_objects, 0u);
 }
 
 TEST_F(ObjectTableTest, DeregisterFreesObjects) {
