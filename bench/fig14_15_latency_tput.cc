@@ -3,21 +3,31 @@
 // 10GbE (Fig. 14) and 25GbE (Fig. 15).  Per-core throughput divides the
 // measured request rate by the primary role's host cores used (§5.3).
 // Also reports the P99 comparison at 90% of max throughput (§5.3 text).
+//
+// All (link, app, window, system) combinations are independent sims, so
+// they are computed through the sweep runner (parallel under --jobs=N)
+// and printed afterwards in the original order.
 #include <cstdio>
 
 #include "common/table.h"
 #include "harness/app_harness.h"
+#include "harness/sweep.h"
 
 using namespace ipipe;
 using namespace ipipe::bench;
 
 namespace {
 
-/// --trace-out= captures the first iPipe run at the deepest window.
-TraceOpts g_trace;
-bool g_trace_written = false;
+struct SweepPoint {
+  App app;
+  bool use_25g;
+  unsigned outstanding;
+  testbed::Mode mode;
+  bool traced = false;
+};
 
-void sweep(App app, bool use_25g) {
+void print_sweep(App app, bool use_25g, const std::vector<RunResult>& results,
+                 std::size_t& k) {
   std::printf("\n%s — %s, 512B, %sGbE: latency vs per-core throughput\n",
               use_25g ? "Figure 15" : "Figure 14", app_name(app),
               use_25g ? "25" : "10");
@@ -33,20 +43,7 @@ void sweep(App app, bool use_25g) {
   std::vector<Point> ipipe_pts;
   for (const unsigned outstanding : {1u, 4u, 16u, 48u}) {
     for (const auto mode : {testbed::Mode::kDpdk, testbed::Mode::kIPipe}) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.mode = mode;
-      cfg.use_25g = use_25g;
-      cfg.frame_size = 512;
-      cfg.outstanding = outstanding;
-      cfg.warmup = msec(10);
-      cfg.duration = msec(40);
-      if (mode == testbed::Mode::kIPipe && outstanding == 48u &&
-          !g_trace_written && g_trace.enabled()) {
-        cfg.trace = g_trace;
-        g_trace_written = true;
-      }
-      const auto result = run_app(cfg);
+      const RunResult& result = results[k++];
       const double cores = std::max(result.host_cores[0], 0.05);
       const double per_core = result.throughput_rps / cores / 1e6;
       const double avg_us = result.latency.mean_ns() / 1000.0;
@@ -103,11 +100,60 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--25g") run_10g = false;
     if (std::string_view(argv[i]) == "--10g") run_25g = false;
   }
-  g_trace = parse_trace_opts(argc, argv);
+  // --trace-out= captures the first iPipe run at the deepest window.
+  const TraceOpts trace = parse_trace_opts(argc, argv);
+  const SweepOpts sweep_opts = parse_sweep_opts(argc, argv);
+  SweepRunner runner(sweep_opts);
+
+  // Flat point list in print order; the traced point is chosen here (by
+  // position, not by execution order) so --jobs=N stays deterministic.
+  std::vector<SweepPoint> points;
   for (const bool use_25g : {false, true}) {
     if ((use_25g && !run_25g) || (!use_25g && !run_10g)) continue;
     for (const App app : {App::kRta, App::kDt, App::kRkv}) {
-      sweep(app, use_25g);
+      for (const unsigned outstanding : {1u, 4u, 16u, 48u}) {
+        for (const auto mode :
+             {testbed::Mode::kDpdk, testbed::Mode::kIPipe}) {
+          points.push_back(SweepPoint{app, use_25g, outstanding, mode});
+        }
+      }
+    }
+  }
+  if (trace.enabled()) {
+    for (auto& pt : points) {
+      if (pt.mode == testbed::Mode::kIPipe && pt.outstanding == 48u) {
+        pt.traced = true;
+        break;
+      }
+    }
+  }
+
+  const auto results = runner.map(
+      points.size(), [&](std::size_t i, PointPerf& perf) {
+        const SweepPoint& pt = points[i];
+        perf.label = strf("%s %s %sg win=%u", app_name(pt.app),
+                          mode_name(pt.mode), pt.use_25g ? "25" : "10",
+                          pt.outstanding);
+        RunConfig cfg;
+        cfg.app = pt.app;
+        cfg.mode = pt.mode;
+        cfg.use_25g = pt.use_25g;
+        cfg.frame_size = 512;
+        cfg.outstanding = pt.outstanding;
+        cfg.warmup = msec(10);
+        cfg.duration = msec(40);
+        if (pt.traced) cfg.trace = trace;
+        RunResult result = run_app(cfg);
+        perf.events = result.sim_events;
+        perf.sim_seconds = result.sim_seconds;
+        return result;
+      });
+
+  std::size_t k = 0;
+  for (const bool use_25g : {false, true}) {
+    if ((use_25g && !run_25g) || (!use_25g && !run_10g)) continue;
+    for (const App app : {App::kRta, App::kDt, App::kRkv}) {
+      print_sweep(app, use_25g, results, k);
     }
     std::printf(
         "\nPaper targets (%sGbE): per-core throughput gains %s; low-load "
@@ -115,5 +161,6 @@ int main(int argc, char** argv) {
         use_25g ? "25" : "10", use_25g ? "2.2x/2.9x/2.2x" : "2.3x/4.3x/4.2x",
         use_25g ? "5.4/28.0/12.5us" : "5.7/23.0/8.7us");
   }
+  runner.write_json("fig14_15_latency_tput");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/sweep.h"
 #include "harness/trace_opts.h"
 #include "ipipe/runtime.h"
 #include "testbed/cluster.h"
@@ -78,8 +79,19 @@ std::vector<DistActor::CostFn> make_actors(const Scenario& sc, double& mix_mean)
   return fns;
 }
 
+const char* policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFcfsOnly:
+      return "FCFS";
+    case SchedPolicy::kDrrOnly:
+      return "DRR";
+    default:
+      return "hybrid";
+  }
+}
+
 double p99_at_load(const Scenario& sc, SchedPolicy policy, double load,
-                   bool capture = false) {
+                   bool capture = false, bench::PointPerf* perf = nullptr) {
   testbed::Cluster cluster;
   testbed::ServerSpec spec;
   spec.nic = sc.nic;
@@ -132,8 +144,8 @@ double p99_at_load(const Scenario& sc, SchedPolicy policy, double load,
 
   auto& client = cluster.add_client(
       sc.nic.link_gbps,
-      [&, actors](std::uint64_t seq, Rng&) {
-        auto pkt = std::make_unique<netsim::Packet>();
+      [&, actors](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
+        auto pkt = pool.make();
         pkt->dst = 0;
         pkt->dst_actor = actors[seq % actors.size()];
         pkt->msg_type = kReq;
@@ -148,25 +160,20 @@ double p99_at_load(const Scenario& sc, SchedPolicy policy, double load,
     bench::write_cluster_trace(g_trace, cluster,
                                std::string("fig16/") + sc.name);
   }
+  if (perf != nullptr) bench::fill_perf(*perf, cluster);
   return to_us(client.latencies().p99());
 }
 
-void run_scenario(const Scenario& sc) {
-  std::printf("\nFigure 16: %s\n", sc.name);
-  TablePrinter table({"load", "FCFS", "DRR", "iPipe-sched"});
-  for (const double load : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9}) {
-    table.add_row({strf("%.1f", load),
-                   strf("%.1f", p99_at_load(sc, SchedPolicy::kFcfsOnly, load)),
-                   strf("%.1f", p99_at_load(sc, SchedPolicy::kDrrOnly, load)),
-                   strf("%.1f", p99_at_load(sc, SchedPolicy::kHybrid, load))});
-  }
-  table.print();
-}
+constexpr double kLoads[] = {0.1, 0.3, 0.5, 0.7, 0.8, 0.9};
+constexpr SchedPolicy kPolicies[] = {SchedPolicy::kFcfsOnly,
+                                     SchedPolicy::kDrrOnly,
+                                     SchedPolicy::kHybrid};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   g_trace = bench::parse_trace_opts(argc, argv);
+  const bench::SweepOpts sweep_opts = bench::parse_sweep_opts(argc, argv);
   const Scenario scenarios[] = {
       {"(a) low dispersion (exp, mean 32us), 10GbE LiquidIOII CN2350",
        nic::liquidio_cn2350(), 32.0, false, 0, 0},
@@ -181,7 +188,46 @@ int main(int argc, char** argv) {
     (void)p99_at_load(scenarios[1], SchedPolicy::kHybrid, 0.95,
                       /*capture=*/true);
   }
-  for (const auto& sc : scenarios) run_scenario(sc);
+
+  // Every (scenario, load, policy) point is an independent simulation:
+  // compute them all through the sweep runner (parallel under --jobs=N),
+  // then print in the fixed sequential order.
+  struct Point {
+    const Scenario* sc;
+    std::size_t sc_idx;
+    double load;
+    SchedPolicy policy;
+  };
+  std::vector<Point> points;
+  for (std::size_t si = 0; si < std::size(scenarios); ++si) {
+    for (const double load : kLoads) {
+      for (const SchedPolicy policy : kPolicies) {
+        points.push_back({&scenarios[si], si, load, policy});
+      }
+    }
+  }
+  bench::SweepRunner runner(sweep_opts);
+  const auto p99s = runner.map(
+      points.size(), [&](std::size_t i, bench::PointPerf& perf) {
+        const Point& pt = points[i];
+        perf.label = strf("sc%zu %s load=%.1f", pt.sc_idx,
+                          policy_name(pt.policy), pt.load);
+        return p99_at_load(*pt.sc, pt.policy, pt.load, /*capture=*/false,
+                           &perf);
+      });
+
+  std::size_t k = 0;
+  for (const auto& sc : scenarios) {
+    std::printf("\nFigure 16: %s\n", sc.name);
+    TablePrinter table({"load", "FCFS", "DRR", "iPipe-sched"});
+    for (const double load : kLoads) {
+      table.add_row({strf("%.1f", load), strf("%.1f", p99s[k]),
+                     strf("%.1f", p99s[k + 1]), strf("%.1f", p99s[k + 2])});
+      k += 3;
+    }
+    table.print();
+  }
+  runner.write_json("fig16_scheduler");
   std::printf(
       "\nPaper shape: low dispersion — hybrid ~= FCFS, beats DRR; high "
       "dispersion — hybrid beats FCFS by up to ~68%% at 0.9 load and edges "

@@ -171,6 +171,8 @@ RunResult run_app(const RunConfig& cfg) {
     result.completed += client->completed();
   }
   result.throughput_rps = completed / to_sec(cfg.duration);
+  result.sim_events = cluster.sim().executed();
+  result.sim_seconds = to_sec(cluster.sim().now());
   result.goodput_gbps =
       result.throughput_rps * cfg.frame_size * 8.0 / 1e9;
 

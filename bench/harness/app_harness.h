@@ -56,6 +56,10 @@ struct RunResult {
   double host_cores[2] = {0.0, 0.0};  // [primary role, secondary role]
   double nic_cores[2] = {0.0, 0.0};
   std::uint64_t completed = 0;
+  /// Simulator perf for this run (events executed, simulated seconds) —
+  /// feeds SweepRunner's --bench-json emission.
+  std::uint64_t sim_events = 0;
+  double sim_seconds = 0.0;
   std::uint64_t push_migrations = 0;
   std::uint64_t downgrades = 0;
   /// Reliable-channel counters aggregated over all servers and both

@@ -1,15 +1,22 @@
 // google-benchmark microbenchmarks of the simulator itself: event-queue
-// throughput and end-to-end simulated-seconds-per-wallclock-second for a
-// loaded node — documents the cost of running the reproduction.
+// throughput (schedule-heavy and cancel-heavy churn), event-capture cost
+// around the inline-callable small-buffer boundary, packet-pool recycling,
+// and end-to-end simulated-seconds-per-wallclock-second for a loaded
+// node — documents the cost of running the reproduction.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "ipipe/runtime.h"
+#include "netsim/packet.h"
 #include "sim/simulation.h"
 #include "testbed/cluster.h"
 #include "workloads/app_workloads.h"
 
 namespace ipipe {
 namespace {
+
+// ---- Event queue -------------------------------------------------------
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -24,7 +31,104 @@ void BM_EventQueueChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChurn);
 
+// Timer-style workload: most scheduled events are cancelled before they
+// fire (retransmit timers, deadline guards).  Exercises the tombstone /
+// compaction path rather than the execute path.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  constexpr int kBatch = 10'000;
+  std::vector<sim::EventId> ids(kBatch);
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < kBatch; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.schedule(static_cast<Ns>(i % 97), [] {});
+    }
+    // Cancel 9 of every 10 events, scattered across timestamps.
+    for (int i = 0; i < kBatch; ++i) {
+      if (i % 10 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+    benchmark::DoNotOptimize(sim.cancelled());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+// Schedule cost as a function of capture size: below the inline-callable
+// small-buffer bound (48B) the event engine never touches the heap
+// allocator; above it, every schedule pays an allocation ("spill").
+template <std::size_t kCaptureBytes>
+void BM_EventCaptureSize(benchmark::State& state) {
+  struct Payload {
+    unsigned char bytes[kCaptureBytes];
+  };
+  Payload payload{};
+  std::memset(payload.bytes, 0x5a, sizeof(payload.bytes));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule(static_cast<Ns>(i % 97), [payload] {
+        benchmark::DoNotOptimize(&payload);
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+  state.SetLabel(kCaptureBytes <= 48 ? "inline" : "spilled");
+}
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 16);
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 48);
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 64);
+BENCHMARK_TEMPLATE(BM_EventCaptureSize, 128);
+
+// ---- Packet pool -------------------------------------------------------
+
+// Steady-state packet alloc/free cycle through the freelist.  After the
+// first window every make() is a recycle; the reported hit rate should
+// approach 1.
+void BM_PacketPoolRoundTrip(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  netsim::PacketPool pool;
+  std::vector<netsim::PacketPtr> live;
+  live.reserve(window);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < window; ++i) {
+      auto p = pool.make();
+      p->payload.assign(512, 0xab);
+      live.push_back(std::move(p));
+    }
+    live.clear();  // recycles the whole window
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(window));
+  state.counters["hit_rate"] = pool.hit_rate();
+}
+BENCHMARK(BM_PacketPoolRoundTrip)->Arg(8)->Arg(64)->Arg(1024);
+
+// The same cycle against the plain heap — the cost pool recycling avoids.
+void BM_PacketHeapRoundTrip(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  std::vector<netsim::PacketPtr> live;
+  live.reserve(window);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < window; ++i) {
+      auto p = netsim::alloc_packet();
+      p->payload.assign(512, 0xab);
+      live.push_back(std::move(p));
+    }
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(window));
+}
+BENCHMARK(BM_PacketHeapRoundTrip)->Arg(64);
+
+// ---- End-to-end --------------------------------------------------------
+
 void BM_EchoNodeSimulatedMillisecond(benchmark::State& state) {
+  std::uint64_t completed = 0;
   for (auto _ : state) {
     testbed::Cluster cluster;
     auto& server = cluster.add_server(testbed::ServerSpec{});
@@ -47,8 +151,10 @@ void BM_EchoNodeSimulatedMillisecond(benchmark::State& state) {
     auto& client = cluster.add_client(10.0, workloads::echo_workload(wl));
     client.start_closed_loop(8, msec(1));
     cluster.run_until(msec(2));
+    completed += client.completed();
     benchmark::DoNotOptimize(client.completed());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
 }
 BENCHMARK(BM_EchoNodeSimulatedMillisecond)->Unit(benchmark::kMillisecond);
 

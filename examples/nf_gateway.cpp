@@ -77,8 +77,8 @@ int main() {
   auto* gateway = gw.get();
   const ActorId id = server.runtime().register_actor(std::move(gw));
 
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng, netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = id;
     pkt->msg_type = 1;

@@ -82,8 +82,8 @@ int main() {
                                                                   : "host");
 
   // 3. Drive it with a closed-loop client: alternate PUT/GET.
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng, netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = id;
     pkt->frame_size = 128;

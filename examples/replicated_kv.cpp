@@ -63,7 +63,7 @@ int main() {
 
   // Fail over: trigger a leader election on node 2.
   std::printf("\ntriggering leader election on node 2...\n");
-  auto pkt = std::make_unique<netsim::Packet>();
+  auto pkt = netsim::alloc_packet();
   pkt->src = 2;
   pkt->dst = 2;
   pkt->dst_actor = nodes[2].consensus;

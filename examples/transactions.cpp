@@ -23,9 +23,9 @@ int main() {
 
   // Issue a handful of transactions, including two that race on one key.
   std::vector<std::pair<std::uint64_t, dt::TxnReply>> replies;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 6) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = nodes[0].coordinator;
     pkt->msg_type = dt::kTxnRequest;

@@ -1,0 +1,28 @@
+// Lightweight read-only view of the simulation clock: a bound pointer to
+// the engine's current virtual time.  Copyable, one word, no allocation —
+// Simulation::clock() used to hand out a std::function closure, which
+// heap-allocated and cost an indirect call per timestamp read.
+#pragma once
+
+#include "common/units.h"
+
+namespace ipipe {
+
+class Clock {
+ public:
+  constexpr Clock() noexcept = default;
+  constexpr explicit Clock(const Ns* source) noexcept : source_(source) {}
+
+  [[nodiscard]] Ns now() const noexcept {
+    return source_ != nullptr ? *source_ : 0;
+  }
+  Ns operator()() const noexcept { return now(); }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return source_ != nullptr;
+  }
+
+ private:
+  const Ns* source_ = nullptr;
+};
+
+}  // namespace ipipe

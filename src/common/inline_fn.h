@@ -1,0 +1,121 @@
+// Small-buffer-optimized move-only callable, the simulator's event type.
+//
+// `std::function` heap-allocates any capture beyond ~2 words and requires
+// copyable callables (forcing shared_ptr shims around move-only state
+// like PacketPtr).  InlineFn stores captures up to kInlineBytes in place,
+// accepts move-only callables, and spills to the heap only for oversized
+// captures — `spilled()` reports which path a given callable took, so the
+// micro-benchmarks can measure both.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ipipe {
+
+class InlineFn {
+ public:
+  /// Captures up to this many bytes never allocate.  48B fits the
+  /// engine's largest hot-path capture (a this-pointer, a unique_ptr with
+  /// a stateful deleter, and a couple of scalars) with room to spare.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineModel<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapModel<Fn>::ops;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  /// True when the capture was too large for the inline buffer.
+  [[nodiscard]] bool spilled() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+  void operator()() { ops_->call(storage_); }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    /// Move-construct into `dst` from `src` and destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  struct InlineModel {
+    static Fn* at(void* p) noexcept {
+      return std::launder(reinterpret_cast<Fn*>(p));
+    }
+    static void call(void* p) { (*at(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*at(src)));
+      at(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { at(p)->~Fn(); }
+    static constexpr Ops ops{&call, &relocate, &destroy, false};
+  };
+
+  template <typename Fn>
+  struct HeapModel {
+    static Fn*& at(void* p) noexcept {
+      return *std::launder(reinterpret_cast<Fn**>(p));
+    }
+    static void call(void* p) { (*at(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(at(src));
+    }
+    static void destroy(void* p) noexcept { delete at(p); }
+    static constexpr Ops ops{&call, &relocate, &destroy, true};
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ipipe

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/units.h"
 
 namespace ipipe::trace {
@@ -88,7 +89,7 @@ class Tracer {
 
   /// Clock used for events recorded without an explicit timestamp
   /// (virtual/simulation time).  Unset => such events stamp 0.
-  void set_clock(std::function<Ns()> clock) { clock_ = std::move(clock); }
+  void set_clock(Clock clock) noexcept { clock_ = clock; }
 
   void instant(Cat cat, const char* name, std::uint32_t tid,
                std::uint64_t actor = 0, Arg a0 = {}, Arg a1 = {});
@@ -107,12 +108,12 @@ class Tracer {
 
  private:
   void push(Event e);
-  [[nodiscard]] Ns now() const { return clock_ ? clock_() : 0; }
+  [[nodiscard]] Ns now() const noexcept { return clock_.now(); }
 
   bool enabled_ = false;
   std::vector<Event> ring_;
   std::uint64_t total_ = 0;
-  std::function<Ns()> clock_;
+  Clock clock_;
 };
 
 // ---------------------------------------------------------------- metrics --

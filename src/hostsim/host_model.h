@@ -53,7 +53,9 @@ class HostExecContext {
 
   /// Transmit through this host's NIC when the work item retires.
   void tx(netsim::PacketPtr pkt) { tx_queue_.push_back(std::move(pkt)); }
-  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+  /// Run an action at retirement; InlineFn, so move-only captures (e.g. a
+  /// PacketPtr) ride inline.
+  void defer(InlineFn fn) { deferred_.push_back(std::move(fn)); }
 
   [[nodiscard]] Ns consumed() const noexcept { return consumed_; }
 
@@ -63,7 +65,7 @@ class HostExecContext {
   unsigned core_;
   Ns consumed_ = 0;
   std::vector<netsim::PacketPtr> tx_queue_;
-  std::vector<std::function<void()>> deferred_;
+  std::vector<InlineFn> deferred_;
 };
 
 class HostRuntime {

@@ -41,8 +41,8 @@ ChannelMsg ChannelMsg::from_packet(const netsim::Packet& pkt) {
   return msg;
 }
 
-netsim::PacketPtr ChannelMsg::to_packet() const {
-  auto pkt = std::make_unique<netsim::Packet>();
+netsim::PacketPtr ChannelMsg::to_packet(netsim::PacketPool& pool) const {
+  auto pkt = pool.make();
   pkt->dst_actor = dst_actor;
   pkt->src_actor = src_actor;
   pkt->msg_type = msg_type;

@@ -57,7 +57,8 @@ struct ChannelMsg {
   std::vector<std::uint8_t> payload;
 
   [[nodiscard]] static ChannelMsg from_packet(const netsim::Packet& pkt);
-  [[nodiscard]] netsim::PacketPtr to_packet() const;
+  /// Rebuild a Packet from this message, drawing from `pool`.
+  [[nodiscard]] netsim::PacketPtr to_packet(netsim::PacketPool& pool) const;
 
   /// Serialized wire size (header + payload), for DMA cost accounting.
   [[nodiscard]] std::uint32_t wire_bytes() const noexcept {

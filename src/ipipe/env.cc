@@ -99,7 +99,7 @@ netsim::PacketPtr EnvBase::make_packet(NodeId dst, ActorId dst_actor,
                                        std::uint16_t type,
                                        std::vector<std::uint8_t> payload,
                                        std::uint32_t frame_size) {
-  auto pkt = std::make_unique<netsim::Packet>();
+  auto pkt = rt_.pool().make();
   pkt->src = node();
   pkt->dst = dst;
   pkt->dst_actor = dst_actor;
@@ -150,10 +150,9 @@ void NicEnv::local_send(ActorId dst_actor, std::uint16_t type,
   charge(crosses ? rt_.config().channel_handling_ns
                  : rt_.config().channel_handling_ns / 2);
   Runtime& rt = rt_;
-  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
-  ctx_.defer([&rt, shared] {
-    const ActorId dst = (*shared)->dst_actor;
-    rt.deliver_local(dst, std::move(*shared), MemSide::kNic);
+  ctx_.defer([&rt, p = std::move(pkt)]() mutable {
+    const ActorId dst = p->dst_actor;
+    rt.deliver_local(dst, std::move(p), MemSide::kNic);
   });
 }
 
@@ -202,10 +201,9 @@ void HostEnv::local_send(ActorId dst_actor, std::uint16_t type,
   charge(crosses ? rt_.config().channel_handling_ns
                  : rt_.config().channel_handling_ns / 2);
   Runtime& rt = rt_;
-  auto shared = std::make_shared<netsim::PacketPtr>(std::move(pkt));
-  ctx_.defer([&rt, shared] {
-    const ActorId dst = (*shared)->dst_actor;
-    rt.deliver_local(dst, std::move(*shared), MemSide::kHost);
+  ctx_.defer([&rt, p = std::move(pkt)]() mutable {
+    const ActorId dst = p->dst_actor;
+    rt.deliver_local(dst, std::move(p), MemSide::kHost);
   });
 }
 

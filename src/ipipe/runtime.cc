@@ -71,6 +71,7 @@ Runtime::Runtime(sim::Simulation& sim, nic::NicModel& nic,
       host_(host),
       cfg_(cfg),
       rng_(0x1B1BEULL),
+      pool_(netsim::PacketPool::local()),
       nic_fw_(*this),
       host_rt_(*this),
       channel_(sim, nic.dma(), cfg.channel_bytes, cfg.channel_tuning),
@@ -393,7 +394,7 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
     if (auto msg = channel_.nic_poll()) {
       const Ns pkt_start = ctx.consumed();
       ctx.charge(cfg_.channel_handling_ns);
-      auto pkt = msg->to_packet();
+      auto pkt = msg->to_packet(pool_);
       pkt->nic_arrival = sim_.now();
       dispatch_nic(ctx, std::move(pkt), pkt_start);
       return true;
@@ -889,7 +890,7 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
       // Receiving a message costs the same descriptor/copy work as a
       // DPDK frame; the channel bookkeeping is iPipe's own tax on top.
       ctx.charge(cfg_.channel_handling_ns);
-      auto pkt = msg->to_packet();
+      auto pkt = msg->to_packet(pool_);
       ctx.charge_rx(pkt->frame_size);
       pkt->nic_arrival = sim_.now();
       ActorControl* ac = control(pkt->dst_actor);

@@ -154,6 +154,8 @@ class Runtime {
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] const IPipeConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  /// Packet arena for this runtime's frames (reply/send/channel rebuild).
+  [[nodiscard]] netsim::PacketPool& pool() noexcept { return pool_; }
 
   // ---- scheduler observability ----------------------------------------------
   [[nodiscard]] const EwmaMeanStd& fcfs_stats() const noexcept {
@@ -275,6 +277,7 @@ class Runtime {
   hostsim::HostModel& host_;
   IPipeConfig cfg_;
   Rng rng_;
+  netsim::PacketPool& pool_;
 
   detail::NicFw nic_fw_;
   detail::HostRt host_rt_;

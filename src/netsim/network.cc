@@ -53,17 +53,15 @@ void Network::send(PacketPtr pkt) {
   }
 
   if (duplicate) {
-    auto copy = std::make_unique<Packet>(*pkt);
-    deliver(std::move(copy), rx_done - now + jitter);
+    deliver(pool_.make(*pkt), rx_done - now + jitter);
   }
   deliver(std::move(pkt), rx_done - now + jitter);
 }
 
 void Network::deliver(PacketPtr pkt, Ns delay) {
-  // shared_ptr shim: std::function requires copyable callables.
-  auto shared = std::make_shared<PacketPtr>(std::move(pkt));
-  sim_.schedule(delay, [this, shared] {
-    PacketPtr p = std::move(*shared);
+  // InlineFn takes move-only captures, so the frame rides inside the
+  // event itself — no allocation, no shared_ptr shim.
+  sim_.schedule(delay, [this, p = std::move(pkt)]() mutable {
     const auto it = ports_.find(p->dst);
     if (it == ports_.end() || it->second.ep == nullptr) {
       ++frames_dropped_;

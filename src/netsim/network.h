@@ -39,7 +39,10 @@ struct FaultModel {
 class Network {
  public:
   Network(sim::Simulation& sim, Ns switch_latency = 300 /*ns*/)
-      : sim_(sim), switch_latency_(switch_latency), rng_(0xFAB51Cull) {}
+      : sim_(sim),
+        pool_(PacketPool::local()),
+        switch_latency_(switch_latency),
+        rng_(0xFAB51Cull) {}
 
   /// Attach `ep` as `node` with a full-duplex link of `gbps`.
   void attach(NodeId node, Endpoint& ep, double gbps);
@@ -59,6 +62,9 @@ class Network {
     return frames_delivered_;
   }
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  /// Packet arena shared by this fabric's endpoints (workload clients
+  /// draw their request frames from here).
+  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
 
  private:
   struct PortState {
@@ -71,6 +77,7 @@ class Network {
   void deliver(PacketPtr pkt, Ns extra_delay);
 
   sim::Simulation& sim_;
+  PacketPool& pool_;
   Ns switch_latency_;
   Rng rng_;
   FaultModel faults_;

@@ -65,7 +65,8 @@ class NicExecContext {
   /// Deliver a frame to the host (DMA write + host RX ring) at retirement.
   void to_host(netsim::PacketPtr pkt) { host_queue_.push_back(std::move(pkt)); }
   /// Run an arbitrary action at retirement (after tx/host deliveries).
-  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+  /// InlineFn: move-only captures (e.g. a PacketPtr) ride inline.
+  void defer(InlineFn fn) { deferred_.push_back(std::move(fn)); }
 
   [[nodiscard]] Ns consumed() const noexcept { return consumed_; }
 
@@ -76,7 +77,7 @@ class NicExecContext {
   Ns consumed_ = 0;
   std::vector<netsim::PacketPtr> tx_queue_;
   std::vector<netsim::PacketPtr> host_queue_;
-  std::vector<std::function<void()>> deferred_;
+  std::vector<InlineFn> deferred_;
 };
 
 /// Pluggable NIC-core program.

@@ -1,8 +1,134 @@
 #include "sim/simulation.h"
 
 #include <cassert>
+#include <utility>
 
 namespace ipipe::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+/// Compaction only considers queues with at least this many tombstones, so
+/// light churn never pays the sweep.
+constexpr std::size_t kCompactMinDead = 64;
+}  // namespace
+
+std::uint32_t Simulation::acquire_slot() {
+  if (slot_free_ != kNoIndex) {
+    const std::uint32_t idx = slot_free_;
+    slot_free_ = slot(idx).next;
+    return idx;
+  }
+  if ((slot_count_ >> kSlotChunkShift) == slot_chunks_.size()) {
+    slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  }
+  return slot_count_++;
+}
+
+void Simulation::free_slot(std::uint32_t idx) noexcept {
+  Slot& s = slot(idx);
+  s.fn.reset();
+  // Generation bump invalidates every outstanding EventId for this slot
+  // (a 32-bit generation wraps only after 4G reuses of one slot).
+  ++s.gen;
+  s.next = slot_free_;
+  slot_free_ = idx;
+}
+
+std::uint32_t Simulation::acquire_bucket() {
+  if (bucket_free_ != kNoIndex) {
+    const std::uint32_t b = bucket_free_;
+    bucket_free_ = buckets_[b].next_free;
+    return b;
+  }
+  buckets_.emplace_back();
+  return static_cast<std::uint32_t>(buckets_.size() - 1);
+}
+
+void Simulation::free_bucket(std::uint32_t bucket) noexcept {
+  Bucket& b = buckets_[bucket];
+  ++b.gen;  // invalidates the cache entry and any stale heap entry
+  b.head = b.tail = kNoIndex;
+  b.next_free = bucket_free_;
+  bucket_free_ = bucket;
+}
+
+void Simulation::heap_push(HeapEntry e) {
+  // Hole insertion: shift losing parents down and write the new entry once,
+  // instead of swapping 24-byte entries at every level.
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::heap_pop_min() noexcept {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulation::compact() {
+  // Sweep every pending chain, unlink cancelled nodes, drop buckets that
+  // drained entirely, then rebuild the heap in place (Floyd, O(n)).
+  std::size_t kept = 0;
+  for (std::size_t idx = 0; idx < heap_.size(); ++idx) {
+    const HeapEntry e = heap_[idx];
+    if (buckets_[e.bucket].gen != e.bgen) continue;  // stale entry
+    Bucket& b = buckets_[e.bucket];
+    std::uint32_t prev = kNoIndex;
+    std::uint32_t cur = b.head;
+    while (cur != kNoIndex) {
+      const std::uint32_t nxt = slot(cur).next;
+      if (!slot(cur).fn) {
+        if (prev == kNoIndex) {
+          b.head = nxt;
+        } else {
+          slot(prev).next = nxt;
+        }
+        if (b.tail == cur) b.tail = prev;
+        free_slot(cur);
+        --dead_;
+      } else {
+        prev = cur;
+      }
+      cur = nxt;
+    }
+    if (b.head == kNoIndex) {
+      free_bucket(e.bucket);
+      continue;
+    }
+    heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+}
 
 EventId Simulation::schedule(Ns delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
@@ -10,37 +136,90 @@ EventId Simulation::schedule(Ns delay, EventFn fn) {
 
 EventId Simulation::schedule_at(Ns when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  live_.insert(id);
+  assert(fn && "cannot schedule an empty callable");
+  const std::uint32_t si = acquire_slot();
+  Slot& s = slot(si);
+  s.fn = std::move(fn);
+  s.next = kNoIndex;
+  const EventId id = (static_cast<EventId>(si) << 32) | s.gen;
+  CacheEntry& c = cache_[when & (kCacheSize - 1)];
+  if (c.when == when && c.bucket < buckets_.size() &&
+      buckets_[c.bucket].gen == c.bgen) {
+    // Fast path: a chain for this exact timestamp is open — append in
+    // O(1), no heap operation.
+    Bucket& b = buckets_[c.bucket];
+    slot(b.tail).next = si;
+    b.tail = si;
+  } else {
+    const std::uint32_t bi = acquire_bucket();
+    Bucket& b = buckets_[bi];
+    b.when = when;
+    b.bseq = next_bseq_++;
+    b.head = b.tail = si;
+    heap_push(HeapEntry{when, b.bseq, bi, b.gen});
+    c = CacheEntry{when, bi, b.gen};
+  }
+  ++live_;
   return id;
 }
 
 bool Simulation::cancel(EventId id) noexcept {
-  // A cancelled event stays in the heap as a tombstone (its id is no
-  // longer in live_) and is skipped when it reaches the head.
-  return live_.erase(id) > 0;
+  const auto si = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (si >= slot_count_ || slot(si).gen != gen) return false;
+  // The node stays chained (its slot cannot be reused yet); the empty
+  // callable marks it dead for the pop path and the sweep.
+  slot(si).fn.reset();
+  ++slot(si).gen;
+  --live_;
+  ++dead_;
+  ++cancelled_;
+  // Reclaim in bulk once tombstones outnumber live events, so
+  // schedule/cancel churn cannot grow the queue without bound.
+  if (dead_ > live_ && dead_ >= kCompactMinDead) compact();
+  return true;
 }
 
 bool Simulation::step(Ns until) {
-  while (!queue_.empty()) {
-    const Event& head = queue_.top();
-    if (head.when > until) return false;
-    if (live_.find(head.id) == live_.end()) {
-      queue_.pop();  // tombstone of a cancelled event
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    Bucket& b = buckets_[top.bucket];
+    if (b.gen != top.bgen) {  // bucket reclaimed by a sweep
+      heap_pop_min();
       continue;
     }
-    // Move the callback out before popping: executing it may schedule new
-    // events and reallocate the underlying heap.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    live_.erase(ev.id);
-    now_ = ev.when;
+    // Skip cancelled nodes at the chain head.
+    std::uint32_t head = b.head;
+    while (head != kNoIndex && !slot(head).fn) {
+      const std::uint32_t nxt = slot(head).next;
+      free_slot(head);
+      --dead_;
+      head = nxt;
+    }
+    b.head = head;
+    if (head == kNoIndex) {  // chain fully cancelled
+      heap_pop_min();
+      free_bucket(top.bucket);
+      continue;
+    }
+    if (top.when > until) return false;
+    // Move the callback out before running it: executing may schedule new
+    // events (slot chunks have stable addresses, but the freelist and the
+    // claimed slot's state change under the callback).
+    EventFn fn = std::move(slot(head).fn);
+    b.head = slot(head).next;
+    if (b.head == kNoIndex) {
+      heap_pop_min();
+      free_bucket(top.bucket);
+    }
+    free_slot(head);
+    --live_;
+    now_ = top.when;
     ++executed_;
-    ev.fn();
+    fn();
     return true;
   }
-  return false;
 }
 
 Ns Simulation::run(Ns until) {

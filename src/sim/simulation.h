@@ -4,35 +4,61 @@
 // clients) is driven by events scheduled on a single `Simulation`.  Events
 // at the same timestamp execute in scheduling (FIFO) order, which makes
 // runs fully deterministic for a given seed.
+//
+// Hot-path design (the entire reproduction is bottlenecked here):
+//  * Events are `InlineFn` callables — captures up to 48B live inline in
+//    the event slot, so the schedule/execute path performs no heap
+//    allocation and accepts move-only captures (e.g. PacketPtr).
+//  * Callables live in pooled, generation-stamped slots.  An EventId
+//    encodes (slot index, generation); cancel() bumps the generation —
+//    O(1), no hashing — and the dead chain node is skipped when it
+//    surfaces.  The old design paid two unordered_set operations per
+//    event for the same tombstoning.
+//  * The priority queue is a 4-ary heap of 24-byte PODs, but it holds one
+//    entry per *distinct pending timestamp*, not per event: all events
+//    sharing a timestamp form an intrusive FIFO chain through their slots
+//    (chain order == scheduling order, so the FIFO tie-break is
+//    structural).  Simulated costs are quantized, so a busy node has few
+//    distinct times pending at once — most schedules append to an existing
+//    chain in O(1) via a small direct-mapped timestamp cache and never
+//    touch the heap.  Buckets for one timestamp never interleave: a
+//    bucket only receives appends while cached, so a later bucket's
+//    events all carry later schedule order and the per-bucket creation
+//    sequence number is a correct global tie-break.
+//  * Cancelled events tombstone in place; when tombstones outnumber live
+//    events the chains are swept and the heap rebuilt, so schedule/cancel
+//    churn cannot grow the queue unboundedly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/inline_fn.h"
 #include "common/units.h"
 
 namespace ipipe::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
+/// Encodes (slot << 32) | generation.  Generations start at 1, so 0 never
+/// names a real event and can serve as an "unset" sentinel.
 using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
 
 class Simulation {
  public:
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+  ~Simulation() = default;
 
   /// Current simulated time.
   [[nodiscard]] Ns now() const noexcept { return now_; }
 
-  /// A callable view of the simulation clock, for components that need
+  /// A readable view of the simulation clock, for components that need
   /// timestamps but must not depend on the engine (e.g. trace::Tracer).
-  [[nodiscard]] std::function<Ns()> clock() const {
-    return [this] { return now_; };
-  }
+  [[nodiscard]] Clock clock() const noexcept { return Clock(&now_); }
 
   /// Schedule `fn` to run `delay` ns from now.  Returns a handle usable
   /// with `cancel`.
@@ -42,7 +68,8 @@ class Simulation {
   EventId schedule_at(Ns when, EventFn fn);
 
   /// Cancel a pending event.  Returns false if it already ran or was
-  /// cancelled.  O(1): the event is tombstoned, not removed.
+  /// cancelled.  O(1): the generation is bumped and the chain node
+  /// becomes a tombstone (reclaimed lazily or by compaction).
   bool cancel(EventId id) noexcept;
 
   /// Run until the event queue drains or `until` is reached (whichever is
@@ -54,29 +81,96 @@ class Simulation {
   bool step(Ns until = ~Ns{0});
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Total events cancelled so far.
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+
+  /// Heap occupancy (one entry per distinct pending timestamp, plus any
+  /// stale entries awaiting reclamation).  Regression tests assert this
+  /// stays bounded under schedule/cancel churn.
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
+
+  /// High-water mark of the slot pool (live + tombstoned + free).  Bounded
+  /// under churn: compaction reclaims tombstones once they outnumber live
+  /// events.
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slot_count_; }
+
  private:
-  struct Event {
+  /// One entry per distinct pending timestamp; `bseq` is the bucket
+  /// creation sequence, a correct global FIFO tie-break (see file header).
+  struct HeapEntry {
     Ns when;
-    EventId id;  // also the FIFO tie-breaker
+    std::uint64_t bseq;
+    std::uint32_t bucket;
+    std::uint32_t bgen;
+  };
+  struct Slot {
     EventFn fn;
+    std::uint32_t gen = 1;  // bumped when the event runs or is cancelled
+    /// FIFO chain link while queued; freelist link while free.
+    std::uint32_t next = kNoIndex;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  /// An intrusive FIFO of every pending event at one timestamp.
+  struct Bucket {
+    Ns when = 0;
+    std::uint64_t bseq = 0;
+    std::uint32_t head = kNoIndex;
+    std::uint32_t tail = kNoIndex;
+    std::uint32_t gen = 1;  // bumped when the bucket drains
+    std::uint32_t next_free = kNoIndex;
   };
+  /// Direct-mapped timestamp → open-bucket cache.  Lossy by design: an
+  /// evicted timestamp simply opens a fresh bucket on its next schedule.
+  struct CacheEntry {
+    Ns when = 0;
+    std::uint32_t bucket = kNoIndex;
+    std::uint32_t bgen = 0;  // real generations start at 1: never matches
+  };
+  static constexpr std::uint32_t kNoIndex = ~std::uint32_t{0};
+  static constexpr std::size_t kCacheSize = 256;  // power of two
+  /// Slots live in fixed-size chunks with stable addresses: growing the
+  /// pool never relocates live callables (relocation was 25% of schedule
+  /// cost as a flat vector).
+  static constexpr std::uint32_t kSlotChunkShift = 8;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.bseq < b.bseq;
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) noexcept {
+    return slot_chunks_[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  void free_slot(std::uint32_t slot) noexcept;
+  std::uint32_t acquire_bucket();
+  void free_bucket(std::uint32_t bucket) noexcept;
+  void heap_push(HeapEntry e);
+  void heap_pop_min() noexcept;
+  void sift_down(std::size_t i) noexcept;
+  /// Unlink cancelled chain nodes, drop drained buckets, re-heapify (runs
+  /// when tombstones outnumber live events).
+  void compact();
 
   Ns now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_bseq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> live_;  // scheduled and neither run nor cancelled
+  std::uint64_t cancelled_ = 0;
+  std::size_t live_ = 0;  ///< scheduled and neither run nor cancelled
+  std::size_t dead_ = 0;  ///< cancelled tombstones still chained
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<Bucket> buckets_;
+  std::uint32_t slot_free_ = kNoIndex;
+  std::uint32_t bucket_free_ = kNoIndex;
+  CacheEntry cache_[kCacheSize];
 };
 
 /// A handle that re-arms a callback on a fixed period until stopped.
@@ -85,17 +179,29 @@ class PeriodicTask {
  public:
   PeriodicTask(Simulation& sim, Ns period, EventFn fn)
       : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  /// Cancels the armed event: a destroyed task must never leave a
+  /// callback capturing `this` in the queue.
+  ~PeriodicTask() { stop(); }
 
   void start() {
     running_ = true;
     arm();
   }
-  void stop() noexcept { running_ = false; }
+  void stop() noexcept {
+    running_ = false;
+    if (armed_ != kInvalidEvent) {
+      sim_.cancel(armed_);
+      armed_ = kInvalidEvent;
+    }
+  }
   [[nodiscard]] bool running() const noexcept { return running_; }
 
  private:
   void arm() {
-    sim_.schedule(period_, [this] {
+    armed_ = sim_.schedule(period_, [this] {
+      armed_ = kInvalidEvent;
       if (!running_) return;
       fn_();
       if (running_) arm();
@@ -105,6 +211,7 @@ class PeriodicTask {
   Simulation& sim_;
   Ns period_;
   EventFn fn_;
+  EventId armed_ = kInvalidEvent;
   bool running_ = false;
 };
 

@@ -104,6 +104,7 @@ class Cluster {
   void snapshot_all();
 
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] const sim::Simulation& sim() const noexcept { return sim_; }
   [[nodiscard]] netsim::Network& net() noexcept { return net_; }
   [[nodiscard]] ServerNode& server(std::size_t i) { return *servers_[i]; }
   [[nodiscard]] std::size_t server_count() const noexcept {

@@ -17,8 +17,9 @@ std::string make_key(std::uint64_t id, std::uint32_t len) {
 
 ClientGen::MakeReq kv_workload(KvWorkloadParams params) {
   auto zipf = std::make_shared<ZipfDist>(params.num_keys, params.zipf_theta);
-  return [params, zipf](std::uint64_t /*seq*/, Rng& rng) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  return [params, zipf](std::uint64_t /*seq*/, Rng& rng,
+                        netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = params.server;
     pkt->dst_actor = params.consensus_actor;
     pkt->frame_size = params.frame_size;
@@ -47,8 +48,9 @@ ClientGen::MakeReq kv_workload(KvWorkloadParams params) {
 }
 
 ClientGen::MakeReq txn_workload(TxnWorkloadParams params) {
-  return [params](std::uint64_t /*seq*/, Rng& rng) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  return [params](std::uint64_t /*seq*/, Rng& rng,
+                  netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = params.coordinator;
     pkt->dst_actor = params.coordinator_actor;
     pkt->msg_type = dt::kTxnRequest;
@@ -100,8 +102,9 @@ ClientGen::MakeReq rta_workload(RtaWorkloadParams params) {
         vocab->push_back("noise" + std::to_string(i * 7));
     }
   }
-  return [params, vocab](std::uint64_t /*seq*/, Rng& rng) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  return [params, vocab](std::uint64_t /*seq*/, Rng& rng,
+                         netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = params.worker;
     pkt->dst_actor = params.filter_actor;
     pkt->msg_type = rta::kTuples;
@@ -130,8 +133,9 @@ ClientGen::MakeReq rta_workload(RtaWorkloadParams params) {
 }
 
 ClientGen::MakeReq echo_workload(EchoWorkloadParams params) {
-  return [params](std::uint64_t /*seq*/, Rng& /*rng*/) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  return [params](std::uint64_t /*seq*/, Rng& /*rng*/,
+                  netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = params.server;
     pkt->dst_actor = params.actor;
     pkt->msg_type = params.msg_type;

@@ -13,7 +13,7 @@ ClientGen::~ClientGen() { net_.detach(self_); }
 
 void ClientGen::issue_one() {
   if (sim_.now() >= stop_at_) return;
-  auto pkt = make_(next_seq_, rng_);
+  auto pkt = make_(next_seq_, rng_, net_.pool());
   if (!pkt) return;
   pkt->src = self_;
   pkt->request_id = (static_cast<std::uint64_t>(self_) << 40) | next_seq_;

@@ -18,10 +18,11 @@ namespace ipipe::workloads {
 
 class ClientGen : public netsim::Endpoint {
  public:
-  /// Builds the next request; must set dst, dst_actor, msg_type, payload
-  /// and frame_size.  src/request_id/created_at are filled in by the
-  /// generator.
-  using MakeReq = std::function<netsim::PacketPtr(std::uint64_t seq, Rng& rng)>;
+  /// Builds the next request (drawing the frame from `pool`); must set
+  /// dst, dst_actor, msg_type, payload and frame_size.  src/request_id/
+  /// created_at are filled in by the generator.
+  using MakeReq = std::function<netsim::PacketPtr(
+      std::uint64_t seq, Rng& rng, netsim::PacketPool& pool)>;
 
   ClientGen(sim::Simulation& sim, netsim::Network& net, netsim::NodeId self,
             double link_gbps, MakeReq make, std::uint64_t seed = 42);

@@ -42,8 +42,8 @@ TEST(RkvCluster, PutThenGetRoundTrip) {
   RkvCluster rkv(cluster);
 
   std::map<std::string, rkv::ClientReply> replies;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
-    auto pkt = std::make_unique<netsim::Packet>();
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = rkv.deployments[0].consensus;
     pkt->frame_size = 512;
@@ -87,9 +87,9 @@ TEST(RkvCluster, WritesReplicateToFollowers) {
   Cluster cluster;
   RkvCluster rkv(cluster);
 
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 30) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = rkv.deployments[0].consensus;
     pkt->msg_type = rkv::kClientPut;
@@ -122,9 +122,9 @@ TEST(RkvCluster, WritesReplicateToFollowers) {
 TEST(RkvCluster, FollowerRejectsClientWrites) {
   Cluster cluster;
   RkvCluster rkv(cluster);
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 1) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 1;  // follower
     pkt->dst_actor = rkv.deployments[1].consensus;
     pkt->msg_type = rkv::kClientPut;
@@ -154,9 +154,9 @@ TEST(RkvCluster, SurvivesMessageLossAndDuplication) {
   fm.reorder_jitter = usec(20);
   cluster.net().set_fault_model(fm);
 
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 40) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = rkv.deployments[0].consensus;
     pkt->msg_type = rkv::kClientPut;
@@ -193,7 +193,7 @@ TEST(RkvCluster, LeaderElectionPromotesFollower) {
 
   // Trigger an election on node 1.
   cluster.sim().schedule(msec(1), [&] {
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = netsim::alloc_packet();
     pkt->src = 1;
     pkt->dst = 1;
     pkt->dst_actor = rkv.deployments[1].consensus;
@@ -233,9 +233,9 @@ TEST(RkvCluster, MemtableFlushMovesDataToSstables) {
 
   std::uint64_t get_ok = 0;
   std::uint64_t get_total = 0;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 400) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = deployments[0].consensus;
     pkt->frame_size = 512;
@@ -299,9 +299,9 @@ TEST(DtCluster, CommittedTransactionsApplyWrites) {
   DtCluster dtc(cluster);
 
   std::vector<dt::TxnReply> replies;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 50) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = dtc.deployments[0].coordinator;
     pkt->msg_type = dt::kTxnRequest;
@@ -337,9 +337,9 @@ TEST(DtCluster, ReadYourWrites) {
   DtCluster dtc(cluster);
 
   std::vector<dt::TxnReply> replies;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
     if (seq > 2) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = dtc.deployments[0].coordinator;
     pkt->msg_type = dt::kTxnRequest;
@@ -374,9 +374,9 @@ TEST(DtCluster, ConflictingTransactionsSerializable) {
 
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
-  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng) {
+  auto& client = cluster.add_client(10.0, [&](std::uint64_t seq, Rng& rng, netsim::PacketPool& pool) {
     if (seq > 300) return netsim::PacketPtr{};
-    auto pkt = std::make_unique<netsim::Packet>();
+    auto pkt = pool.make();
     pkt->dst = 0;
     pkt->dst_actor = dtc.deployments[0].coordinator;
     pkt->msg_type = dt::kTxnRequest;

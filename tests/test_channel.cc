@@ -101,7 +101,7 @@ TEST(ChannelMsgCodec, PacketConversionRoundTrip) {
   pkt.frame_size = 256;
   pkt.payload = {7, 7, 7};
   const auto msg = ChannelMsg::from_packet(pkt);
-  const auto back = msg.to_packet();
+  const auto back = msg.to_packet(netsim::PacketPool::local());
   EXPECT_EQ(back->src, 3u);
   EXPECT_EQ(back->dst_actor, 11u);
   EXPECT_EQ(back->src_actor, 12u);

@@ -307,7 +307,7 @@ TEST(AutoscaleRegression, LastDrrCoreNotRetiredWithPendingWork) {
   auto* control = rt.control(id);
   ASSERT_NE(control, nullptr);
   ASSERT_TRUE(control->is_drr);
-  auto pkt = std::make_unique<netsim::Packet>();
+  auto pkt = netsim::alloc_packet();
   pkt->dst_actor = id;
   pkt->msg_type = kEchoReq;
   control->mailbox.push_back(std::move(pkt));

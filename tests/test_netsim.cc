@@ -15,7 +15,7 @@ class Sink : public Endpoint {
 };
 
 PacketPtr make_pkt(NodeId src, NodeId dst, std::uint32_t frame = 512) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = alloc_packet();
   pkt->src = src;
   pkt->dst = dst;
   pkt->frame_size = frame;

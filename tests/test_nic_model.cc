@@ -245,7 +245,7 @@ TEST(NicModel, DumbNicDeliversToHost) {
   std::vector<netsim::PacketPtr> host_rx;
   nic.set_host_rx([&](netsim::PacketPtr p) { host_rx.push_back(std::move(p)); });
 
-  auto pkt = std::make_unique<netsim::Packet>();
+  auto pkt = netsim::alloc_packet();
   pkt->src = 1;
   pkt->dst = 0;
   pkt->frame_size = 256;

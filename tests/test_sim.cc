@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -96,6 +99,105 @@ TEST(PeriodicTask, FiresUntilStopped) {
   task.stop();
   sim.run(10'000);
   EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulation, CancelledCounterTracksCancels) {
+  Simulation sim;
+  const EventId a = sim.schedule(10, [] {});
+  const EventId b = sim.schedule(20, [] {});
+  sim.schedule(30, [] {});
+  EXPECT_EQ(sim.cancelled(), 0u);
+  sim.cancel(a);
+  sim.cancel(b);
+  sim.cancel(b);  // double-cancel must not double-count
+  EXPECT_EQ(sim.cancelled(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.cancelled(), 2u);
+}
+
+// Regression test for unbounded tombstone growth: a timer-heavy workload
+// that schedules and immediately cancels most events must not grow the
+// heap or the slot pool without bound — compaction has to reclaim
+// tombstones as churn proceeds.
+TEST(Simulation, QueueStaysBoundedUnderScheduleCancelChurn) {
+  Simulation sim;
+  std::size_t max_heap = 0;
+  std::size_t max_slots = 0;
+  constexpr int kRounds = 200;
+  constexpr int kPerRound = 100;
+  std::vector<EventId> ids;
+  for (int r = 0; r < kRounds; ++r) {
+    ids.clear();
+    for (int i = 0; i < kPerRound; ++i) {
+      ids.push_back(sim.schedule(static_cast<Ns>(1000 + (i * 13) % 41),
+                                 [] {}));
+    }
+    // Cancel everything but one per round (retransmit-timer pattern).
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i != 0) sim.cancel(ids[i]);
+    }
+    max_heap = std::max(max_heap, sim.heap_size());
+    max_slots = std::max(max_slots, sim.slot_count());
+  }
+  // 20'000 schedules / 19'800 cancels went through; the structures must
+  // stay within a small multiple of the live set + compaction slack, not
+  // scale with total churn.
+  EXPECT_EQ(sim.pending(), static_cast<std::size_t>(kRounds));
+  EXPECT_LT(max_heap, 2'000u);
+  EXPECT_LT(max_slots, 2'000u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(PeriodicTask, DestroyWhileArmedCancelsCleanly) {
+  Simulation sim;
+  int fired = 0;
+  {
+    PeriodicTask task(sim, 100, [&] { ++fired; });
+    task.start();
+    sim.run(250);
+    EXPECT_EQ(fired, 2);
+    // Task is armed for t=300 here; destruction must cancel that event,
+    // not leave a dangling `this` capture in the queue.
+  }
+  sim.run(10'000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineFn, SmallCaptureStaysInline) {
+  struct Small {
+    unsigned char bytes[32];
+  };
+  InlineFn fn([s = Small{}] { (void)s; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.spilled());
+}
+
+TEST(InlineFn, LargeCaptureSpillsAndStillRuns) {
+  struct Big {
+    unsigned char bytes[96];
+  };
+  Big big{};
+  big.bytes[0] = 7;
+  int out = 0;
+  InlineFn fn([big, &out] { out = big.bytes[0]; });
+  EXPECT_TRUE(fn.spilled());
+  InlineFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(InlineFn, MoveOnlyCaptureSupported) {
+  auto ptr = std::make_unique<int>(41);
+  int out = 0;
+  InlineFn fn([p = std::move(ptr), &out] { out = *p + 1; });
+  EXPECT_FALSE(fn.spilled());  // unique_ptr fits inline
+  fn();
+  EXPECT_EQ(out, 42);
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
 }
 
 TEST(Simulation, DeterministicAcrossRuns) {

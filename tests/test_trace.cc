@@ -34,7 +34,7 @@ TEST(TracerTest, RingEvictsOldestAndCountsDrops) {
   Tracer t;
   t.enable(/*capacity=*/16);  // 16 is the tracer's minimum ring size
   std::uint64_t clock = 0;
-  t.set_clock([&clock] { return clock; });
+  t.set_clock(Clock(&clock));
   for (std::uint64_t i = 0; i < 20; ++i) {
     clock = i;
     t.instant(Cat::kSched, "tick", 0, /*actor=*/i);
@@ -55,7 +55,7 @@ TEST(TracerTest, ClockStampsInstantsAndSpansKeepExplicitTimes) {
   Tracer t;
   t.enable(16);
   std::uint64_t clock = 0;
-  t.set_clock([&clock] { return clock; });
+  t.set_clock(Clock(&clock));
   clock = 1234;
   t.instant(Cat::kChannel, "chan_nack", trace::tid::kChanToHost, 0,
             Arg{"seq", 7.0});

@@ -19,7 +19,7 @@ TEST(KvWorkload, ReadWriteMixMatchesConfig) {
   int writes = 0;
   const int n = 20'000;
   for (int i = 0; i < n; ++i) {
-    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng, netsim::PacketPool::local());
     ASSERT_NE(pkt, nullptr);
     EXPECT_EQ(pkt->dst_actor, 5u);
     EXPECT_EQ(pkt->frame_size, 512u);
@@ -47,7 +47,7 @@ TEST(KvWorkload, ValueSizeScalesWithFrame) {
     params.frame_size = frame;
     params.read_fraction = 0.0;  // all writes
     auto make = kv_workload(params);
-    const auto pkt = make(1, rng);
+    const auto pkt = make(1, rng, netsim::PacketPool::local());
     const auto req = rkv::ClientReq::decode(pkt->payload);
     (frame == 256 ? small_val : big_val) = req->value.size();
   }
@@ -64,7 +64,7 @@ TEST(KvWorkload, ZipfSkewConcentratesKeys) {
   std::unordered_map<std::string, int> counts;
   const int n = 20'000;
   for (int i = 0; i < n; ++i) {
-    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng, netsim::PacketPool::local());
     const auto req = rkv::ClientReq::decode(pkt->payload);
     ++counts[req->key];
   }
@@ -81,7 +81,7 @@ TEST(TxnWorkload, ShapeMatchesPaperTransactions) {
   auto make = txn_workload(params);
   Rng rng(4);
   for (int i = 0; i < 500; ++i) {
-    const auto pkt = make(static_cast<std::uint64_t>(i), rng);
+    const auto pkt = make(static_cast<std::uint64_t>(i), rng, netsim::PacketPool::local());
     EXPECT_EQ(pkt->msg_type, dt::kTxnRequest);
     const auto txn = dt::TxnRequest::decode(pkt->payload);
     ASSERT_TRUE(txn.has_value());
@@ -103,7 +103,7 @@ TEST(RtaWorkload, TuplesPerRequestScaleWithFrame) {
     RtaWorkloadParams params;
     params.frame_size = frame;
     auto make = rta_workload(params);
-    const auto pkt = make(1, rng);
+    const auto pkt = make(1, rng, netsim::PacketPool::local());
     EXPECT_EQ(pkt->msg_type, rta::kTuples);
     (frame == 256 ? small_n : big_n) = rta::unpack_tuples(pkt->payload).size();
   }
@@ -125,7 +125,7 @@ TEST_P(FrameSweep, EchoWorkloadRespectsFrameSize) {
   params.server = 3;
   auto make = echo_workload(params);
   Rng rng(6);
-  const auto pkt = make(1, rng);
+  const auto pkt = make(1, rng, netsim::PacketPool::local());
   EXPECT_EQ(pkt->frame_size, GetParam());
   EXPECT_EQ(pkt->dst, 3u);
 }
