@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "apps/common/wire.h"
@@ -38,9 +40,18 @@ enum MsgType : std::uint16_t {
   kCommit = 216,       // coordinator -> participant (phase 4)
   kCommitAck = 217,
   kAbortUnlock = 218,  // coordinator -> participant (abort path)
+  kAbortAck = 219,     // participant -> coordinator (abort acknowledged)
   kLogAppend = 220,    // coordinator -> log actor (phase 3)
   kLogAck = 221,
   kLogCheckpoint = 222,
+  // crash recovery (coordinator restart)
+  kLogReplayReq = 223,  // coordinator -> log: stream unresolved records
+  kLogReplay = 224,     // log -> coordinator: one in-doubt txn (0 = done)
+  kLogResolve = 225,    // coordinator -> log: txn durable everywhere, drop
+  kRecoverLocks = 226,  // coordinator -> participants: active txn set
+  kRecoverAck = 227,    // participant -> coordinator
+  // self-timers (never cross the wire)
+  kTxnTick = 240,  // coordinator retransmit sweep
 };
 
 enum class TxnStatus : std::uint8_t {
@@ -84,15 +95,33 @@ class ParticipantActor final : public Actor {
   ParticipantActor() : Actor("dt-participant") {}
 
   void init(ActorEnv& env) override { store_.create(env, 4); }
+  /// Node crash: the DMO-backed store and every lock die with it.
+  void reset(ActorEnv&) override {
+    store_ = DmoHashTable{};
+    locks_.clear();
+  }
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
   [[nodiscard]] std::uint64_t region_bytes() const override { return 16 * MiB; }
   [[nodiscard]] const DmoHashTable& store() const noexcept { return store_; }
   /// Direct (test) access for seeding data.
   DmoHashTable& store_mut() noexcept { return store_; }
+  /// Records currently lock-held (the "no dangling locks" invariant).
+  [[nodiscard]] std::size_t locked_count() const noexcept {
+    return locks_.size();
+  }
 
  private:
+  /// Who holds the lock on a key: coordinator node + its txn id + the
+  /// version reported at lock time (for idempotent re-locks).
+  struct LockOwner {
+    netsim::NodeId node = 0;
+    std::uint64_t txn = 0;
+    std::uint32_t version = 0;
+  };
+
   DmoHashTable store_;
+  std::map<std::string, LockOwner> locks_;
 };
 
 class LogActor final : public Actor {
@@ -100,15 +129,38 @@ class LogActor final : public Actor {
   LogActor() : Actor("dt-log") {}
 
   [[nodiscard]] bool host_pinned() const override { return true; }
+  // Host-pinned = persistent storage: retained records deliberately
+  // survive node crashes (no reset override).
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
   [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
   [[nodiscard]] std::uint64_t checkpoints() const noexcept { return checkpoints_; }
+  /// Logged-but-unresolved transactions (in-doubt after a crash).
+  [[nodiscard]] std::size_t unresolved() const noexcept {
+    return records_.size();
+  }
 
  private:
   std::uint64_t appended_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t checkpoints_ = 0;
+  /// txn id -> raw kLogAppend payload, retained until kLogResolve so a
+  /// restarted coordinator can replay its in-doubt transactions.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> records_;
+};
+
+/// Recovery / retransmission knobs for the coordinator.  Disabled by
+/// default: legacy deployments keep fire-and-forget semantics with no
+/// timers.
+struct DtRecoveryParams {
+  bool enabled = false;
+  Ns retry_period = msec(5);   ///< sweep-timer granularity
+  Ns retry_timeout = msec(2);  ///< per-phase silence before retransmit
+  /// Phase 1/2 retransmits before giving up and aborting (commit and
+  /// abort phases retransmit forever — the 2PC decision is final).
+  unsigned max_phase12_retries = 8;
+  /// Every node hosting a participant (for the recover-locks broadcast).
+  std::vector<netsim::NodeId> cluster;
 };
 
 class CoordinatorActor final : public Actor {
@@ -116,16 +168,27 @@ class CoordinatorActor final : public Actor {
   /// `participant_actor` is the participant actor id (identical on all
   /// storage nodes); `log_actor` is the local host-pinned logger.
   CoordinatorActor(ActorId participant_actor, ActorId log_actor,
-                   std::uint64_t log_limit_bytes = 1 * MiB)
+                   std::uint64_t log_limit_bytes = 1 * MiB,
+                   DtRecoveryParams recovery = {})
       : Actor("dt-coordinator"),
         participant_(participant_actor),
         log_actor_(log_actor),
-        log_limit_(log_limit_bytes) {}
+        log_limit_(log_limit_bytes),
+        recovery_(std::move(recovery)) {}
 
+  void init(ActorEnv& env) override;
+  void reset(ActorEnv& env) override;
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
   [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
   [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+  [[nodiscard]] std::uint64_t recovered_txns() const noexcept {
+    return recovered_txns_;
+  }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return txns_.size(); }
 
  private:
   enum class Phase : std::uint8_t {
@@ -133,6 +196,7 @@ class CoordinatorActor final : public Actor {
     kValidate = 2,
     kLog = 3,
     kCommit = 4,
+    kAborting = 5,  ///< decision reached; unlocks retransmitted until acked
   };
 
   struct TxnState {
@@ -141,10 +205,17 @@ class CoordinatorActor final : public Actor {
     Phase phase = Phase::kReadLock;
     unsigned pending = 0;
     bool failed = false;
+    bool recovered = false;  ///< replayed from the log: no client to answer
+    bool replied = false;    ///< client already answered (abort drain)
     std::vector<std::uint32_t> read_versions;
     std::vector<std::vector<std::uint8_t>> read_values;
     std::vector<std::uint32_t> write_versions;
+    /// Per-item completion for the current phase (phase 1: reads then
+    /// writes; later phases: one flag per phase item).
+    std::vector<std::uint8_t> done;
     unsigned locks_held = 0;
+    unsigned retries = 0;
+    Ns phase_started = 0;
   };
 
   void on_client(ActorEnv& env, const netsim::Packet& req);
@@ -153,24 +224,53 @@ class CoordinatorActor final : public Actor {
   void on_validate_reply(ActorEnv& env, const netsim::Packet& req);
   void on_log_ack(ActorEnv& env, const netsim::Packet& req);
   void on_commit_ack(ActorEnv& env, const netsim::Packet& req);
+  void on_abort_ack(ActorEnv& env, const netsim::Packet& req);
+  void on_log_replay(ActorEnv& env, const netsim::Packet& req);
+  void on_recover_ack(ActorEnv& env, const netsim::Packet& req);
+  void on_tick(ActorEnv& env);
   void phase1_maybe_done(ActorEnv& env, std::uint64_t txn_id);
   void begin_validate(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
   void begin_log(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
   void begin_commit(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
   void abort(ActorEnv& env, std::uint64_t txn_id, TxnState& txn,
              TxnStatus status);
-  void finish(ActorEnv& env, std::uint64_t txn_id, TxnState& txn,
-              TxnStatus status);
+  void reply_client(ActorEnv& env, TxnState& txn, TxnStatus status);
+  void send_read(ActorEnv& env, std::uint64_t txn_id, const TxnState& txn,
+                 std::size_t i);
+  void send_lock(ActorEnv& env, std::uint64_t txn_id, const TxnState& txn,
+                 std::size_t i);
+  void send_validate(ActorEnv& env, std::uint64_t txn_id, const TxnState& txn,
+                     std::size_t i);
+  void send_commit(ActorEnv& env, std::uint64_t txn_id, const TxnState& txn,
+                   std::size_t i);
+  void send_unlock(ActorEnv& env, std::uint64_t txn_id, const TxnState& txn,
+                   std::size_t i);
+  void send_recover_locks(ActorEnv& env, netsim::NodeId node);
+  void retransmit_txn(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
   void charge_coord(ActorEnv& env) const;
 
   ActorId participant_;
   ActorId log_actor_;
   std::uint64_t log_limit_;
+  DtRecoveryParams recovery_;
   std::uint64_t log_bytes_ = 0;
   std::uint64_t next_txn_ = 1;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
-  std::unordered_map<std::uint64_t, TxnState> txns_;
+  std::uint64_t recovered_txns_ = 0;
+  std::uint64_t retransmits_ = 0;
+  // std::map: deterministic sweep order (chaos replay byte-compares).
+  std::map<std::uint64_t, TxnState> txns_;
+
+  // Recovery-in-progress state (coordinator restart).
+  bool recovering_ = false;
+  std::vector<std::uint64_t> recover_active_;
+  std::set<netsim::NodeId> recover_pending_;
+
+  // Client request dedup (request id -> cached reply / active txn).
+  std::map<std::uint64_t, std::uint64_t> active_reqs_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> completed_reqs_;
+  std::deque<std::uint64_t> completed_order_;  ///< bounded-cache eviction
 };
 
 /// One node's DT deployment.
@@ -182,6 +282,7 @@ struct DtDeployment {
 
 /// Register participant + log (+ coordinator when `with_coordinator`) in a
 /// fixed order so actor ids agree across nodes.
-[[nodiscard]] DtDeployment deploy_dt(Runtime& rt, bool with_coordinator);
+[[nodiscard]] DtDeployment deploy_dt(Runtime& rt, bool with_coordinator,
+                                     DtRecoveryParams recovery = {});
 
 }  // namespace ipipe::dt

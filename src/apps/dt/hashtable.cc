@@ -189,4 +189,23 @@ bool DmoHashTable::commit(ActorEnv& env, std::string_view key,
   return env.dmo_put(id, bucket);
 }
 
+bool DmoHashTable::commit_at(ActorEnv& env, std::string_view key,
+                             std::span<const std::uint8_t> value,
+                             std::uint32_t target, bool leave_locked) {
+  if (value.size() > kInlineValue) return false;
+  ObjId id;
+  Bucket bucket;
+  int idx;
+  if (!load_bucket(env, key, id, bucket, idx)) return false;
+  if (idx < 0) {
+    return insert_entry(env, key, value, target, leave_locked);
+  }
+  Entry& e = bucket.entries[idx];
+  e.value_len = static_cast<std::uint16_t>(value.size());
+  std::memcpy(e.value, value.data(), value.size());
+  e.version = target;
+  e.locked = leave_locked ? 1 : 0;
+  return env.dmo_put(id, bucket);
+}
+
 }  // namespace ipipe::dt

@@ -53,6 +53,14 @@ class DmoHashTable {
   bool commit(ActorEnv& env, std::string_view key,
               std::span<const std::uint8_t> value);
 
+  /// Idempotent commit to an explicit version (2PC recovery replay):
+  /// writes value, sets version = `target` and releases the lock (unless
+  /// `leave_locked`).  Creates the record when absent, so a participant
+  /// that lost its store can still converge on the committed state.
+  bool commit_at(ActorEnv& env, std::string_view key,
+                 std::span<const std::uint8_t> value, std::uint32_t target,
+                 bool leave_locked = false);
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] unsigned global_depth() const noexcept { return global_depth_; }
   [[nodiscard]] std::size_t bucket_count() const noexcept {

@@ -59,6 +59,36 @@ void ConsensusActor::charge_log_op(ActorEnv& env) const {
   env.mem(std::max<std::uint64_t>(log_.size() * 96, 4096), 3);
 }
 
+void ConsensusActor::init(ActorEnv& env) {
+  if (!params_.enable_failover) return;
+  last_leader_contact_ = env.now();
+  election_timeout_cur_ = draw_election_timeout();
+  env.schedule_self(params_.heartbeat_period, kHbTick);
+}
+
+void ConsensusActor::reset(ActorEnv& env) {
+  (void)env;
+  log_.clear();
+  req_slot_.clear();
+  voters_.clear();
+  in_election_ = false;
+  election_ballot_ = 0;
+  next_slot_ = next_apply_ = chosen_ = 0;
+  if (params_.enable_failover) {
+    // A rebooted replica rejoins as a follower and catches up from the
+    // live leader's heartbeats; claiming leadership from amnesia would
+    // fork the log.
+    leader_ = false;
+    ballot_ = 0;
+    promised_ = 0;
+  } else {
+    // Legacy static-leader deployments restart into their configured role.
+    leader_ = params_.self_index == 0;
+    ballot_ = leader_ ? params_.replicas.size() + params_.self_index : 0;
+    promised_ = 0;
+  }
+}
+
 void ConsensusActor::handle(ActorEnv& env, const netsim::Packet& req) {
   switch (req.msg_type) {
     case kClientPut:
@@ -81,12 +111,122 @@ void ConsensusActor::handle(ActorEnv& env, const netsim::Packet& req) {
     case kPaxosLearn:
       on_learn(env, req);
       break;
+    case kHeartbeat:
+      on_heartbeat(env, req);
+      break;
+    case kCatchupReq:
+      on_catchup_req(env, req);
+      break;
+    case kCatchupBatch:
+      on_catchup_batch(env, req);
+      break;
+    case kHbTick:
+      on_tick(env);
+      break;
     case kElectTrigger:
       start_election(env);
       break;
     default:
       break;
   }
+}
+
+Ns ConsensusActor::draw_election_timeout() {
+  const Ns lo = params_.election_timeout_min;
+  const Ns hi = params_.election_timeout_max;
+  if (hi <= lo) return lo;
+  return lo + static_cast<Ns>(election_rng_.uniform_u64(
+                  static_cast<std::uint64_t>(hi - lo)));
+}
+
+void ConsensusActor::on_tick(ActorEnv& env) {
+  if (!params_.enable_failover) return;
+  if (leader_) {
+    send_heartbeats(env);
+  } else if (env.now() - last_leader_contact_ >= election_timeout_cur_) {
+    start_election(env);
+    // Re-draw the timeout before the next candidacy: two candidates that
+    // split a vote back off by different (seeded) amounts and one of
+    // them wins the retry.
+    last_leader_contact_ = env.now();
+    election_timeout_cur_ = draw_election_timeout();
+  }
+  env.schedule_self(params_.heartbeat_period, kHbTick);
+}
+
+void ConsensusActor::send_heartbeats(ActorEnv& env) {
+  PaxosMsg hb;
+  hb.ballot = ballot_;
+  hb.slot = next_apply_;  // commit watermark: every slot below is chosen
+  broadcast(env, kHeartbeat, hb);
+}
+
+void ConsensusActor::on_heartbeat(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg) return;
+  // A stale leader's heartbeat is ignored; it deposes itself when the
+  // real leader's (higher-ballot) heartbeat reaches it.
+  if (msg->ballot < promised_) return;
+  promised_ = msg->ballot;
+  if (leader_ && msg->ballot > ballot_) leader_ = false;
+  in_election_ = false;
+  last_leader_contact_ = env.now();
+  // The leader's chosen prefix extends past ours: pull the gap.
+  if (msg->slot > next_apply_) {
+    PaxosMsg ask;
+    ask.ballot = msg->ballot;
+    ask.slot = next_apply_;
+    env.reply(req, kCatchupReq, ask.encode());
+  }
+}
+
+void ConsensusActor::on_catchup_req(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg) return;
+  CatchupMsg batch;
+  batch.watermark = next_apply_;
+  std::uint64_t s = msg->slot;
+  while (batch.entries.size() < params_.catchup_batch) {
+    const auto it = log_.find(s);
+    if (it == log_.end() || !it->second.chosen) break;
+    batch.entries.push_back({s, it->second.value});
+    ++s;
+  }
+  env.mem(std::max<std::uint64_t>(log_.size() * 96, 4096),
+          batch.entries.size() + 1);
+  env.reply(req, kCatchupBatch, batch.encode());
+}
+
+void ConsensusActor::on_catchup_batch(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  auto msg = CatchupMsg::decode(req.payload);
+  if (!msg) return;
+  const std::uint64_t before = next_apply_;
+  for (auto& e : msg->entries) {
+    learn_entry(e.slot, promised_, std::move(e.value));
+  }
+  apply_ready(env);
+  // Still behind and making progress: chain the next request.
+  if (msg->watermark > next_apply_ && next_apply_ > before) {
+    PaxosMsg more;
+    more.ballot = promised_;
+    more.slot = next_apply_;
+    env.reply(req, kCatchupReq, more.encode());
+  }
+}
+
+void ConsensusActor::learn_entry(std::uint64_t slot, std::uint64_t ballot,
+                                 std::vector<std::uint8_t> value) {
+  LogEntry& entry = log_[slot];
+  entry.value = std::move(value);
+  entry.ballot = std::max(entry.ballot, ballot);
+  if (!entry.chosen) {
+    entry.chosen = true;
+    ++chosen_;
+  }
+  next_slot_ = std::max(next_slot_, slot + 1);
 }
 
 void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
@@ -96,7 +236,14 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   const ReplyTo reply = reply_to_of(req);
 
   if (!leader_) {
-    send_client_reply(env, reply, Status::kNotLeader);
+    // Hint the last known leader (ballots are partitioned by replica
+    // index) so a retrying client can re-target without probing.
+    std::vector<std::uint8_t> hint;
+    if (promised_ != 0) {
+      hint.push_back(
+          static_cast<std::uint8_t>(promised_ % params_.replicas.size()));
+    }
+    send_client_reply(env, reply, Status::kNotLeader, std::move(hint));
     return;
   }
 
@@ -109,18 +256,35 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
     return;
   }
 
-  // Drive a write through a Paxos instance.
+  // Dedup: a retransmitted write that is already in the log must not
+  // consume a second slot (exactly-once apply).
+  if (req.request_id != 0) {
+    const auto it = req_slot_.find(req.request_id);
+    if (it != req_slot_.end()) {
+      const auto ls = log_.find(it->second);
+      if (ls != log_.end() && ls->second.applied) {
+        send_client_reply(env, reply, Status::kOk);
+      }
+      // else: still being driven — the apply path will reply.
+      return;
+    }
+  }
+
+  // Drive the write through a Paxos instance.
   const std::uint64_t slot = next_slot_++;
+  log_[slot].value = encode_op(creq->op, reply, creq->key, creq->value);
+  if (req.request_id != 0) req_slot_[req.request_id] = slot;
+  propose_slot(env, slot);
+}
+
+void ConsensusActor::propose_slot(ActorEnv& env, std::uint64_t slot) {
   LogEntry& entry = log_[slot];
   entry.ballot = ballot_;
-  entry.value = encode_op(creq->op, reply, creq->key, creq->value);
   entry.acks = 1;  // self
-
   PaxosMsg accept;
   accept.ballot = ballot_;
   accept.slot = slot;
-  accept.origin_req = req.request_id;
-  accept.value = entry.value;
+  accept.value = entry.value;  // may be empty: a hole-filling no-op
   broadcast(env, kPaxosAccept, accept);
 
   if (entry.acks >= majority()) {
@@ -147,27 +311,63 @@ void ConsensusActor::on_prepare(ActorEnv& env, const netsim::Packet& req) {
   charge_log_op(env);
   const auto msg = PaxosMsg::decode(req.payload);
   if (!msg) return;
-  if (msg->ballot > promised_) {
-    promised_ = msg->ballot;
-    leader_ = false;
-    PaxosMsg promise;
-    promise.ballot = msg->ballot;
-    promise.slot = next_slot_;
-    env.reply(req, kPaxosPromise, promise.encode());
+  if (msg->ballot <= promised_) return;  // stale candidacy: no vote
+  promised_ = msg->ballot;
+  leader_ = false;
+  in_election_ = false;
+
+  // Phase 1b: report every value accepted at or above the candidate's
+  // watermark (msg->slot) so chosen-but-unlearned values survive the
+  // leader change.
+  PromiseMsg promise;
+  promise.ballot = msg->ballot;
+  promise.next_slot = next_slot_;
+  for (auto it = log_.lower_bound(msg->slot); it != log_.end(); ++it) {
+    if (it->second.value.empty() && !it->second.chosen) continue;
+    promise.accepted.push_back(
+        {it->first, it->second.ballot, it->second.value});
   }
+  env.mem(std::max<std::uint64_t>(log_.size() * 96, 4096),
+          promise.accepted.size() + 1);
+  env.reply(req, kPaxosPromise, promise.encode());
 }
 
 void ConsensusActor::on_promise(ActorEnv& env, const netsim::Packet& req) {
   charge_log_op(env);
-  const auto msg = PaxosMsg::decode(req.payload);
-  if (!msg || msg->ballot != ballot_) return;
-  ++election_votes_;
-  next_slot_ = std::max(next_slot_, msg->slot);
-  if (election_votes_ + 1 >= majority() && !leader_) {
-    leader_ = true;
-    LOG_INFO("rkv: node becomes Paxos leader (ballot %llu)",
-             static_cast<unsigned long long>(ballot_));
+  auto msg = PromiseMsg::decode(req.payload);
+  if (!msg) return;
+  // Votes for an earlier candidacy (stale ballot) and duplicate votes
+  // from the same replica must not count toward the majority.
+  if (!in_election_ || leader_ || msg->ballot != election_ballot_) return;
+  if (!voters_.insert(req.src).second) return;
+
+  next_slot_ = std::max(next_slot_, msg->next_slot);
+  // Adopt the highest-ballot accepted value per slot.
+  for (auto& e : msg->accepted) {
+    LogEntry& entry = log_[e.slot];
+    next_slot_ = std::max(next_slot_, e.slot + 1);
+    if (entry.chosen) continue;
+    if (entry.value.empty() || e.ballot >= entry.ballot) {
+      entry.ballot = e.ballot;
+      entry.value = std::move(e.value);
+    }
   }
+  if (voters_.size() + 1 >= majority()) become_leader(env);
+}
+
+void ConsensusActor::become_leader(ActorEnv& env) {
+  leader_ = true;
+  in_election_ = false;
+  LOG_INFO("rkv: node becomes Paxos leader (ballot %llu)",
+           static_cast<unsigned long long>(ballot_));
+  // Re-drive every unchosen slot below the frontier under the new
+  // ballot; untouched holes become no-ops so the apply prefix can
+  // advance past them.
+  for (std::uint64_t s = next_apply_; s < next_slot_; ++s) {
+    if (log_[s].chosen) continue;
+    propose_slot(env, s);
+  }
+  if (params_.enable_failover) send_heartbeats(env);
 }
 
 void ConsensusActor::on_accept(ActorEnv& env, const netsim::Packet& req) {
@@ -176,10 +376,15 @@ void ConsensusActor::on_accept(ActorEnv& env, const netsim::Packet& req) {
   if (!msg) return;
   if (msg->ballot < promised_) return;  // stale leader
   promised_ = msg->ballot;
+  if (leader_ && msg->ballot > ballot_) leader_ = false;  // deposed
+  in_election_ = false;
+  if (params_.enable_failover) last_leader_contact_ = env.now();
 
   LogEntry& entry = log_[msg->slot];
-  entry.ballot = msg->ballot;
-  entry.value = msg->value;
+  if (!entry.chosen) {
+    entry.ballot = msg->ballot;
+    entry.value = msg->value;
+  }
   next_slot_ = std::max(next_slot_, msg->slot + 1);
 
   PaxosMsg ack;
@@ -209,16 +414,9 @@ void ConsensusActor::on_accepted(ActorEnv& env, const netsim::Packet& req) {
 
 void ConsensusActor::on_learn(ActorEnv& env, const netsim::Packet& req) {
   charge_log_op(env);
-  const auto msg = PaxosMsg::decode(req.payload);
+  auto msg = PaxosMsg::decode(req.payload);
   if (!msg) return;
-  LogEntry& entry = log_[msg->slot];
-  entry.value = msg->value;
-  entry.ballot = msg->ballot;
-  if (!entry.chosen) {
-    entry.chosen = true;
-    ++chosen_;
-  }
-  next_slot_ = std::max(next_slot_, msg->slot + 1);
+  learn_entry(msg->slot, msg->ballot, std::move(msg->value));
   apply_ready(env);
 }
 
@@ -229,11 +427,15 @@ void ConsensusActor::start_election(ActorEnv& env) {
                 params_.replicas.size() +
             params_.self_index;
   promised_ = ballot_;
-  election_votes_ = 0;
+  in_election_ = true;
+  election_ballot_ = ballot_;
+  voters_.clear();
+  ++elections_started_;
   PaxosMsg prep;
   prep.ballot = ballot_;
-  prep.slot = next_slot_;
+  prep.slot = next_apply_;  // our applied watermark: report entries above
   broadcast(env, kPaxosPrepare, prep);
+  if (params_.replicas.size() == 1) become_leader(env);
 }
 
 void ConsensusActor::apply_ready(ActorEnv& env) {
@@ -244,10 +446,14 @@ void ConsensusActor::apply_ready(ActorEnv& env) {
     const auto it = log_.find(next_apply_);
     if (it == log_.end() || !it->second.chosen || it->second.applied) break;
     it->second.applied = true;
+    const std::uint64_t slot = next_apply_;
     ++next_apply_;
 
     auto op = decode_op(it->second.value);
     if (!op) continue;
+    // Record the request -> slot mapping on every replica (before the
+    // follower blanks the route) so whoever leads next dedups retries.
+    if (op->reply.request_id != 0) req_slot_[op->reply.request_id] = slot;
     if (!leader_) {
       // Follower applies without replying: blank out the reply route.
       op->reply = ReplyTo{};

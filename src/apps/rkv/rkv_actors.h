@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,18 @@ struct RkvParams {
   ActorId peer_consensus_actor = 0;  ///< consensus actor id on every node
   std::uint64_t memtable_flush_bytes = 2 * MiB;
   std::size_t shards = 1;
+
+  // -- failover (off by default: no timers, no heartbeat traffic) --
+  /// Leader heartbeats + follower election timeouts + crash-restart
+  /// catch-up.  Required for the chaos harness; legacy deployments keep
+  /// the static leader.
+  bool enable_failover = false;
+  Ns heartbeat_period = msec(100);
+  /// Election timeout drawn uniformly from [min, max) per arming — the
+  /// randomized backoff that breaks split votes.  Seeded per replica.
+  Ns election_timeout_min = msec(250);
+  Ns election_timeout_max = msec(450);
+  std::size_t catchup_batch = 64;  ///< chosen entries per catch-up frame
 };
 
 class MemtableActor;
@@ -61,17 +74,26 @@ class MemtableActor;
 class ConsensusActor final : public Actor {
  public:
   ConsensusActor(RkvParams params, ActorId memtable)
-      : Actor("rkv-consensus"), params_(std::move(params)), memtable_(memtable) {
+      : Actor("rkv-consensus"),
+        params_(std::move(params)),
+        memtable_(memtable),
+        election_rng_(0xE1EC710BULL + params_.self_index) {
     leader_ = params_.self_index == 0;
     if (leader_) ballot_ = params_.replicas.size() + params_.self_index;
   }
 
+  void init(ActorEnv& env) override;
+  void reset(ActorEnv& env) override;
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
   [[nodiscard]] bool is_leader() const noexcept { return leader_; }
   [[nodiscard]] std::uint64_t ballot() const noexcept { return ballot_; }
   [[nodiscard]] std::uint64_t chosen_count() const noexcept { return chosen_; }
   [[nodiscard]] std::uint64_t next_slot() const noexcept { return next_slot_; }
+  [[nodiscard]] std::uint64_t next_apply() const noexcept { return next_apply_; }
+  [[nodiscard]] std::uint64_t elections_started() const noexcept {
+    return elections_started_;
+  }
 
   static constexpr std::uint16_t kElectTrigger = 115;
 
@@ -90,24 +112,50 @@ class ConsensusActor final : public Actor {
   void on_accept(ActorEnv& env, const netsim::Packet& req);
   void on_accepted(ActorEnv& env, const netsim::Packet& req);
   void on_learn(ActorEnv& env, const netsim::Packet& req);
+  void on_heartbeat(ActorEnv& env, const netsim::Packet& req);
+  void on_catchup_req(ActorEnv& env, const netsim::Packet& req);
+  void on_catchup_batch(ActorEnv& env, const netsim::Packet& req);
+  void on_tick(ActorEnv& env);
   void start_election(ActorEnv& env);
+  void become_leader(ActorEnv& env);
+  void learn_entry(std::uint64_t slot, std::uint64_t ballot,
+                   std::vector<std::uint8_t> value);
+  void send_heartbeats(ActorEnv& env);
+  void propose_slot(ActorEnv& env, std::uint64_t slot);
   void apply_ready(ActorEnv& env);
   void broadcast(ActorEnv& env, std::uint16_t type, const PaxosMsg& msg);
   [[nodiscard]] unsigned majority() const {
     return static_cast<unsigned>(params_.replicas.size() / 2 + 1);
   }
+  [[nodiscard]] Ns draw_election_timeout();
   void charge_log_op(ActorEnv& env) const;
 
   RkvParams params_;
   ActorId memtable_;
+  Rng election_rng_;  ///< per-replica seeded: distinct timeout sequences
   bool leader_ = false;
   std::uint64_t ballot_ = 0;    // current ballot (leader's when leading)
   std::uint64_t promised_ = 0;  // highest ballot promised
   std::uint64_t next_slot_ = 0;
   std::uint64_t next_apply_ = 0;
   std::uint64_t chosen_ = 0;
-  unsigned election_votes_ = 0;
   std::map<std::uint64_t, LogEntry> log_;
+
+  // Election bookkeeping: votes only count for the ballot this candidacy
+  // opened, each voter at most once (stale-ballot / duplicate promises
+  // are rejected).
+  bool in_election_ = false;
+  std::uint64_t election_ballot_ = 0;
+  std::set<std::uint32_t> voters_;
+  std::uint64_t elections_started_ = 0;
+
+  // Failure detection (enable_failover only).
+  Ns last_leader_contact_ = 0;
+  Ns election_timeout_cur_ = 0;
+
+  // Client request dedup: request id -> slot it was proposed in, rebuilt
+  // from the log on recovery, so retried writes never double-apply.
+  std::map<std::uint64_t, std::uint64_t> req_slot_;
 };
 
 class MemtableActor final : public Actor {
@@ -119,6 +167,10 @@ class MemtableActor final : public Actor {
         compaction_(compaction) {}
 
   void init(ActorEnv& env) override { list_.create(env); }
+  /// Crash-restart: the node's DMO table was wiped, so the old object
+  /// ids are gone — come back with an empty memtable and let Paxos
+  /// catch-up replay the log into it.
+  void reset(ActorEnv&) override { list_ = DmoSkipList{}; }
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
   [[nodiscard]] std::uint64_t region_bytes() const override { return 32 * MiB; }

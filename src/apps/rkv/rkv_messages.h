@@ -22,6 +22,12 @@ enum MsgType : std::uint16_t {
   kPaxosAccept = 112,
   kPaxosAccepted = 113,
   kPaxosLearn = 114,
+  // failure detection + log repair (consensus <-> consensus)
+  kHeartbeat = 116,    ///< leader liveness + commit watermark
+  kCatchupReq = 117,   ///< follower asks for chosen entries from a slot
+  kCatchupBatch = 118, ///< bounded batch of chosen entries (chained)
+  // self-timers (never cross the wire)
+  kHbTick = 140,  ///< heartbeat / election-timeout period tick
   // consensus actor -> memtable actor (local)
   kApplyOp = 120,
   kMemGet = 121,
@@ -102,6 +108,84 @@ struct PaxosMsg {
     if (!r.get(m.ballot) || !r.get(m.slot) || !r.get(m.origin_req) ||
         !r.get_bytes(m.value)) {
       return std::nullopt;
+    }
+    return m;
+  }
+};
+
+/// Phase-1b promise: beyond the ballot acknowledgement the acceptor
+/// reports every value it has accepted at or above the candidate's
+/// watermark, so the new leader adopts chosen-but-unlearned values
+/// before re-driving the log.
+struct PromiseMsg {
+  struct Entry {
+    std::uint64_t slot = 0;
+    std::uint64_t ballot = 0;  ///< ballot the value was accepted under
+    std::vector<std::uint8_t> value;
+  };
+
+  std::uint64_t ballot = 0;     ///< ballot being promised
+  std::uint64_t next_slot = 0;  ///< acceptor's log frontier
+  std::vector<Entry> accepted;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(ballot).put(next_slot);
+    w.put(static_cast<std::uint32_t>(accepted.size()));
+    for (const auto& e : accepted) {
+      w.put(e.slot).put(e.ballot).put_bytes(e.value);
+    }
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<PromiseMsg> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    PromiseMsg m;
+    std::uint32_t n = 0;
+    if (!r.get(m.ballot) || !r.get(m.next_slot) || !r.get(n)) {
+      return std::nullopt;
+    }
+    m.accepted.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      if (!r.get(e.slot) || !r.get(e.ballot) || !r.get_bytes(e.value)) {
+        return std::nullopt;
+      }
+      m.accepted.push_back(std::move(e));
+    }
+    return m;
+  }
+};
+
+/// Catch-up batch: a run of chosen entries plus the sender's applied
+/// watermark, so the receiver knows whether to chain another request.
+struct CatchupMsg {
+  struct Entry {
+    std::uint64_t slot = 0;
+    std::vector<std::uint8_t> value;
+  };
+
+  std::uint64_t watermark = 0;  ///< every slot below this is chosen
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(watermark);
+    w.put(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) w.put(e.slot).put_bytes(e.value);
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<CatchupMsg> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    CatchupMsg m;
+    std::uint32_t n = 0;
+    if (!r.get(m.watermark) || !r.get(n)) return std::nullopt;
+    m.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      if (!r.get(e.slot) || !r.get_bytes(e.value)) return std::nullopt;
+      m.entries.push_back(std::move(e));
     }
     return m;
   }

@@ -18,6 +18,8 @@ const char* cat_name(Cat cat) noexcept {
       return "dmo";
     case Cat::kMig:
       return "migration";
+    case Cat::kChaos:
+      return "chaos";
   }
   return "?";
 }

@@ -42,6 +42,7 @@ enum class Cat : std::uint8_t {
   kChannel,  ///< host<->NIC channel reliability events
   kDmo,      ///< distributed-memory-object traps and migrations
   kMig,      ///< actor migration phases 1-4
+  kChaos,    ///< injected faults / heals and supervision actions
 };
 
 [[nodiscard]] const char* cat_name(Cat cat) noexcept;
@@ -55,6 +56,7 @@ constexpr std::uint32_t kHostCore0 = 100;  ///< host core i -> 100 + i
 constexpr std::uint32_t kChanToHost = 200;
 constexpr std::uint32_t kChanToNic = 201;
 constexpr std::uint32_t kDmo = 210;
+constexpr std::uint32_t kChaos = 220;
 }  // namespace tid
 
 /// One optional named numeric argument attached to an event.

@@ -89,6 +89,8 @@ class HostModel {
   void rx_push(netsim::PacketPtr pkt);
   [[nodiscard]] netsim::PacketPtr rx_pop();
   [[nodiscard]] std::size_t rx_depth() const noexcept { return rx_ring_.size(); }
+  /// Drop every buffered rx frame (node power-fail).
+  void rx_clear() noexcept { rx_ring_.clear(); }
 
   void wake_core(unsigned core);
   void wake_all();

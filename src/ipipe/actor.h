@@ -46,6 +46,12 @@ class Actor {
   /// all cost must be charged through `env`.
   virtual void handle(ActorEnv& env, const netsim::Packet& req) = 0;
 
+  /// Drop volatile state before a supervised restart or node reboot.
+  /// Default: keep everything (correct for stateless actors and for
+  /// host-pinned actors whose state models persistent storage).  After
+  /// reset() the runtime calls init() again.
+  virtual void reset(ActorEnv& /*env*/) {}
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] ActorId id() const noexcept { return id_; }
 
@@ -104,6 +110,12 @@ class ActorEnv {
   /// Asynchronous message to an actor on this node (possibly across PCIe).
   virtual void local_send(ActorId dst_actor, std::uint16_t type,
                           std::vector<std::uint8_t> payload) = 0;
+  /// Deliver `type` back to this actor after `delay` of virtual time
+  /// (heartbeats, election timeouts, retransmit sweeps).  The timer is
+  /// silently dropped if the actor is killed/crashed before it fires;
+  /// re-arm from init() to survive restarts.
+  virtual void schedule_self(Ns delay, std::uint16_t type,
+                             std::vector<std::uint8_t> payload = {}) = 0;
 
   // ---- distributed memory objects ------------------------------------------
   /// All DMO calls are owner-checked against self() and charge memory
@@ -155,7 +167,11 @@ struct ActorControl {
   ActorId id = 0;
   ActorLoc loc = ActorLoc::kNic;
   bool is_drr = false;
+  std::uint32_t demotions = 0;  ///< FCFS->DRR downgrades (hysteresis scaling)
   bool killed = false;
+  bool quarantined = false;  ///< supervision gave up on this actor
+  Ns killed_at = 0;          ///< when `killed` was set (restart delay base)
+  std::uint32_t restarts = 0;
 
   std::deque<netsim::PacketPtr> mailbox;  ///< DRR mailbox / host queue
   double deficit_ns = 0.0;                ///< DRR deficit counter

@@ -126,6 +126,7 @@ bool ChannelRing::push(std::span<const std::uint8_t> body) {
   write_bytes(hdr);
   write_bytes(body);
   ++pushed_;
+  ++in_ring_;
   return true;
 }
 
@@ -147,9 +148,10 @@ std::optional<std::vector<std::uint8_t>> ChannelRing::pop(
   // cannot be trusted.  Recover by discarding every unread byte; the
   // reliability layer redelivers the lost frames.
   if (len > avail - 8 || len + 8 > buf_.size()) {
-    const std::uint64_t lost = pushed_ - popped_;
+    const std::uint64_t lost = in_ring_;
     ++framing_errors_;
     popped_ += lost;
+    in_ring_ = 0;
     consumed_unacked_ += avail;
     read_pos_ = write_pos_;
     if (corrupt) *corrupt = true;
@@ -161,6 +163,7 @@ std::optional<std::vector<std::uint8_t>> ChannelRing::pop(
   read_bytes(body);
   consumed_unacked_ += 8 + len;
   ++popped_;
+  if (in_ring_ > 0) --in_ring_;
 
   if (crypto::crc32(body) != crc) {
     ++crc_failures_;
@@ -394,6 +397,16 @@ std::optional<ChannelMsg> MessageChannel::poll(Dir& dir) {
         schedule_retransmit(dir, dir.vis.front().seq);
         dir.vis.pop_front();
       }
+    } else if (dir.ring.empty()) {
+      // Visibility edges whose bytes no longer exist in the ring: a reset
+      // or framing resync raced the DMA.  The frames are gone for good —
+      // request redelivery for each and stop reporting phantom data, or
+      // has_data() stays true forever and the polling core livelocks.
+      ++dir.stats.framing_resyncs;
+      while (!dir.vis.empty() && dir.vis.front().visible_at <= sim_.now()) {
+        schedule_retransmit(dir, dir.vis.front().seq);
+        dir.vis.pop_front();
+      }
     }
     return std::nullopt;
   }
@@ -452,5 +465,21 @@ std::optional<ChannelMsg> MessageChannel::nic_poll() { return poll(to_nic_); }
 bool MessageChannel::host_has_data() const noexcept { return has_data(to_host_); }
 
 bool MessageChannel::nic_has_data() const noexcept { return has_data(to_nic_); }
+
+void MessageChannel::reset() {
+  for (Dir* dir : {&to_host_, &to_nic_}) {
+    dir->ring.reset();
+    dir->vis.clear();
+    dir->next_seq = 0;
+    dir->pending.clear();
+    dir->retained.clear();
+    dir->backoff = 0;
+    // retry_armed stays as-is: an already-scheduled flush fires against an
+    // empty pending queue and no-ops.
+    note_backpressure_end(*dir);
+    dir->next_deliver = 0;
+    dir->reorder.clear();
+  }
+}
 
 }  // namespace ipipe

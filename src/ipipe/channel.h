@@ -96,6 +96,14 @@ class ChannelRing {
   /// Producer learns of consumer progress (the lazy header update).
   void ack();
 
+  /// Forget every buffered byte (node power-fail); lifetime counters
+  /// survive, positions restart from zero.
+  void reset() noexcept {
+    write_pos_ = read_pos_ = acked_read_pos_ = 0;
+    consumed_unacked_ = 0;
+    in_ring_ = 0;
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
   /// Producer's conservative view of free bytes.
   [[nodiscard]] std::size_t producer_free() const noexcept;
@@ -130,6 +138,9 @@ class ChannelRing {
   std::size_t consumed_unacked_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;
+  // Frames currently buffered (unlike pushed_/popped_, zeroed on reset so
+  // the framing-error recovery path reports an accurate loss count).
+  std::uint64_t in_ring_ = 0;
   std::uint64_t crc_failures_ = 0;
   std::uint64_t framing_errors_ = 0;
 };
@@ -204,6 +215,11 @@ class MessageChannel {
   [[nodiscard]] const ChannelDirStats& to_nic_stats() const noexcept {
     return to_nic_.stats;
   }
+
+  /// Node power-fail: wipe rings, in-flight frames, pending/retained
+  /// queues and sequence state in both directions.  Armed retry/NACK
+  /// events that fire afterwards find empty queues and no-op.
+  void reset();
 
   /// Fault injection (tests): corrupt a random byte of each pushed frame
   /// body with probability `rate`.  Deterministic for a given seed.

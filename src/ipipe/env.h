@@ -36,6 +36,11 @@ class EnvBase : public ActorEnv {
   [[nodiscard]] std::uint32_t dmo_size(ObjId id) const override;
   [[nodiscard]] std::uint64_t working_set() const override;
 
+  void schedule_self(Ns delay, std::uint16_t type,
+                     std::vector<std::uint8_t> payload = {}) override {
+    rt_.schedule_actor_msg(ac_.id, delay, type, std::move(payload));
+  }
+
  protected:
   /// Charge the DMO translation + memory cost for touching `bytes`.
   void charge_dmo(std::uint64_t bytes);

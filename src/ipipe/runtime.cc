@@ -167,6 +167,7 @@ void Runtime::kill_actor(ActorId id, bool isolation_trap) {
   auto* ac = control(id);
   if (ac == nullptr || ac->killed) return;
   ac->killed = true;
+  ac->killed_at = sim_.now();
   ac->mailbox.clear();
   ac->mig_buffer.clear();
   drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), id),
@@ -183,6 +184,140 @@ void Runtime::kill_actor(ActorId id, bool isolation_trap) {
   }
   LOG_WARN("actor %u (%s) killed (%s)", id, ac->actor->name().c_str(),
            isolation_trap ? "isolation trap" : "watchdog timeout");
+}
+
+// ---------------------------------------------- supervision & failure domains
+
+void Runtime::revive_actor(ActorControl& ac) {
+  objects_.register_actor(ac.id, ac.actor->region_bytes());
+  ac.killed = false;
+  ac.killed_at = 0;
+  ac.mailbox.clear();
+  ac.mig_buffer.clear();
+  ac.mig = MigState::kStable;
+  ac.deficit_ns = 0.0;
+  ac.latency.reset();
+  ac.exec_cost.reset();
+  ac.loc = ac.actor->host_pinned() ? ActorLoc::kHost : ActorLoc::kNic;
+  ac.is_drr = false;
+  ac.demotions = 0;
+  if (cfg_.policy == SchedPolicy::kDrrOnly && ac.loc == ActorLoc::kNic) {
+    ac.is_drr = true;
+    drr_queue_.push_back(ac.id);
+    if (drr_cores() == 0) spawn_drr_core();
+  }
+  InitEnv env(*this, ac);
+  ac.actor->reset(env);
+  ac.actor->init(env);
+}
+
+bool Runtime::restart_actor(ActorId id) {
+  auto* ac = control(id);
+  if (ac == nullptr || !ac->killed || ac->quarantined || node_down_) {
+    return false;
+  }
+  ++ac->restarts;
+  ++actor_restarts_;
+  revive_actor(*ac);
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "actor_restart", trace::tid::kChaos,
+                    id, {"restarts", static_cast<double>(ac->restarts)});
+  }
+  LOG_INFO("actor %u (%s) restarted (attempt %u)", id,
+           ac->actor->name().c_str(), ac->restarts);
+  nic_.wake_all();
+  host_.wake_all();
+  return true;
+}
+
+void Runtime::supervise_scan() {
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || !ac->killed || ac->quarantined) continue;
+    if (ac->restarts >= cfg_.supervise_quarantine_after) {
+      ac->quarantined = true;
+      ++quarantines_;
+      if (tracer_.enabled()) {
+        tracer_.instant(trace::Cat::kChaos, "actor_quarantine",
+                        trace::tid::kChaos, ac->id,
+                        {"restarts", static_cast<double>(ac->restarts)});
+      }
+      LOG_WARN("actor %u (%s) quarantined after %u restarts", ac->id,
+               ac->actor->name().c_str(), ac->restarts);
+      continue;
+    }
+    if (sim_.now() - ac->killed_at < cfg_.supervise_restart_delay) continue;
+    restart_actor(ac->id);
+  }
+}
+
+void Runtime::crash_node_state() {
+  if (node_down_) return;
+  node_down_ = true;
+  ++node_crashes_;
+  // Volatile runtime state dies with the power: in-progress migration,
+  // dispatcher queues, per-actor mailboxes and every PCIe ring byte.
+  migration_.reset();
+  drr_queue_.clear();
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr) continue;
+    if (!ac->killed) objects_.deregister_actor(ac->id);
+    ac->killed = true;
+    ac->killed_at = sim_.now();
+    ac->mailbox.clear();
+    ac->mig_buffer.clear();
+    ac->mig = MigState::kStable;
+  }
+  host_local_queue_.clear();
+  nic_.tm().clear();
+  host_.rx_clear();
+  channel_.reset();
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "node_crash", trace::tid::kChaos, 0);
+  }
+}
+
+void Runtime::restore_node_state() {
+  if (!node_down_) return;
+  node_down_ = false;
+  // Clean reboot: the supervision budget starts over, quarantines lift,
+  // and every actor re-runs reset()+init() in registration order (the
+  // same order deployment used, so recovered ids line up across nodes).
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr) continue;
+    ac->restarts = 0;
+    ac->quarantined = false;
+    revive_actor(*ac);
+  }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "node_restore", trace::tid::kChaos, 0);
+  }
+  nic_.wake_all();
+  host_.wake_all();
+}
+
+void Runtime::schedule_actor_msg(ActorId id, Ns delay, std::uint16_t type,
+                                 std::vector<std::uint8_t> payload) {
+  sim_.schedule(delay, [this, id, type, p = std::move(payload)]() mutable {
+    auto* ac = control(id);
+    // Timers die with the actor (and with the node): survivors re-arm
+    // from init() when the actor is revived.
+    if (ac == nullptr || ac->killed || node_down_) return;
+    auto pkt = pool_.make();
+    pkt->src = nic_.node();
+    pkt->dst = nic_.node();
+    pkt->src_actor = id;
+    pkt->dst_actor = id;
+    pkt->msg_type = type;
+    pkt->frame_size = netsim::frame_for_payload(p.size());
+    pkt->payload = std::move(p);
+    pkt->created_at = sim_.now();
+    const MemSide side =
+        ac->loc == ActorLoc::kNic ? MemSide::kNic : MemSide::kHost;
+    deliver_local(id, std::move(pkt), side);
+  });
 }
 
 // ------------------------------------------------------------- migration --
@@ -403,9 +538,12 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
     return true;
   }
 
-  if (core == 0) {
-    // Keep the management heartbeat alive while parked.
-    nic_.wake_core_at(0, sim_.now() + cfg_.mgmt_period);
+  if (core == 0 && mgmt_wake_at_ <= sim_.now()) {
+    // Keep the management heartbeat alive while parked.  Arm at most one
+    // outstanding wake: every idle wakeup used to plant a fresh periodic
+    // chain, and the chains accumulated without bound over long runs.
+    mgmt_wake_at_ = sim_.now() + cfg_.mgmt_period;
+    nic_.wake_core_at(0, mgmt_wake_at_);
   }
   return false;
 }
@@ -544,6 +682,7 @@ void Runtime::maybe_downgrade() {
   if (worst == nullptr) return;
   last_policy_change_ = sim_.now();
   worst->is_drr = true;
+  ++worst->demotions;
   worst->deficit_ns = 0.0;
   drr_queue_.push_back(worst->id);
   ++downgrades_;
@@ -568,6 +707,17 @@ void Runtime::maybe_upgrade() {
     if (best == nullptr || ac->dispersion() < best->dispersion()) best = ac;
   }
   if (best == nullptr) return;
+  // Anti-flap: an actor whose own tail still violates the downgrade
+  // threshold would re-trigger the very next downgrade scan.  Leave it
+  // in DRR until its tail estimate actually recovers.
+  if (best->dispersion() > static_cast<double>(cfg_.tail_thresh)) return;
+  // Escalating hysteresis for repeat offenders: DRR isolates the actor's
+  // dispersion, so its own tail recovers quickly and a flat window just
+  // ping-pongs it between the groups.  Each demotion doubles the DRR
+  // residency required before the next promotion.
+  const Ns residency = cfg_.mgmt_period *
+                       (16ULL << std::min<std::uint32_t>(best->demotions, 8));
+  if (sim_.now() - last_policy_change_ < residency) return;
   drr_queue_.erase(std::remove(drr_queue_.begin(), drr_queue_.end(), best->id),
                    drr_queue_.end());
   best->is_drr = false;
@@ -684,6 +834,7 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
   ctx.charge(cfg_.sched_bookkeeping_ns * 2);
 
   check_autoscale();
+  if (cfg_.supervise && !node_down_) supervise_scan();
   if (tracer_.enabled() && metrics_.due(sim_.now())) snapshot_metrics();
 
   if (!cfg_.enable_migration || migration_.has_value() ||
@@ -969,6 +1120,12 @@ void Runtime::execute_on_host(hostsim::HostExecContext& ctx, ActorControl& ac,
                  trace::tid::kHostCore0 + ctx.core(), sim_.now() + before,
                  sim_.now() + ctx.consumed(), ac.id,
                  {"queue_us", static_cast<double>(queue_delay) / 1000.0});
+  }
+  // Host-side watchdog only exists under supervision: without a restart
+  // path a host kill would be permanent, which the original runtime
+  // never did.
+  if (cfg_.supervise && exec > cfg_.watchdog_limit) {
+    kill_actor(ac.id, /*isolation_trap=*/false);
   }
 }
 

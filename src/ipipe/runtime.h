@@ -46,6 +46,15 @@ struct IPipeConfig {
   SchedPolicy policy = SchedPolicy::kHybrid;
   bool enable_migration = true;
 
+  /// Actor supervision (§3.4 extended): the management core restarts
+  /// killed actors (watchdog timeout / isolation trap / fault trap) after
+  /// `supervise_restart_delay`, up to `supervise_quarantine_after`
+  /// restarts — then the actor is quarantined for good.  Off by default:
+  /// a kill is permanent, matching the original runtime behavior.
+  bool supervise = false;
+  Ns supervise_restart_delay = usec(500);
+  std::uint32_t supervise_quarantine_after = 3;
+
   double nic_ipc = 1.2;   ///< cnMIPS 2-way in-order, achieved IPC
   double host_ipc = 3.0;  ///< Xeon out-of-order, achieved IPC
 
@@ -146,6 +155,32 @@ class Runtime {
   [[nodiscard]] ActorControl* control(ActorId id);
   [[nodiscard]] const ActorControl* control(ActorId id) const;
 
+  /// Supervised restart of a killed (non-quarantined) actor: re-register
+  /// its DMO region, reset volatile actor state, and re-run init().
+  /// Returns false when the actor is unknown, alive, or quarantined.
+  bool restart_actor(ActorId id);
+
+  // ---- failure domains (chaos harness) ------------------------------------
+  /// Power-fail this node: every actor dies in place (volatile runtime
+  /// state — mailboxes, migration buffers, queued work, PCIe rings — is
+  /// wiped), but the Actor objects survive so restore can re-init them.
+  /// The caller is responsible for detaching the node from the fabric.
+  void crash_node_state();
+  /// Reboot after crash_node_state(): re-register + reset + init every
+  /// actor (registration order), clear quarantines, wake the cores.
+  void restore_node_state();
+  [[nodiscard]] bool node_down() const noexcept { return node_down_; }
+
+  /// Deliver `type` to `id` after `delay` (actor timer service backing
+  /// ActorEnv::schedule_self).  Dropped if the actor is dead at expiry.
+  void schedule_actor_msg(ActorId id, Ns delay, std::uint16_t type,
+                          std::vector<std::uint8_t> payload);
+
+  /// Burst corruption on the PCIe channel (chaos pcie-corrupt hook).
+  void set_channel_fault(double rate, std::uint64_t seed = 0x5EEDULL) {
+    channel_.set_fault_injection(rate, seed);
+  }
+
   // ---- component access ----------------------------------------------------
   [[nodiscard]] ObjectTable& objects() noexcept { return objects_; }
   [[nodiscard]] MessageChannel& channel() noexcept { return channel_; }
@@ -205,6 +240,15 @@ class Runtime {
   [[nodiscard]] std::uint64_t partial_migrations() const noexcept {
     return partial_migrations_;
   }
+  [[nodiscard]] std::uint64_t actor_restarts() const noexcept {
+    return actor_restarts_;
+  }
+  [[nodiscard]] std::uint64_t actors_quarantined() const noexcept {
+    return quarantines_;
+  }
+  [[nodiscard]] std::uint64_t node_crashes() const noexcept {
+    return node_crashes_;
+  }
 
   // ---- tracing & metrics ----------------------------------------------------
   [[nodiscard]] trace::Tracer& tracer() noexcept { return tracer_; }
@@ -253,6 +297,11 @@ class Runtime {
   bool fcfs_run(nic::NicExecContext& ctx, unsigned core);
   bool drr_run(nic::NicExecContext& ctx, unsigned core);
   bool management_run(nic::NicExecContext& ctx);
+  /// Supervision pass: restart killed actors whose delay elapsed,
+  /// quarantine repeat offenders.  Runs on the management core.
+  void supervise_scan();
+  /// Shared restart mechanics (restart_actor / restore_node_state).
+  void revive_actor(ActorControl& ac);
   bool advance_migration(nic::NicExecContext& ctx);
   void execute_on_nic(nic::NicExecContext& ctx, ActorControl& ac,
                       netsim::PacketPtr pkt);
@@ -305,6 +354,7 @@ class Runtime {
   double drr_util_ = 0.0;
   LatencyHistogram response_hist_;
   Ns last_mgmt_ = 0;
+  Ns mgmt_wake_at_ = 0;  ///< latest armed idle-wake for the mgmt core
   Ns last_autoscale_ = 0;
   std::vector<Ns> busy_snapshot_;
   Ns busy_snapshot_at_ = 0;
@@ -321,6 +371,10 @@ class Runtime {
   std::uint64_t requests_on_nic_ = 0;
   std::uint64_t requests_on_host_ = 0;
   std::uint64_t partial_migrations_ = 0;
+  std::uint64_t actor_restarts_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t node_crashes_ = 0;
+  bool node_down_ = false;
 };
 
 }  // namespace ipipe

@@ -1,0 +1,407 @@
+#include "netsim/chaos.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/trace.h"
+
+namespace ipipe::netsim {
+
+// ------------------------------------------------------------- FaultPlan --
+
+FaultPlan& FaultPlan::crash(NodeId node, Ns at, Ns downtime) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kCrash;
+  a.node = node;
+  a.at = at;
+  a.duration = downtime;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<NodeId> ga, std::vector<NodeId> gb,
+                                Ns at, Ns duration) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kPartition;
+  a.group_a = std::move(ga);
+  a.group_b = std::move(gb);
+  a.at = at;
+  a.duration = duration;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::pcie_corrupt(NodeId node, double rate, Ns at,
+                                   Ns duration) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kPcieCorrupt;
+  a.node = node;
+  a.rate = rate;
+  a.at = at;
+  a.duration = duration;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_fault(FaultModel fm, Ns at, Ns duration) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kLinkFault;
+  a.fault = fm;
+  a.at = at;
+  a.duration = duration;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+namespace {
+
+/// "250ms" / "3s" / "1500ns" / "2us" -> Ns.  Returns false on bad input.
+bool parse_time(const std::string& tok, Ns* out) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(tok, &pos);
+  } catch (...) {
+    return false;
+  }
+  const std::string suffix = tok.substr(pos);
+  double scale = 0.0;
+  if (suffix == "ns") {
+    scale = 1.0;
+  } else if (suffix == "us") {
+    scale = 1e3;
+  } else if (suffix == "ms") {
+    scale = 1e6;
+  } else if (suffix == "s") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  *out = static_cast<Ns>(value * scale);
+  return true;
+}
+
+bool parse_double(const std::string& tok, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(tok, &pos);
+    return pos == tok.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// "0,1,2" -> {0, 1, 2}.
+bool parse_group(const std::string& tok, std::vector<NodeId>* out) {
+  std::stringstream ss(tok);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    try {
+      std::size_t pos = 0;
+      const unsigned long v = std::stoul(part, &pos);
+      if (pos != part.size()) return false;
+      out->push_back(static_cast<NodeId>(v));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+/// Consume "at <time> for <duration>" from the token stream.
+bool parse_window(std::stringstream& ss, Ns* at, Ns* duration,
+                  std::string* err) {
+  std::string kw;
+  std::string tok;
+  if (!(ss >> kw >> tok) || kw != "at" || !parse_time(tok, at)) {
+    *err = "expected 'at <time>'";
+    return false;
+  }
+  if (!(ss >> kw >> tok) || kw != "for" || !parse_time(tok, duration)) {
+    *err = "expected 'for <duration>'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::stringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::stringstream ss(line);
+    std::string verb;
+    if (!(ss >> verb)) continue;  // blank / comment-only line
+
+    std::string err;
+    if (verb == "crash") {
+      unsigned long node = 0;
+      std::string tok;
+      if (!(ss >> tok)) return fail("crash: missing node");
+      try {
+        node = std::stoul(tok);
+      } catch (...) {
+        return fail("crash: bad node '" + tok + "'");
+      }
+      Ns at = 0;
+      Ns dur = 0;
+      if (!parse_window(ss, &at, &dur, &err)) return fail("crash: " + err);
+      plan.crash(static_cast<NodeId>(node), at, dur);
+    } else if (verb == "partition") {
+      std::string spec;
+      if (!(ss >> spec)) return fail("partition: missing groups");
+      const auto bar = spec.find('|');
+      if (bar == std::string::npos) {
+        return fail("partition: expected '<a,..>|<b,..>'");
+      }
+      std::vector<NodeId> ga;
+      std::vector<NodeId> gb;
+      if (!parse_group(spec.substr(0, bar), &ga) ||
+          !parse_group(spec.substr(bar + 1), &gb)) {
+        return fail("partition: bad group in '" + spec + "'");
+      }
+      Ns at = 0;
+      Ns dur = 0;
+      if (!parse_window(ss, &at, &dur, &err)) return fail("partition: " + err);
+      plan.partition(std::move(ga), std::move(gb), at, dur);
+    } else if (verb == "pcie-corrupt") {
+      unsigned long node = 0;
+      std::string tok;
+      if (!(ss >> tok)) return fail("pcie-corrupt: missing node");
+      try {
+        node = std::stoul(tok);
+      } catch (...) {
+        return fail("pcie-corrupt: bad node '" + tok + "'");
+      }
+      std::string kw;
+      double rate = 0.0;
+      if (!(ss >> kw >> tok) || kw != "rate" || !parse_double(tok, &rate)) {
+        return fail("pcie-corrupt: expected 'rate <p>'");
+      }
+      Ns at = 0;
+      Ns dur = 0;
+      if (!parse_window(ss, &at, &dur, &err)) {
+        return fail("pcie-corrupt: " + err);
+      }
+      plan.pcie_corrupt(static_cast<NodeId>(node), rate, at, dur);
+    } else if (verb == "link-fault") {
+      FaultModel fm;
+      Ns at = 0;
+      Ns dur = 0;
+      bool have_window = false;
+      std::string tok;
+      while (ss >> tok) {
+        if (tok == "at") {
+          // Rewind "at" into a window parse.
+          std::string t2;
+          if (!(ss >> t2) || !parse_time(t2, &at)) {
+            return fail("link-fault: expected 'at <time>'");
+          }
+          std::string kw;
+          if (!(ss >> kw >> t2) || kw != "for" || !parse_time(t2, &dur)) {
+            return fail("link-fault: expected 'for <duration>'");
+          }
+          have_window = true;
+          break;
+        }
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+          return fail("link-fault: bad knob '" + tok + "'");
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "jitter") {
+          if (!parse_time(val, &fm.reorder_jitter)) {
+            return fail("link-fault: bad jitter '" + val + "'");
+          }
+        } else {
+          double p = 0.0;
+          if (!parse_double(val, &p)) {
+            return fail("link-fault: bad value '" + val + "'");
+          }
+          if (key == "drop") {
+            fm.drop_prob = p;
+          } else if (key == "dup") {
+            fm.dup_prob = p;
+          } else if (key == "corrupt") {
+            fm.corrupt_prob = p;
+          } else {
+            return fail("link-fault: unknown knob '" + key + "'");
+          }
+        }
+      }
+      if (!have_window) return fail("link-fault: missing 'at ... for ...'");
+      plan.link_fault(fm, at, dur);
+    } else {
+      return fail("unknown directive '" + verb + "'");
+    }
+  }
+  return plan;
+}
+
+// ------------------------------------------------------- ChaosController --
+
+void ChaosController::execute(const FaultPlan& plan) {
+  for (const FaultAction& a : plan.actions) {
+    switch (a.kind) {
+      case FaultAction::Kind::kCrash:
+        sim_.schedule_at(a.at, [this, a] { fire_crash(a); });
+        break;
+      case FaultAction::Kind::kPartition:
+        sim_.schedule_at(a.at, [this, a] { fire_partition(a); });
+        break;
+      case FaultAction::Kind::kPcieCorrupt:
+        sim_.schedule_at(a.at, [this, a] { fire_pcie_corrupt(a); });
+        break;
+      case FaultAction::Kind::kLinkFault:
+        sim_.schedule_at(a.at, [this, a] { fire_link_fault(a); });
+        break;
+    }
+  }
+}
+
+void ChaosController::fire_crash(const FaultAction& a) {
+  char buf[96];
+  if (down_.count(a.node) != 0) {
+    std::snprintf(buf, sizeof(buf), "t=%lld crash node=%u skipped(down)",
+                  static_cast<long long>(sim_.now()), a.node);
+    log_line(buf);
+    return;
+  }
+  down_.insert(a.node);
+  ++crashes_;
+  const auto it = hooks_.find(a.node);
+  if (it != hooks_.end() && it->second.crash) it->second.crash();
+  std::snprintf(buf, sizeof(buf), "t=%lld crash node=%u down_ns=%lld",
+                static_cast<long long>(sim_.now()), a.node,
+                static_cast<long long>(a.duration));
+  log_line(buf);
+  trace_event("node_crash", static_cast<double>(a.node));
+
+  sim_.schedule(a.duration, [this, node = a.node] {
+    down_.erase(node);
+    ++restores_;
+    const auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.restore) h->second.restore();
+    char b[64];
+    std::snprintf(b, sizeof(b), "t=%lld restore node=%u",
+                  static_cast<long long>(sim_.now()), node);
+    log_line(b);
+    trace_event("node_restore", static_cast<double>(node));
+  });
+}
+
+void ChaosController::fire_partition(const FaultAction& a) {
+  for (const NodeId x : a.group_a) {
+    for (const NodeId y : a.group_b) {
+      net_.block_pair(x, y);
+    }
+  }
+  ++partitions_;
+  std::ostringstream os;
+  os << "t=" << sim_.now() << " partition";
+  for (std::size_t i = 0; i < a.group_a.size(); ++i) {
+    os << (i == 0 ? " " : ",") << a.group_a[i];
+  }
+  os << "|";
+  for (std::size_t i = 0; i < a.group_b.size(); ++i) {
+    os << (i == 0 ? "" : ",") << a.group_b[i];
+  }
+  os << " heal_ns=" << a.duration;
+  log_line(os.str());
+  trace_event("partition", static_cast<double>(a.group_a.size() +
+                                               a.group_b.size()));
+
+  sim_.schedule(a.duration, [this, ga = a.group_a, gb = a.group_b] {
+    for (const NodeId x : ga) {
+      for (const NodeId y : gb) {
+        net_.unblock_pair(x, y);
+      }
+    }
+    ++heals_;
+    char b[48];
+    std::snprintf(b, sizeof(b), "t=%lld heal",
+                  static_cast<long long>(sim_.now()));
+    log_line(b);
+    trace_event("partition_heal", 0.0);
+  });
+}
+
+void ChaosController::fire_pcie_corrupt(const FaultAction& a) {
+  const auto it = hooks_.find(a.node);
+  if (it != hooks_.end() && it->second.pcie_corrupt) {
+    it->second.pcie_corrupt(a.rate);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%lld pcie-corrupt node=%u rate=%g",
+                static_cast<long long>(sim_.now()), a.node, a.rate);
+  log_line(buf);
+  trace_event("pcie_corrupt", a.rate);
+
+  sim_.schedule(a.duration, [this, node = a.node] {
+    const auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.pcie_corrupt) h->second.pcie_corrupt(0.0);
+    char b[64];
+    std::snprintf(b, sizeof(b), "t=%lld pcie-heal node=%u",
+                  static_cast<long long>(sim_.now()), node);
+    log_line(b);
+    trace_event("pcie_heal", static_cast<double>(node));
+  });
+}
+
+void ChaosController::fire_link_fault(const FaultAction& a) {
+  const FaultModel saved = net_.fault_model();
+  net_.set_fault_model(a.fault);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "t=%lld link-fault drop=%g dup=%g corrupt=%g jitter=%lld",
+                static_cast<long long>(sim_.now()), a.fault.drop_prob,
+                a.fault.dup_prob, a.fault.corrupt_prob,
+                static_cast<long long>(a.fault.reorder_jitter));
+  log_line(buf);
+  trace_event("link_fault", a.fault.drop_prob);
+
+  sim_.schedule(a.duration, [this, saved] {
+    net_.set_fault_model(saved);
+    char b[48];
+    std::snprintf(b, sizeof(b), "t=%lld link-heal",
+                  static_cast<long long>(sim_.now()));
+    log_line(b);
+    trace_event("link_heal", 0.0);
+  });
+}
+
+void ChaosController::log_line(std::string line) {
+  log_.push_back(std::move(line));
+}
+
+void ChaosController::trace_event(const char* name, double arg) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->instant(trace::Cat::kChaos, name, trace::tid::kChaos, 0,
+                   {"v", arg});
+}
+
+std::string ChaosController::event_log_text() const {
+  std::string out;
+  for (const std::string& line : log_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ipipe::netsim

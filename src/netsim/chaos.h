@@ -1,0 +1,143 @@
+// Chaos harness: deterministic, replayable fault schedules executed in
+// virtual time against the simulated fabric and its nodes.
+//
+// A FaultPlan is a list of timestamped fault actions — crash/restore a
+// whole node, partition/heal link groups, inject burst corruption on a
+// node's PCIe channel, or override the fabric-wide FaultModel for a
+// window — built programmatically or parsed from a small text spec (see
+// EXPERIMENTS.md "Chaos & recovery").  The ChaosController schedules
+// every action on the simulation clock and drives per-node callbacks
+// registered by the testbed; because everything runs in virtual time
+// from seeded inputs, the same plan against the same binary produces a
+// byte-identical event log (the determinism check CI enforces).
+//
+// The controller itself only knows the Network and the hook functions;
+// what "crash" means for a node (detach + wipe volatile runtime state)
+// is the testbed's business (ServerNode::crash / restore).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "netsim/network.h"
+#include "sim/simulation.h"
+
+namespace ipipe::trace {
+class Tracer;
+}  // namespace ipipe::trace
+
+namespace ipipe::netsim {
+
+/// One scheduled fault.  `at` is the virtual time it fires; faults with a
+/// `duration` heal/restore at `at + duration`.
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kCrash,        ///< node detaches + loses volatile state, rejoins later
+    kPartition,    ///< group_a <-/-> group_b until healed
+    kPcieCorrupt,  ///< burst corruption on one node's PCIe channel rings
+    kLinkFault,    ///< fabric-wide FaultModel override for the window
+  };
+
+  Kind kind = Kind::kCrash;
+  Ns at = 0;
+  Ns duration = 0;
+  NodeId node = kInvalidNode;        ///< kCrash / kPcieCorrupt
+  double rate = 0.0;                 ///< kPcieCorrupt fault rate
+  std::vector<NodeId> group_a;       ///< kPartition
+  std::vector<NodeId> group_b;
+  FaultModel fault;                  ///< kLinkFault
+};
+
+/// A replayable fault schedule.
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  FaultPlan& crash(NodeId node, Ns at, Ns downtime);
+  FaultPlan& partition(std::vector<NodeId> a, std::vector<NodeId> b, Ns at,
+                       Ns duration);
+  FaultPlan& pcie_corrupt(NodeId node, double rate, Ns at, Ns duration);
+  FaultPlan& link_fault(FaultModel fm, Ns at, Ns duration);
+
+  [[nodiscard]] bool empty() const noexcept { return actions.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return actions.size(); }
+
+  /// Parse the text spec.  One directive per line; '#' starts a comment.
+  ///   crash <node> at <time> for <duration>
+  ///   partition <a,b,...>|<c,d,...> at <time> for <duration>
+  ///   pcie-corrupt <node> rate <p> at <time> for <duration>
+  ///   link-fault [drop=<p>] [dup=<p>] [corrupt=<p>] [jitter=<time>]
+  ///              at <time> for <duration>
+  /// Times accept ns/us/ms/s suffixes (e.g. "250ms", "3s").
+  /// Returns nullopt on malformed input; `error` (if given) explains why.
+  [[nodiscard]] static std::optional<FaultPlan> parse(
+      const std::string& text, std::string* error = nullptr);
+};
+
+/// Per-node callbacks the controller drives.  All optional — an
+/// unregistered node (or empty hook) turns that action into a logged
+/// no-op rather than an error, so plans can outlive topology changes.
+struct NodeHooks {
+  std::function<void()> crash;
+  std::function<void()> restore;
+  /// Burst corruption rate on the node's PCIe channel; 0.0 heals.
+  std::function<void(double)> pcie_corrupt;
+};
+
+class ChaosController {
+ public:
+  ChaosController(sim::Simulation& sim, Network& net) : sim_(sim), net_(net) {}
+
+  void register_node(NodeId node, NodeHooks hooks) {
+    hooks_[node] = std::move(hooks);
+  }
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Schedule every action in `plan` on the simulation clock.  May be
+  /// called multiple times; actions from all plans interleave by time.
+  void execute(const FaultPlan& plan);
+
+  [[nodiscard]] bool node_down(NodeId node) const {
+    return down_.count(node) != 0;
+  }
+
+  // ---- the replayable record -----------------------------------------------
+  /// Every fault/heal event, in execution order, as "t=<ns> <what> ..."
+  /// lines.  Byte-identical across runs of the same plan + same binary.
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return log_;
+  }
+  /// The log joined with newlines (for the determinism byte-compare).
+  [[nodiscard]] std::string event_log_text() const;
+
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t restores() const noexcept { return restores_; }
+  [[nodiscard]] std::uint64_t partitions() const noexcept { return partitions_; }
+  [[nodiscard]] std::uint64_t heals() const noexcept { return heals_; }
+
+ private:
+  void fire_crash(const FaultAction& a);
+  void fire_partition(const FaultAction& a);
+  void fire_pcie_corrupt(const FaultAction& a);
+  void fire_link_fault(const FaultAction& a);
+  void log_line(std::string line);
+  void trace_event(const char* name, double arg);
+
+  sim::Simulation& sim_;
+  Network& net_;
+  trace::Tracer* tracer_ = nullptr;
+  std::map<NodeId, NodeHooks> hooks_;
+  std::set<NodeId> down_;
+  std::vector<std::string> log_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t heals_ = 0;
+};
+
+}  // namespace ipipe::netsim

@@ -14,6 +14,19 @@ void Network::attach(NodeId node, Endpoint& ep, double gbps) {
 
 void Network::detach(NodeId node) { ports_.erase(node); }
 
+void Network::block_pair(NodeId a, NodeId b) { ++blocked_pairs_[pair_key(a, b)]; }
+
+void Network::unblock_pair(NodeId a, NodeId b) {
+  const auto it = blocked_pairs_.find(pair_key(a, b));
+  if (it == blocked_pairs_.end()) return;
+  if (--it->second <= 0) blocked_pairs_.erase(it);
+}
+
+bool Network::pair_blocked(NodeId a, NodeId b) const {
+  return !blocked_pairs_.empty() &&
+         blocked_pairs_.count(pair_key(a, b)) != 0;
+}
+
 void Network::send(PacketPtr pkt) {
   assert(pkt != nullptr);
   ++frames_sent_;
@@ -21,13 +34,18 @@ void Network::send(PacketPtr pkt) {
   const auto src_it = ports_.find(pkt->src);
   const auto dst_it = ports_.find(pkt->dst);
   if (src_it == ports_.end() || dst_it == ports_.end()) {
-    ++frames_dropped_;
+    ++dropped_unknown_endpoint_;
     LOG_DEBUG("drop: unknown endpoint %u -> %u", pkt->src, pkt->dst);
     return;
   }
 
+  if (pair_blocked(pkt->src, pkt->dst)) {
+    ++dropped_partition_;
+    return;
+  }
+
   if (faults_.drop_prob > 0.0 && rng_.bernoulli(faults_.drop_prob)) {
-    ++frames_dropped_;
+    ++dropped_fault_;
     return;
   }
 
@@ -52,19 +70,41 @@ void Network::send(PacketPtr pkt) {
     jitter = rng_.uniform_u64(faults_.reorder_jitter + 1);
   }
 
+  // Each delivered instance (primary and any duplicate) can be corrupted
+  // independently — they traverse the fabric as separate frames.
   if (duplicate) {
-    deliver(pool_.make(*pkt), rx_done - now + jitter);
+    auto copy = pool_.make(*pkt);
+    const bool corrupt_dup =
+        faults_.corrupt_prob > 0.0 && rng_.bernoulli(faults_.corrupt_prob);
+    if (corrupt_dup) corrupt_payload(*copy);
+    deliver(std::move(copy), rx_done - now + jitter, corrupt_dup);
   }
-  deliver(std::move(pkt), rx_done - now + jitter);
+  const bool corrupt =
+      faults_.corrupt_prob > 0.0 && rng_.bernoulli(faults_.corrupt_prob);
+  if (corrupt) corrupt_payload(*pkt);
+  deliver(std::move(pkt), rx_done - now + jitter, corrupt);
 }
 
-void Network::deliver(PacketPtr pkt, Ns delay) {
+void Network::corrupt_payload(Packet& pkt) {
+  if (pkt.payload.empty()) return;
+  const std::size_t byte = rng_.uniform_u64(pkt.payload.size());
+  const std::uint8_t bit = static_cast<std::uint8_t>(rng_.uniform_u64(8));
+  pkt.payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+void Network::deliver(PacketPtr pkt, Ns delay, bool corrupt) {
   // InlineFn takes move-only captures, so the frame rides inside the
   // event itself — no allocation, no shared_ptr shim.
-  sim_.schedule(delay, [this, p = std::move(pkt)]() mutable {
+  sim_.schedule(delay, [this, corrupt, p = std::move(pkt)]() mutable {
     const auto it = ports_.find(p->dst);
     if (it == ports_.end() || it->second.ep == nullptr) {
-      ++frames_dropped_;
+      ++dropped_node_down_;
+      return;
+    }
+    if (corrupt) {
+      // The frame occupied the wire, but the MAC's FCS check rejects the
+      // flipped payload — the endpoint never sees it.
+      ++dropped_corrupt_;
       return;
     }
     ++frames_delivered_;

@@ -1,12 +1,24 @@
 // Network fabric: endpoints attached to a single ToR switch via
 // full-duplex links, with store-and-forward timing and optional fault
-// injection (drop / duplicate / reorder) for protocol robustness tests.
+// injection (drop / duplicate / reorder / corrupt) for protocol
+// robustness tests.
 //
 // Timing model for a frame from A to B:
 //   serialize on A's uplink (contended) -> switch latency ->
 //   serialize on B's downlink (contended) -> deliver.
 // Each link direction has independent busy-until bookkeeping, so incast
 // on a receiver's downlink queues realistically.
+//
+// Failure semantics:
+//  * corrupt_prob flips a random payload bit in flight.  The corrupted
+//    frame still occupies both links for its full wire time, but the
+//    destination port's FCS check discards it on arrival (as a real NIC
+//    MAC does) — upper layers observe corruption as loss and must
+//    retransmit.
+//  * blocked pairs (chaos partitions) silently eat frames at the switch.
+//  * frames in flight to a node that detaches before delivery are lost.
+// Every drop is counted under its reason; `frames_dropped()` stays the
+// grand total.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +43,10 @@ class Endpoint {
 
 /// Fault-injection knobs, all off by default.
 struct FaultModel {
-  double drop_prob = 0.0;       ///< iid frame loss
-  double dup_prob = 0.0;        ///< iid frame duplication
-  Ns reorder_jitter = 0;        ///< uniform extra delay in [0, jitter]
+  double drop_prob = 0.0;     ///< iid frame loss
+  double dup_prob = 0.0;      ///< iid frame duplication
+  double corrupt_prob = 0.0;  ///< iid payload bit-flip (FCS-discarded)
+  Ns reorder_jitter = 0;      ///< uniform extra delay in [0, jitter]
 };
 
 class Network {
@@ -49,6 +62,16 @@ class Network {
 
   /// Detach (e.g. simulate node failure); in-flight frames to it are lost.
   void detach(NodeId node);
+  [[nodiscard]] bool attached(NodeId node) const {
+    return ports_.count(node) != 0;
+  }
+
+  /// Block / unblock frames between `a` and `b` in both directions
+  /// (chaos partitions).  Blocks nest: a pair stays blocked until every
+  /// block has been matched by an unblock.
+  void block_pair(NodeId a, NodeId b);
+  void unblock_pair(NodeId a, NodeId b);
+  [[nodiscard]] bool pair_blocked(NodeId a, NodeId b) const;
 
   /// Inject a frame into the fabric from `pkt->src`.  Takes ownership.
   void send(PacketPtr pkt);
@@ -57,7 +80,31 @@ class Network {
   [[nodiscard]] const FaultModel& fault_model() const noexcept { return faults_; }
 
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
-  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  /// Total frames lost for any reason.
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return dropped_unknown_endpoint_ + dropped_fault_ + dropped_corrupt_ +
+           dropped_partition_ + dropped_node_down_;
+  }
+  /// Send-time drops: src or dst was never attached (config error).
+  [[nodiscard]] std::uint64_t dropped_unknown_endpoint() const noexcept {
+    return dropped_unknown_endpoint_;
+  }
+  /// Injected-fault drops (loss + corruption + partition + node-down).
+  [[nodiscard]] std::uint64_t dropped_fault() const noexcept {
+    return dropped_fault_ + dropped_corrupt_ + dropped_partition_ +
+           dropped_node_down_;
+  }
+  /// Frames whose payload was bit-flipped and FCS-discarded on arrival.
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return dropped_corrupt_;
+  }
+  [[nodiscard]] std::uint64_t dropped_partition() const noexcept {
+    return dropped_partition_;
+  }
+  /// Frames in flight to a port that detached before delivery.
+  [[nodiscard]] std::uint64_t dropped_node_down() const noexcept {
+    return dropped_node_down_;
+  }
   [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
     return frames_delivered_;
   }
@@ -74,7 +121,15 @@ class Network {
     Ns rx_busy_until = 0;  // downlink (switch -> endpoint)
   };
 
-  void deliver(PacketPtr pkt, Ns extra_delay);
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  void deliver(PacketPtr pkt, Ns extra_delay, bool corrupt);
+  /// Flip one random payload bit (corrupt_prob fault path).
+  void corrupt_payload(Packet& pkt);
 
   sim::Simulation& sim_;
   PacketPool& pool_;
@@ -82,9 +137,14 @@ class Network {
   Rng rng_;
   FaultModel faults_;
   std::unordered_map<NodeId, PortState> ports_;
+  std::unordered_map<std::uint64_t, int> blocked_pairs_;
   std::uint64_t frames_sent_ = 0;
-  std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_delivered_ = 0;
+  std::uint64_t dropped_unknown_endpoint_ = 0;
+  std::uint64_t dropped_fault_ = 0;
+  std::uint64_t dropped_corrupt_ = 0;
+  std::uint64_t dropped_partition_ = 0;
+  std::uint64_t dropped_node_down_ = 0;
 };
 
 }  // namespace ipipe::netsim

@@ -37,6 +37,9 @@ class TrafficManager {
     return pkt;
   }
 
+  /// Drop every queued item (node power-fail: buffered frames are lost).
+  void clear() noexcept { queue_.clear(); }
+
   [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }

@@ -27,7 +27,7 @@ IPipeConfig config_for_mode(Mode mode, IPipeConfig base) {
 
 ServerNode::ServerNode(sim::Simulation& sim, netsim::Network& net,
                        netsim::NodeId id, ServerSpec spec)
-    : id_(id), spec_(std::move(spec)), sim_(sim) {
+    : id_(id), spec_(std::move(spec)), sim_(sim), net_(net) {
   if (spec_.mode == Mode::kDpdk) {
     // DPDK baseline runs on a standard NIC of the same link speed.
     nic::NicConfig dumb = spec_.nic.link_gbps > 10.0 ? nic::intel_xxv710()
@@ -55,6 +55,20 @@ double ServerNode::host_cores_used() const {
          static_cast<double>(window);
 }
 
+void ServerNode::crash() {
+  if (down_) return;
+  down_ = true;
+  net_.detach(id_);
+  runtime_->crash_node_state();
+}
+
+void ServerNode::restore() {
+  if (!down_) return;
+  down_ = false;
+  net_.attach(id_, *nic_, nic_->config().link_gbps);
+  runtime_->restore_node_state();
+}
+
 double ServerNode::nic_cores_used() const {
   const Ns window = sim_.now() - snapshot_at_;
   if (window == 0) return 0.0;
@@ -79,6 +93,20 @@ workloads::ClientGen& Cluster::add_client(double link_gbps,
 
 void Cluster::snapshot_all() {
   for (auto& server : servers_) server->snapshot();
+}
+
+std::unique_ptr<netsim::ChaosController> Cluster::make_chaos() {
+  auto chaos = std::make_unique<netsim::ChaosController>(sim_, net_);
+  for (auto& server : servers_) {
+    ServerNode* node = server.get();
+    chaos->register_node(node->id(),
+                         {.crash = [node] { node->crash(); },
+                          .restore = [node] { node->restore(); },
+                          .pcie_corrupt = [node](double rate) {
+                            node->runtime().set_channel_fault(rate);
+                          }});
+  }
+  return chaos;
 }
 
 }  // namespace ipipe::testbed

@@ -20,6 +20,7 @@
 
 #include "hostsim/host_model.h"
 #include "ipipe/runtime.h"
+#include "netsim/chaos.h"
 #include "netsim/network.h"
 #include "nic/nic_config.h"
 #include "nic/nic_model.h"
@@ -76,10 +77,19 @@ class ServerNode {
   /// Average NIC cores used since the snapshot.
   [[nodiscard]] double nic_cores_used() const;
 
+  /// Power-fail: drop off the fabric (in-flight frames to us are lost)
+  /// and wipe all volatile runtime state.  Idempotent while down.
+  void crash();
+  /// Power back up: rejoin the fabric and cold-start every actor.
+  void restore();
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
  private:
   netsim::NodeId id_;
   ServerSpec spec_;
   sim::Simulation& sim_;
+  netsim::Network& net_;
+  bool down_ = false;
   std::unique_ptr<nic::NicModel> nic_;
   std::unique_ptr<hostsim::HostModel> host_;
   std::unique_ptr<Runtime> runtime_;
@@ -116,6 +126,11 @@ class Cluster {
   [[nodiscard]] std::size_t client_count() const noexcept {
     return clients_.size();
   }
+
+  /// Build a chaos controller wired to every server added so far:
+  /// crash/restore map onto ServerNode::crash/restore, pcie-corrupt onto
+  /// the node's channel fault injection.  Call after the last add_server.
+  [[nodiscard]] std::unique_ptr<netsim::ChaosController> make_chaos();
 
   /// Node ids: servers are 0..N-1; clients get 1000, 1001, ...
   static constexpr netsim::NodeId kClientBase = 1000;

@@ -1,5 +1,7 @@
 #include "workloads/client.h"
 
+#include <algorithm>
+
 namespace ipipe::workloads {
 
 ClientGen::ClientGen(sim::Simulation& sim, netsim::Network& net,
@@ -20,8 +22,47 @@ void ClientGen::issue_one() {
   pkt->created_at = sim_.now();
   ++next_seq_;
   ++sent_;
-  inflight_.emplace(pkt->request_id, pkt->created_at);
+  Inflight fl;
+  fl.created = pkt->created_at;
+  if (retries_on_) {
+    fl.cur_timeout = retry_.timeout;
+    fl.copy = *pkt;
+  }
+  const std::uint64_t id = pkt->request_id;
+  inflight_.emplace(id, std::move(fl));
   net_.send(std::move(pkt));
+  if (retries_on_) arm_retry(id, 1);
+}
+
+void ClientGen::arm_retry(std::uint64_t request_id, unsigned attempt) {
+  const auto it = inflight_.find(request_id);
+  if (it == inflight_.end()) return;
+  sim_.schedule(it->second.cur_timeout, [this, request_id, attempt] {
+    on_retry_timeout(request_id, attempt);
+  });
+}
+
+void ClientGen::on_retry_timeout(std::uint64_t request_id, unsigned attempt) {
+  const auto it = inflight_.find(request_id);
+  // Answered meanwhile, or a newer attempt already re-armed this timer.
+  if (it == inflight_.end() || it->second.attempts != attempt) return;
+  Inflight& fl = it->second;
+  if (fl.attempts > retry_.max_retries) {
+    ++abandoned_;
+    if (on_abandon_) on_abandon_(request_id);
+    inflight_.erase(it);
+    if (closed_loop_) issue_one();  // keep the window full
+    return;
+  }
+  ++fl.attempts;
+  ++retransmits_;
+  fl.cur_timeout = std::min<Ns>(
+      static_cast<Ns>(static_cast<double>(fl.cur_timeout) * retry_.backoff),
+      retry_.cap);
+  // Same request id on the wire: servers dedup, we measure end-to-end
+  // latency from the ORIGINAL send.
+  net_.send(net_.pool().make(fl.copy));
+  arm_retry(request_id, fl.attempts);
 }
 
 void ClientGen::start_closed_loop(unsigned outstanding, Ns stop_at) {
@@ -55,7 +96,7 @@ void ClientGen::receive(netsim::PacketPtr pkt) {
     if (on_reply_) on_reply_(*pkt);
     return;  // unsolicited (e.g. duplicate or push traffic)
   }
-  const Ns latency = sim_.now() - it->second;
+  const Ns latency = sim_.now() - it->second.created;
   inflight_.erase(it);
   ++completed_;
   last_completion_ = sim_.now();

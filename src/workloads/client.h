@@ -35,6 +35,30 @@ class ClientGen : public netsim::Endpoint {
   /// Ignore latencies recorded before this time (warm-up).
   void set_warmup(Ns until) noexcept { warmup_until_ = until; }
 
+  /// At-least-once delivery knobs: resend an unanswered request (same
+  /// request id, so servers can dedup) with exponential backoff.
+  struct RetryPolicy {
+    Ns timeout = msec(50);      ///< first-attempt patience
+    unsigned max_retries = 10;  ///< give up (abandon) after this many
+    double backoff = 2.0;       ///< timeout multiplier per retry
+    Ns cap = sec(2);            ///< backoff ceiling
+  };
+  /// Off by default: legacy workloads stay fire-and-forget (a lost reply
+  /// simply never completes).
+  void enable_retries(RetryPolicy policy) {
+    retry_ = policy;
+    retries_on_ = true;
+  }
+  /// Invoked when a request exhausts its retries (chaos tests assert on
+  /// who was abandoned vs. lost).
+  void set_on_abandon(std::function<void(std::uint64_t request_id)> fn) {
+    on_abandon_ = std::move(fn);
+  }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::uint64_t abandoned() const noexcept { return abandoned_; }
+
   void receive(netsim::PacketPtr pkt) override;
 
   [[nodiscard]] const LatencyHistogram& latencies() const noexcept {
@@ -57,8 +81,17 @@ class ClientGen : public netsim::Endpoint {
   }
 
  private:
+  struct Inflight {
+    Ns created = 0;
+    unsigned attempts = 1;
+    Ns cur_timeout = 0;
+    netsim::Packet copy;  ///< retransmission template (retries only)
+  };
+
   void issue_one();
   void schedule_next_open();
+  void arm_retry(std::uint64_t request_id, unsigned attempt);
+  void on_retry_timeout(std::uint64_t request_id, unsigned attempt);
 
   sim::Simulation& sim_;
   netsim::Network& net_;
@@ -78,9 +111,15 @@ class ClientGen : public netsim::Endpoint {
   std::uint64_t completed_measured_ = 0;
   Ns first_measured_ = 0;
   Ns last_completion_ = 0;
-  std::unordered_map<std::uint64_t, Ns> inflight_;
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
   LatencyHistogram hist_;
   std::function<void(const netsim::Packet&)> on_reply_;
+
+  bool retries_on_ = false;
+  RetryPolicy retry_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::function<void(std::uint64_t)> on_abandon_;
 };
 
 }  // namespace ipipe::workloads

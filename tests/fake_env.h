@@ -60,6 +60,16 @@ class FakeEnv : public ActorEnv {
     sent.push_back({0, dst_actor, type, std::move(payload), false, true, 0});
   }
 
+  struct Timer {
+    Ns delay;
+    std::uint16_t type;
+    std::vector<std::uint8_t> payload;
+  };
+  void schedule_self(Ns delay, std::uint16_t type,
+                     std::vector<std::uint8_t> payload = {}) override {
+    timers.push_back({delay, type, std::move(payload)});
+  }
+
   [[nodiscard]] ObjId dmo_alloc(std::uint32_t size) override {
     ObjId id = kInvalidObj;
     (void)table_.alloc(self_, size, side(), id);
@@ -101,6 +111,7 @@ class FakeEnv : public ActorEnv {
   [[nodiscard]] std::uint64_t mem_accesses() const { return mem_accesses_; }
 
   std::vector<Sent> sent;
+  std::vector<Timer> timers;
 
  private:
   ActorId self_;
