@@ -139,6 +139,12 @@ void ParticipantActor::handle(ActorEnv& env, const netsim::Packet& req) {
       w.put(static_cast<std::uint8_t>(ok ? 1 : 0));
       w.put(rec ? rec->version : 0u);
       w.put_bytes(rec ? rec->value : std::vector<std::uint8_t>{});
+      if (observer_.on_read) {
+        observer_.on_read(env.now(), txn, key, rec ? rec->version : 0u,
+                          rec ? std::span<const std::uint8_t>(rec->value)
+                              : std::span<const std::uint8_t>{},
+                          ok);
+      }
       reply_to(env, req, kReadReply, w.take());
       return;
     }
@@ -195,6 +201,10 @@ void ParticipantActor::handle(ActorEnv& env, const netsim::Packet& req) {
           const bool other_lock = lock_it != locks_.end() && !ours;
           store_.commit_at(env, key, value, target, other_lock);
           if (ours) locks_.erase(lock_it);
+          if (observer_.on_apply) {
+            observer_.on_apply(env.now(), txn, key, target,
+                               std::span<const std::uint8_t>(value));
+          }
         } else if (ours) {
           // Duplicate of an already-applied commit: just release.
           store_.unlock(env, key);
@@ -403,6 +413,26 @@ void CoordinatorActor::send_unlock(ActorEnv& env, std::uint64_t txn_id,
           w.take());
 }
 
+void CoordinatorActor::emit_outcome(ActorEnv& env, std::uint64_t txn_id,
+                                    TxnState& txn, TxnStatus status) {
+  if (!observer_.on_outcome || txn.outcome_emitted) return;
+  txn.outcome_emitted = true;
+  CoordinatorObserver::Outcome o;
+  o.txn_id = txn_id;
+  o.request_id = txn.client.request_id;
+  o.status = status;
+  o.recovered = txn.recovered;
+  o.decided_at = env.now();
+  o.request = txn.request;
+  o.read_versions = txn.read_versions;
+  o.read_values = txn.read_values;
+  o.write_targets.reserve(txn.write_versions.size());
+  for (const std::uint32_t v : txn.write_versions) {
+    o.write_targets.push_back(v + 1);
+  }
+  observer_.on_outcome(o);
+}
+
 void CoordinatorActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   charge_coord(env);
 
@@ -446,6 +476,7 @@ void CoordinatorActor::on_client(ActorEnv& env, const netsim::Packet& req) {
     send_lock(env, txn_id, txn, i);
   }
   if (txn.pending == 0) {
+    emit_outcome(env, txn_id, txn, TxnStatus::kError);
     reply_client(env, txn, TxnStatus::kError);
     txns_.erase(txn_id);
   }
@@ -603,6 +634,7 @@ void CoordinatorActor::begin_commit(ActorEnv& env, std::uint64_t txn_id,
     wire::Writer res;
     res.put(txn_id);
     env.local_send(log_actor_, kLogResolve, res.take());
+    emit_outcome(env, txn_id, txn, TxnStatus::kCommitted);
     reply_client(env, txn, TxnStatus::kCommitted);
     txns_.erase(txn_id);
     return;
@@ -633,6 +665,7 @@ void CoordinatorActor::on_commit_ack(ActorEnv& env, const netsim::Packet& req) {
   wire::Writer res;
   res.put(txn_id);
   env.local_send(log_actor_, kLogResolve, res.take());
+  emit_outcome(env, txn_id, txn, TxnStatus::kCommitted);
   reply_client(env, txn, TxnStatus::kCommitted);
   txns_.erase(txn_id);
 }
@@ -643,8 +676,16 @@ void CoordinatorActor::abort(ActorEnv& env, std::uint64_t txn_id,
   // did acquire.  With recovery enabled the unlocks are retransmitted
   // until every participant acknowledged (no dangling locks on a lossy
   // fabric); legacy deployments keep fire-and-forget.
+  emit_outcome(env, txn_id, txn, status);
   reply_client(env, txn, status);
   for (std::size_t i = 0; i < txn.request.writes.size(); ++i) {
+    if (recovery_.inject_lost_abort && i == 0) {
+      // Injected bug (verification self-test): "commit" the first write
+      // on the abort path — its value becomes visible even though the
+      // client was told the transaction aborted.
+      send_commit(env, txn_id, txn, i);
+      continue;
+    }
     send_unlock(env, txn_id, txn, i);
   }
   if (!recovery_.enabled || txn.request.writes.empty()) {

@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,15 +92,36 @@ struct TxnReply {
       std::span<const std::uint8_t> data);
 };
 
+/// Ground-truth hooks for the verification harness (src/verify): what
+/// the protocol actually did, beyond what clients can see.  All hooks
+/// are optional; unset ones cost nothing.
+struct ParticipantObserver {
+  /// A write became visible in the store (version installed).
+  std::function<void(Ns at, std::uint64_t txn, const std::string& key,
+                     std::uint32_t version,
+                     std::span<const std::uint8_t> value)>
+      on_apply;
+  /// A phase-1 read was served (version/value as returned; ok=false means
+  /// the record was locked and the txn will abort).
+  std::function<void(Ns at, std::uint64_t txn, const std::string& key,
+                     std::uint32_t version,
+                     std::span<const std::uint8_t> value, bool ok)>
+      on_read;
+  /// The store was wiped by a node crash: versions restart from zero, so
+  /// checkers must segment version chains at these instants.
+  std::function<void(Ns at)> on_wipe;
+};
+
 class ParticipantActor final : public Actor {
  public:
   ParticipantActor() : Actor("dt-participant") {}
 
   void init(ActorEnv& env) override { store_.create(env, 4); }
   /// Node crash: the DMO-backed store and every lock die with it.
-  void reset(ActorEnv&) override {
+  void reset(ActorEnv& env) override {
     store_ = DmoHashTable{};
     locks_.clear();
+    if (observer_.on_wipe) observer_.on_wipe(env.now());
   }
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
@@ -110,6 +133,7 @@ class ParticipantActor final : public Actor {
   [[nodiscard]] std::size_t locked_count() const noexcept {
     return locks_.size();
   }
+  void set_observer(ParticipantObserver obs) { observer_ = std::move(obs); }
 
  private:
   /// Who holds the lock on a key: coordinator node + its txn id + the
@@ -122,6 +146,7 @@ class ParticipantActor final : public Actor {
 
   DmoHashTable store_;
   std::map<std::string, LockOwner> locks_;
+  ParticipantObserver observer_;
 };
 
 class LogActor final : public Actor {
@@ -161,6 +186,32 @@ struct DtRecoveryParams {
   unsigned max_phase12_retries = 8;
   /// Every node hosting a participant (for the recover-locks broadcast).
   std::vector<netsim::NodeId> cluster;
+
+  /// Fault injection for the verification harness' mutation self-test:
+  /// the abort path sends kCommit for its first locked write instead of
+  /// kAbortUnlock, making an aborted transaction's write visible — the
+  /// lost-abort bug the atomicity checker must catch.  Never enable
+  /// outside verify tests.
+  bool inject_lost_abort = false;
+};
+
+/// Coordinator-side ground truth for the serializability checker: one
+/// record per transaction at decision time, carrying the read set
+/// (node/key/version/value as validated) and write set (node/key/value
+/// and the version each commit installs).
+struct CoordinatorObserver {
+  struct Outcome {
+    std::uint64_t txn_id = 0;
+    std::uint64_t request_id = 0;
+    TxnStatus status = TxnStatus::kError;
+    bool recovered = false;  ///< rebuilt from the log after a crash
+    Ns decided_at = 0;
+    TxnRequest request;
+    std::vector<std::uint32_t> read_versions;
+    std::vector<std::vector<std::uint8_t>> read_values;
+    std::vector<std::uint32_t> write_targets;  ///< versions installed
+  };
+  std::function<void(const Outcome&)> on_outcome;
 };
 
 class CoordinatorActor final : public Actor {
@@ -189,6 +240,7 @@ class CoordinatorActor final : public Actor {
     return retransmits_;
   }
   [[nodiscard]] std::size_t in_flight() const noexcept { return txns_.size(); }
+  void set_observer(CoordinatorObserver obs) { observer_ = std::move(obs); }
 
  private:
   enum class Phase : std::uint8_t {
@@ -216,6 +268,7 @@ class CoordinatorActor final : public Actor {
     unsigned locks_held = 0;
     unsigned retries = 0;
     Ns phase_started = 0;
+    bool outcome_emitted = false;  ///< observer fired for this txn
   };
 
   void on_client(ActorEnv& env, const netsim::Packet& req);
@@ -248,6 +301,8 @@ class CoordinatorActor final : public Actor {
   void send_recover_locks(ActorEnv& env, netsim::NodeId node);
   void retransmit_txn(ActorEnv& env, std::uint64_t txn_id, TxnState& txn);
   void charge_coord(ActorEnv& env) const;
+  void emit_outcome(ActorEnv& env, std::uint64_t txn_id, TxnState& txn,
+                    TxnStatus status);
 
   ActorId participant_;
   ActorId log_actor_;
@@ -271,6 +326,8 @@ class CoordinatorActor final : public Actor {
   std::map<std::uint64_t, std::uint64_t> active_reqs_;
   std::map<std::uint64_t, std::vector<std::uint8_t>> completed_reqs_;
   std::deque<std::uint64_t> completed_order_;  ///< bounded-cache eviction
+
+  CoordinatorObserver observer_;
 };
 
 /// One node's DT deployment.

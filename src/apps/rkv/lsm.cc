@@ -35,7 +35,8 @@ LsmTree::LsmTree() : LsmTree(Config{}) {}
 
 void LsmTree::add_l0(std::vector<SstEntry> sorted_entries) {
   if (sorted_entries.empty()) return;
-  levels_[0].insert(levels_[0].begin(), SsTable(std::move(sorted_entries)));
+  levels_[0].insert(levels_[0].begin(),
+                    std::make_shared<const SsTable>(std::move(sorted_entries)));
 }
 
 std::optional<std::vector<std::uint8_t>> LsmTree::get(const std::string& key,
@@ -43,11 +44,11 @@ std::optional<std::vector<std::uint8_t>> LsmTree::get(const std::string& key,
   GetStats local;
   for (const auto& level : levels_) {
     for (const auto& table : level) {
-      if (table.size() == 0) continue;
-      if (key < table.min_key() || key > table.max_key()) continue;
+      if (table->size() == 0) continue;
+      if (key < table->min_key() || key > table->max_key()) continue;
       ++local.tables_probed;
       SsTable::LookupStats ls;
-      if (const SstEntry* e = table.get(key, &ls)) {
+      if (const SstEntry* e = table->get(key, &ls)) {
         local.probes += ls.probes;
         if (stats != nullptr) *stats = local;
         if (e->tombstone) return std::nullopt;
@@ -71,8 +72,8 @@ std::uint64_t LsmTree::compact_level(std::size_t level) {
   ++compactions_;
 
   std::vector<const std::vector<SstEntry>*> runs;
-  for (const auto& t : levels_[level]) runs.push_back(&t.entries());
-  for (const auto& t : levels_[level + 1]) runs.push_back(&t.entries());
+  for (const auto& t : levels_[level]) runs.push_back(&t->entries());
+  for (const auto& t : levels_[level + 1]) runs.push_back(&t->entries());
 
   const bool bottom = (level + 2 == levels_.size()) ||
                       (levels_.size() > level + 2 &&
@@ -87,8 +88,71 @@ std::uint64_t LsmTree::compact_level(std::size_t level) {
 
   levels_[level].clear();
   levels_[level + 1].clear();
-  if (!merged.empty()) levels_[level + 1].emplace_back(std::move(merged));
+  if (!merged.empty()) {
+    levels_[level + 1].push_back(
+        std::make_shared<const SsTable>(std::move(merged)));
+  }
   return bytes;
+}
+
+LsmScanner::LsmScanner(std::vector<std::shared_ptr<const SsTable>> tables) {
+  cursors_.reserve(tables.size());
+  for (auto& t : tables) {
+    if (t->size() > 0) cursors_.push_back(Cursor{std::move(t), 0});
+  }
+  advance();
+}
+
+void LsmScanner::advance() {
+  cur_ = nullptr;
+  while (true) {
+    // Smallest key wins; on ties the newest cursor (lowest index) wins.
+    const Cursor* best = nullptr;
+    for (const auto& c : cursors_) {
+      if (c.pos >= c.table->size()) continue;
+      if (best == nullptr ||
+          c.table->entries()[c.pos].key <
+              best->table->entries()[best->pos].key) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) return;  // exhausted
+    const SstEntry& e = best->table->entries()[best->pos];
+    for (auto& c : cursors_) {
+      while (c.pos < c.table->size() &&
+             c.table->entries()[c.pos].key == e.key) {
+        ++c.pos;
+      }
+    }
+    if (!e.tombstone) {
+      cur_ = &e;  // points into a pinned (shared) immutable table
+      return;
+    }
+  }
+}
+
+void LsmScanner::next() { advance(); }
+
+void LsmScanner::seek(const std::string& key) {
+  for (auto& c : cursors_) {
+    const auto& entries = c.table->entries();
+    c.pos = static_cast<std::size_t>(
+        std::lower_bound(entries.begin(), entries.end(), key,
+                         [](const SstEntry& e, const std::string& k) {
+                           return e.key < k;
+                         }) -
+        entries.begin());
+  }
+  advance();
+}
+
+LsmScanner LsmTree::scan() const {
+  std::vector<std::shared_ptr<const SsTable>> tables;
+  tables.reserve(table_count());
+  for (const auto& level : levels_) {
+    for (const auto& t : level) tables.push_back(t);
+  }
+  return LsmScanner(std::move(tables));
 }
 
 std::uint64_t LsmTree::maybe_compact() {
@@ -103,7 +167,7 @@ std::uint64_t LsmTree::maybe_compact() {
     }
     for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
       std::uint64_t bytes = 0;
-      for (const auto& t : levels_[level]) bytes += t.bytes();
+      for (const auto& t : levels_[level]) bytes += t->bytes();
       if (bytes > level_limit(level)) {
         merged_bytes += compact_level(level);
         changed = true;
@@ -123,7 +187,7 @@ std::size_t LsmTree::table_count() const {
 std::uint64_t LsmTree::total_bytes() const {
   std::uint64_t bytes = 0;
   for (const auto& level : levels_) {
-    for (const auto& t : level) bytes += t.bytes();
+    for (const auto& t : level) bytes += t->bytes();
   }
   return bytes;
 }

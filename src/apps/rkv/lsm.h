@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,7 +46,42 @@ class SsTable {
   std::uint64_t bytes_ = 0;
 };
 
+/// Merged snapshot iterator over a set of sorted runs, newest first.
+/// The scanner holds shared ownership of every table it reads, so a
+/// scan started before a compaction (or flush) stays valid and sees a
+/// consistent point-in-time view while the tree replaces its tables.
+/// Shadowed duplicates are resolved to the newest entry; deleted keys
+/// (tombstones) are skipped.
+class LsmScanner {
+ public:
+  [[nodiscard]] bool valid() const noexcept { return cur_ != nullptr; }
+  [[nodiscard]] const std::string& key() const { return cur_->key; }
+  [[nodiscard]] const std::vector<std::uint8_t>& value() const {
+    return cur_->value;
+  }
+  /// Advance to the next live key (ascending order).
+  void next();
+  /// Reposition to the first live key >= `key`.
+  void seek(const std::string& key);
+
+ private:
+  friend class LsmTree;
+  explicit LsmScanner(std::vector<std::shared_ptr<const SsTable>> tables);
+
+  struct Cursor {
+    std::shared_ptr<const SsTable> table;
+    std::size_t pos = 0;
+  };
+  void advance();
+
+  std::vector<Cursor> cursors_;  ///< newest first (resolves key ties)
+  const SstEntry* cur_ = nullptr;
+};
+
 /// Leveled LSM structure.  Level L holds at most base_bytes * growth^L.
+/// Tables are immutable and reference-counted: readers (gets in flight,
+/// LsmScanner snapshots) keep a table alive after compaction drops it
+/// from the tree.
 class LsmTree {
  public:
   struct Config {
@@ -73,6 +109,10 @@ class LsmTree {
   /// merged (cost accounting).
   std::uint64_t maybe_compact();
 
+  /// Point-in-time merged scan over every table currently in the tree.
+  /// The snapshot survives subsequent add_l0()/maybe_compact() calls.
+  [[nodiscard]] LsmScanner scan() const;
+
   [[nodiscard]] std::size_t table_count() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
   [[nodiscard]] std::size_t level_count() const noexcept { return levels_.size(); }
@@ -86,7 +126,8 @@ class LsmTree {
   std::uint64_t compact_level(std::size_t level);
 
   Config cfg_;
-  std::vector<std::vector<SsTable>> levels_;  // levels_[0] = newest first
+  // levels_[0] = newest first; tables shared with in-flight scanners.
+  std::vector<std::vector<std::shared_ptr<const SsTable>>> levels_;
   std::uint64_t compactions_ = 0;
 };
 

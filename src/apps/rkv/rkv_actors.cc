@@ -71,6 +71,7 @@ void ConsensusActor::reset(ActorEnv& env) {
   log_.clear();
   req_slot_.clear();
   voters_.clear();
+  peer_ack_.assign(params_.replicas.size(), 0);
   in_election_ = false;
   election_ballot_ = 0;
   next_slot_ = next_apply_ = chosen_ = 0;
@@ -113,6 +114,9 @@ void ConsensusActor::handle(ActorEnv& env, const netsim::Packet& req) {
       break;
     case kHeartbeat:
       on_heartbeat(env, req);
+      break;
+    case kHeartbeatAck:
+      on_heartbeat_ack(env, req);
       break;
     case kCatchupReq:
       on_catchup_req(env, req);
@@ -172,6 +176,12 @@ void ConsensusActor::on_heartbeat(ActorEnv& env, const netsim::Packet& req) {
   if (leader_ && msg->ballot > ballot_) leader_ = false;
   in_election_ = false;
   last_leader_contact_ = env.now();
+  // Ack the heartbeat: the leader's read lease is a majority of these
+  // acks younger than election_timeout_min.
+  PaxosMsg ack;
+  ack.ballot = msg->ballot;
+  ack.slot = next_apply_;
+  env.reply(req, kHeartbeatAck, ack.encode());
   // The leader's chosen prefix extends past ours: pull the gap.
   if (msg->slot > next_apply_) {
     PaxosMsg ask;
@@ -179,6 +189,35 @@ void ConsensusActor::on_heartbeat(ActorEnv& env, const netsim::Packet& req) {
     ask.slot = next_apply_;
     env.reply(req, kCatchupReq, ask.encode());
   }
+}
+
+void ConsensusActor::on_heartbeat_ack(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  const auto msg = PaxosMsg::decode(req.payload);
+  if (!msg || !leader_ || msg->ballot != ballot_) return;  // stale ack
+  for (std::size_t i = 0; i < params_.replicas.size(); ++i) {
+    if (params_.replicas[i] == req.src) {
+      peer_ack_[i] = env.now();
+      return;
+    }
+  }
+}
+
+bool ConsensusActor::has_read_lease(Ns now) const {
+  if (!params_.enable_failover || !params_.read_lease) return true;
+  // A peer that acked within the last election_timeout_min cannot have
+  // started an election yet, so no newer leader can exist while a
+  // majority of acks is this fresh.  Half the timeout leaves generous
+  // slack for the ack's one-way network delay (the follower reset its
+  // election timer when it SENT the ack, not when we received it) while
+  // still spanning more than one heartbeat period.
+  const Ns window = params_.election_timeout_min / 2;
+  unsigned fresh = 1;  // self
+  for (std::size_t i = 0; i < peer_ack_.size(); ++i) {
+    if (i == params_.self_index) continue;
+    if (peer_ack_[i] != 0 && now - peer_ack_[i] <= window) ++fresh;
+  }
+  return fresh >= majority();
 }
 
 void ConsensusActor::on_catchup_req(ActorEnv& env, const netsim::Packet& req) {
@@ -235,6 +274,16 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   if (!creq) return;
   const ReplyTo reply = reply_to_of(req);
 
+  if (creq->op == Op::kGet && params_.inject_stale_reads) {
+    // Injected bug (verification self-test): serve the read from the
+    // local applied state with no leadership, lease, or catch-up check.
+    wire::Writer w;
+    reply.encode(w);
+    w.put_str(creq->key);
+    env.local_send(memtable_, kMemGet, w.take());
+    return;
+  }
+
   if (!leader_) {
     // Hint the last known leader (ballots are partitioned by replica
     // index) so a retrying client can re-target without probing.
@@ -248,7 +297,14 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   }
 
   if (creq->op == Op::kGet) {
-    // Linearizable read served by the leader's applied state.
+    if (!has_read_lease(env.now())) {
+      // Possibly-deposed leader (e.g. stranded in a minority partition):
+      // serving from the applied state could return stale data.  No hint
+      // — we believe we ARE the leader; the client should re-probe.
+      send_client_reply(env, reply, Status::kNotLeader);
+      return;
+    }
+    // Linearizable read served by the leaseholder's applied state.
     wire::Writer w;
     reply.encode(w);
     w.put_str(creq->key);

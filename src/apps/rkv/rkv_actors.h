@@ -67,6 +67,21 @@ struct RkvParams {
   Ns election_timeout_min = msec(250);
   Ns election_timeout_max = msec(450);
   std::size_t catchup_batch = 64;  ///< chosen entries per catch-up frame
+
+  /// With failover on, the leader only serves reads while it holds a
+  /// read lease: heartbeat acks from a majority within the last
+  /// election_timeout_min.  A leader stranded in a minority partition
+  /// loses the lease before any peer can elect a replacement, so it can
+  /// never serve a read that a newer leader's write has overtaken.
+  /// Without the lease it replies kNotLeader and the client re-probes.
+  bool read_lease = true;
+
+  /// Fault injection for the verification harness' mutation self-test:
+  /// serve kClientGet from the local applied state regardless of
+  /// leadership, lease, or catch-up — the classic follower-stale-read
+  /// bug the linearizability checker must catch.  Never enable outside
+  /// verify tests.
+  bool inject_stale_reads = false;
 };
 
 class MemtableActor;
@@ -80,6 +95,7 @@ class ConsensusActor final : public Actor {
         election_rng_(0xE1EC710BULL + params_.self_index) {
     leader_ = params_.self_index == 0;
     if (leader_) ballot_ = params_.replicas.size() + params_.self_index;
+    peer_ack_.assign(params_.replicas.size(), 0);
   }
 
   void init(ActorEnv& env) override;
@@ -113,6 +129,8 @@ class ConsensusActor final : public Actor {
   void on_accepted(ActorEnv& env, const netsim::Packet& req);
   void on_learn(ActorEnv& env, const netsim::Packet& req);
   void on_heartbeat(ActorEnv& env, const netsim::Packet& req);
+  void on_heartbeat_ack(ActorEnv& env, const netsim::Packet& req);
+  [[nodiscard]] bool has_read_lease(Ns now) const;
   void on_catchup_req(ActorEnv& env, const netsim::Packet& req);
   void on_catchup_batch(ActorEnv& env, const netsim::Packet& req);
   void on_tick(ActorEnv& env);
@@ -152,6 +170,10 @@ class ConsensusActor final : public Actor {
   // Failure detection (enable_failover only).
   Ns last_leader_contact_ = 0;
   Ns election_timeout_cur_ = 0;
+
+  // Read lease: per-peer timestamp of the last heartbeat ack received
+  // while leading under the current ballot (0 = never).
+  std::vector<Ns> peer_ack_;
 
   // Client request dedup: request id -> slot it was proposed in, rebuilt
   // from the log on recovery, so retried writes never double-apply.

@@ -26,6 +26,7 @@ enum MsgType : std::uint16_t {
   kHeartbeat = 116,    ///< leader liveness + commit watermark
   kCatchupReq = 117,   ///< follower asks for chosen entries from a slot
   kCatchupBatch = 118, ///< bounded batch of chosen entries (chained)
+  kHeartbeatAck = 119, ///< follower ack: renews the leader's read lease
   // self-timers (never cross the wire)
   kHbTick = 140,  ///< heartbeat / election-timeout period tick
   // consensus actor -> memtable actor (local)

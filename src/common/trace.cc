@@ -20,6 +20,8 @@ const char* cat_name(Cat cat) noexcept {
       return "migration";
     case Cat::kChaos:
       return "chaos";
+    case Cat::kVerify:
+      return "verify";
   }
   return "?";
 }

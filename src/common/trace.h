@@ -43,6 +43,7 @@ enum class Cat : std::uint8_t {
   kDmo,      ///< distributed-memory-object traps and migrations
   kMig,      ///< actor migration phases 1-4
   kChaos,    ///< injected faults / heals and supervision actions
+  kVerify,   ///< history-checker verdicts and fault-plan shrink progress
 };
 
 [[nodiscard]] const char* cat_name(Cat cat) noexcept;
@@ -57,6 +58,7 @@ constexpr std::uint32_t kChanToHost = 200;
 constexpr std::uint32_t kChanToNic = 201;
 constexpr std::uint32_t kDmo = 210;
 constexpr std::uint32_t kChaos = 220;
+constexpr std::uint32_t kVerify = 230;
 }  // namespace tid
 
 /// One optional named numeric argument attached to an event.

@@ -253,6 +253,44 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
   return plan;
 }
 
+std::string FaultPlan::to_text() const {
+  std::ostringstream os;
+  for (const FaultAction& a : actions) {
+    switch (a.kind) {
+      case FaultAction::Kind::kCrash:
+        os << "crash " << a.node;
+        break;
+      case FaultAction::Kind::kPartition: {
+        os << "partition ";
+        for (std::size_t i = 0; i < a.group_a.size(); ++i) {
+          os << (i == 0 ? "" : ",") << a.group_a[i];
+        }
+        os << "|";
+        for (std::size_t i = 0; i < a.group_b.size(); ++i) {
+          os << (i == 0 ? "" : ",") << a.group_b[i];
+        }
+        break;
+      }
+      case FaultAction::Kind::kPcieCorrupt:
+        os << "pcie-corrupt " << a.node << " rate " << a.rate;
+        break;
+      case FaultAction::Kind::kLinkFault:
+        os << "link-fault";
+        if (a.fault.drop_prob > 0.0) os << " drop=" << a.fault.drop_prob;
+        if (a.fault.dup_prob > 0.0) os << " dup=" << a.fault.dup_prob;
+        if (a.fault.corrupt_prob > 0.0) {
+          os << " corrupt=" << a.fault.corrupt_prob;
+        }
+        if (a.fault.reorder_jitter > 0) {
+          os << " jitter=" << a.fault.reorder_jitter << "ns";
+        }
+        break;
+    }
+    os << " at " << a.at << "ns for " << a.duration << "ns\n";
+  }
+  return os.str();
+}
+
 // ------------------------------------------------------- ChaosController --
 
 void ChaosController::execute(const FaultPlan& plan) {

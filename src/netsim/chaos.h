@@ -77,6 +77,12 @@ struct FaultPlan {
   /// Returns nullopt on malformed input; `error` (if given) explains why.
   [[nodiscard]] static std::optional<FaultPlan> parse(
       const std::string& text, std::string* error = nullptr);
+
+  /// Render back to the text-spec grammar (one directive per line, times
+  /// in ns so the round trip through parse() is exact).  Shrunk plans are
+  /// reported in this form so a failing schedule can be replayed with
+  /// --plan / --plan-file.
+  [[nodiscard]] std::string to_text() const;
 };
 
 /// Per-node callbacks the controller drives.  All optional — an

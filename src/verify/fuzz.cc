@@ -1,0 +1,397 @@
+#include "verify/fuzz.h"
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/dt/dt_actors.h"
+#include "apps/rkv/rkv_actors.h"
+#include "common/rng.h"
+#include "testbed/cluster.h"
+
+namespace ipipe::verify {
+namespace {
+
+using testbed::Cluster;
+using testbed::ServerSpec;
+
+constexpr std::size_t kNodes = 3;
+constexpr std::uint64_t kKeySpace = 24;
+
+std::string fuzz_key(std::uint64_t k) { return "fk" + std::to_string(k); }
+
+/// Unique-per-operation value so the linearizer can tell writes apart.
+std::vector<std::uint8_t> fuzz_value(std::uint64_t client,
+                                     std::uint64_t seq) {
+  return {static_cast<std::uint8_t>(client),
+          static_cast<std::uint8_t>(seq),
+          static_cast<std::uint8_t>(seq >> 8),
+          static_cast<std::uint8_t>(seq >> 16),
+          static_cast<std::uint8_t>(seq >> 24),
+          0x5A};
+}
+
+void trace_verdict(const FuzzOptions& opt, const FuzzVerdict& v) {
+  if (opt.tracer == nullptr || !opt.tracer->enabled()) return;
+  opt.tracer->instant(
+      trace::Cat::kVerify, v.ok ? "verify_pass" : "verify_fail",
+      trace::tid::kVerify, 0,
+      {"seed", static_cast<double>(opt.seed)},
+      {"ops", static_cast<double>(v.kv_ops + v.txns_committed +
+                                  v.txns_aborted)});
+}
+
+FuzzVerdict run_rkv(const FuzzOptions& opt, const netsim::FaultPlan& plan) {
+  const Ns total = sec(opt.duration_s);
+  const Ns traffic_end = total - sec(5);
+
+  Cluster cluster;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ServerSpec spec;
+    spec.ipipe.mgmt_period = msec(5);
+    cluster.add_server(spec);
+  }
+  rkv::RkvParams params;
+  params.replicas = {0, 1, 2};
+  params.enable_failover = true;
+  params.heartbeat_period = msec(100);
+  params.election_timeout_min = msec(250);
+  params.election_timeout_max = msec(450);
+  params.inject_stale_reads = opt.inject_stale_reads;
+  std::vector<rkv::RkvDeployment> deps;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    params.self_index = i;
+    auto d = rkv::deploy_rkv(cluster.server(i).runtime(), params);
+    deps.push_back(d);
+    params.peer_consensus_actor = d.consensus;
+  }
+  auto chaos = cluster.make_chaos();
+  if (opt.tracer != nullptr) {
+    chaos->set_tracer(opt.tracer);
+    opt.tracer->set_clock(cluster.sim().clock());
+  }
+  chaos->execute(plan);
+
+  HistoryRecorder recorder(cluster.sim());
+
+  // Leader steering shared by both clients: follow NotLeader hints,
+  // probe round-robin when a reply carries none (a leader that lost its
+  // read lease answers hintless) or a request is abandoned.
+  netsim::NodeId leader = 0;
+  const auto steer = [&leader](const netsim::Packet& pkt) {
+    if (pkt.msg_type != rkv::kClientReply) return;
+    auto rep = rkv::ClientReply::decode(std::span<const std::uint8_t>(
+        pkt.payload.data(), pkt.payload.size()));
+    if (!rep || rep->status != rkv::Status::kNotLeader) return;
+    if (!rep->value.empty() && rep->value[0] < kNodes) {
+      leader = rep->value[0];
+    } else {
+      leader = (leader + 1) % kNodes;
+    }
+  };
+  const ActorId consensus = deps[0].consensus;
+
+  // Writer: puts and deletes over a small key space (repeated writes per
+  // key are what give stale reads something to be stale against).
+  auto& writer = cluster.add_client(
+      10.0,
+      [&](std::uint64_t seq, Rng& rng, netsim::PacketPool& pool) {
+        if (cluster.sim().now() >= traffic_end) return netsim::PacketPtr{};
+        auto pkt = pool.make();
+        pkt->dst = leader;
+        pkt->dst_actor = consensus;
+        pkt->frame_size = 256;
+        rkv::ClientReq req;
+        req.key = fuzz_key(rng.uniform_u64(kKeySpace));
+        if (rng.uniform_u64(10) < 7) {
+          req.op = rkv::Op::kPut;
+          req.value = fuzz_value(1, seq);
+          pkt->msg_type = rkv::kClientPut;
+        } else {
+          req.op = rkv::Op::kDel;
+          pkt->msg_type = rkv::kClientDel;
+        }
+        pkt->payload = req.encode();
+        return pkt;
+      },
+      0xF077ED00ULL + opt.seed);
+  writer.enable_retries({});
+  recorder.hook_rkv_client(writer);
+  writer.add_on_reply(steer);
+  writer.set_on_abandon(
+      [&leader](std::uint64_t) { leader = (leader + 1) % kNodes; });
+
+  // Reader: mostly follows the leader guess, but one get in four probes a
+  // random replica — that is what exposes a follower serving stale reads.
+  auto& reader = cluster.add_client(
+      10.0,
+      [&](std::uint64_t, Rng& rng, netsim::PacketPool& pool) {
+        if (cluster.sim().now() >= traffic_end) return netsim::PacketPtr{};
+        auto pkt = pool.make();
+        pkt->dst = rng.uniform_u64(4) == 0
+                       ? static_cast<netsim::NodeId>(rng.uniform_u64(kNodes))
+                       : leader;
+        pkt->dst_actor = consensus;
+        pkt->frame_size = 128;
+        pkt->msg_type = rkv::kClientGet;
+        rkv::ClientReq req;
+        req.op = rkv::Op::kGet;
+        req.key = fuzz_key(rng.uniform_u64(kKeySpace));
+        pkt->payload = req.encode();
+        return pkt;
+      },
+      0x4EADE400ULL + opt.seed);
+  reader.enable_retries({});
+  recorder.hook_rkv_client(reader);
+  reader.add_on_reply(steer);
+  reader.set_on_abandon(
+      [&leader](std::uint64_t) { leader = (leader + 1) % kNodes; });
+
+  writer.start_open_loop(30.0, traffic_end);
+  reader.start_open_loop(30.0, traffic_end);
+  cluster.run_until(total);
+
+  FuzzVerdict v;
+  v.plan = plan;
+  v.kv_ops = recorder.kv().ops.size();
+  v.kv_completed = recorder.kv().completed();
+  const LinearizeResult lin =
+      check_kv_linearizable(recorder.kv(), opt.max_states);
+  v.states_explored = lin.states_explored;
+  v.inconclusive = lin.inconclusive;
+  if (!lin.ok) {
+    v.ok = false;
+    v.checker = "linearizability";
+    v.detail = lin.detail;
+  }
+  if (opt.tracer != nullptr) opt.tracer->set_clock(Clock{});
+  return v;
+}
+
+FuzzVerdict run_dt(const FuzzOptions& opt, const netsim::FaultPlan& plan) {
+  const Ns total = sec(opt.duration_s);
+  const Ns traffic_end = total - sec(5);
+
+  Cluster cluster;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ServerSpec spec;
+    spec.ipipe.mgmt_period = msec(5);
+    cluster.add_server(spec);
+  }
+  dt::DtRecoveryParams rec;
+  rec.enabled = true;
+  rec.cluster = {0, 1, 2};
+  rec.inject_lost_abort = opt.inject_lost_abort;
+  std::vector<dt::DtDeployment> deps;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    deps.push_back(dt::deploy_dt(cluster.server(i).runtime(), i == 0, rec));
+  }
+  auto chaos = cluster.make_chaos();
+  if (opt.tracer != nullptr) {
+    chaos->set_tracer(opt.tracer);
+    opt.tracer->set_clock(cluster.sim().clock());
+  }
+  chaos->execute(plan);
+
+  HistoryRecorder recorder(cluster.sim());
+  auto* coord = dynamic_cast<dt::CoordinatorActor*>(
+      cluster.server(0).runtime().find_actor(deps[0].coordinator));
+  recorder.hook_dt_coordinator(*coord);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    auto* part = dynamic_cast<dt::ParticipantActor*>(
+        cluster.server(i).runtime().find_actor(deps[i].participant));
+    recorder.hook_dt_participant(*part, static_cast<netsim::NodeId>(i));
+  }
+
+  const ActorId coordinator = deps[0].coordinator;
+  auto& client = cluster.add_client(
+      10.0,
+      [&](std::uint64_t seq, Rng& rng, netsim::PacketPool& pool) {
+        if (cluster.sim().now() >= traffic_end) return netsim::PacketPtr{};
+        auto pkt = pool.make();
+        pkt->dst = 0;
+        pkt->dst_actor = coordinator;
+        pkt->frame_size = 512;
+        pkt->msg_type = dt::kTxnRequest;
+        dt::TxnRequest txn;
+        const std::size_t nreads = rng.uniform_u64(3);
+        const std::size_t nwrites = 1 + rng.uniform_u64(2);
+        for (std::size_t r = 0; r < nreads; ++r) {
+          const std::uint64_t k = rng.uniform_u64(kKeySpace);
+          txn.reads.push_back(
+              {static_cast<netsim::NodeId>(k % kNodes), fuzz_key(k)});
+        }
+        for (std::size_t w = 0; w < nwrites; ++w) {
+          const std::uint64_t k = rng.uniform_u64(kKeySpace);
+          txn.writes.push_back({static_cast<netsim::NodeId>(k % kNodes),
+                                fuzz_key(k), fuzz_value(2 + w, seq)});
+        }
+        pkt->payload = txn.encode();
+        return pkt;
+      },
+      0xD7FA2200ULL + opt.seed);
+  client.enable_retries({});
+  recorder.hook_dt_client(client);
+  client.start_open_loop(20.0, traffic_end);
+  cluster.run_until(total);
+
+  FuzzVerdict v;
+  v.plan = plan;
+  const SerializeResult atom = check_dt_atomicity(recorder.dt());
+  const SerializeResult ser = check_dt_serializable(recorder.dt());
+  v.txns_committed = ser.committed;
+  v.txns_aborted = ser.aborted;
+  if (!atom.ok) {
+    v.ok = false;
+    v.checker = "atomicity";
+    v.detail = atom.detail;
+  } else if (!ser.ok) {
+    v.ok = false;
+    v.checker = "serializability";
+    v.detail = ser.detail;
+  }
+  if (opt.tracer != nullptr) opt.tracer->set_clock(Clock{});
+  return v;
+}
+
+}  // namespace
+
+netsim::FaultPlan random_fault_plan(std::uint64_t seed, std::size_t nodes,
+                                    Ns window) {
+  netsim::FaultPlan plan;
+  Rng rng(0x5EEDFA17ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  Ns t = sec(2);
+  const std::size_t events = 2 + rng.uniform_u64(4);
+  for (std::size_t e = 0; e < events && t < window; ++e) {
+    switch (rng.uniform_u64(4)) {
+      case 0:
+        plan.crash(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)), t,
+                   sec(1) + rng.uniform_u64(sec(3)));
+        break;
+      case 1: {
+        const auto lone =
+            static_cast<netsim::NodeId>(rng.uniform_u64(nodes));
+        std::vector<netsim::NodeId> rest;
+        for (netsim::NodeId n = 0; n < nodes; ++n) {
+          if (n != lone) rest.push_back(n);
+        }
+        plan.partition({lone}, std::move(rest), t,
+                       sec(2) + rng.uniform_u64(sec(4)));
+        break;
+      }
+      case 2:
+        plan.pcie_corrupt(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)),
+                          0.01 + 0.02 * rng.uniform(), t,
+                          sec(1) + rng.uniform_u64(sec(2)));
+        break;
+      default: {
+        netsim::FaultModel fm;
+        fm.drop_prob = 0.01 + 0.02 * rng.uniform();
+        fm.dup_prob = 0.01;
+        fm.corrupt_prob = 0.01;
+        fm.reorder_jitter = rng.uniform_u64(usec(50));
+        plan.link_fault(fm, t, sec(1) + rng.uniform_u64(sec(3)));
+        break;
+      }
+    }
+    t += sec(1) + rng.uniform_u64(sec(4));
+  }
+  return plan;
+}
+
+netsim::FaultPlan make_fault_plan(const FuzzOptions& opt) {
+  if (!opt.chaos) return {};
+  const Ns window = sec(opt.duration_s) - sec(8);
+  netsim::FaultPlan plan = random_fault_plan(opt.seed, kNodes, window);
+  if (opt.inject_stale_reads) {
+    // Guaranteed follower isolation: node 2 keeps answering clients but
+    // stops learning — a seconds-long stale window for the injected bug.
+    plan.partition({2}, {0, 1}, sec(4), sec(10));
+  }
+  if (opt.inject_lost_abort) {
+    // Guaranteed participant crash: stalled locks make concurrent
+    // transactions abort, which is what arms the injected abort bug.
+    plan.crash(1, sec(4), sec(3));
+  }
+  return plan;
+}
+
+FuzzVerdict run_verify_once(const FuzzOptions& opt) {
+  const netsim::FaultPlan plan =
+      opt.plan_override ? *opt.plan_override : make_fault_plan(opt);
+  FuzzVerdict v =
+      opt.app == FuzzApp::kRkv ? run_rkv(opt, plan) : run_dt(opt, plan);
+  trace_verdict(opt, v);
+  return v;
+}
+
+ShrinkResult shrink_fault_plan(const FuzzOptions& opt,
+                               const netsim::FaultPlan& failing) {
+  ShrinkResult sr;
+  FuzzOptions o = opt;
+  FuzzVerdict last;
+  const auto run_fails = [&](const netsim::FaultPlan& cand) {
+    o.plan_override = cand;
+    FuzzVerdict v = run_verify_once(o);
+    ++sr.runs;
+    if (opt.tracer != nullptr && opt.tracer->enabled()) {
+      opt.tracer->instant(trace::Cat::kVerify, "shrink_step",
+                          trace::tid::kVerify, 0,
+                          {"runs", static_cast<double>(sr.runs)},
+                          {"events", static_cast<double>(cand.size())});
+    }
+    const bool failed = !v.ok;
+    if (failed) last = std::move(v);
+    return failed;
+  };
+
+  netsim::FaultPlan cur = failing;
+  if (!run_fails(cur)) {
+    // Nothing to shrink: the plan does not reproduce a failure.
+    sr.plan = cur;
+    sr.verdict.ok = true;
+    sr.steps.push_back("initial plan does not fail; nothing to shrink");
+    return sr;
+  }
+  sr.steps.push_back("initial plan fails (" + std::to_string(cur.size()) +
+                     " events, checker=" + last.checker + ")");
+
+  // Pass 1: drop events to a fixpoint (greedy ddmin, deterministic
+  // ascending order; removing one event can unlock removing another).
+  bool progress = true;
+  while (progress && sr.runs < 200) {
+    progress = false;
+    for (std::size_t i = 0; i < cur.actions.size() && sr.runs < 200;) {
+      netsim::FaultPlan cand = cur;
+      cand.actions.erase(cand.actions.begin() + static_cast<long>(i));
+      if (run_fails(cand)) {
+        cur = std::move(cand);
+        progress = true;
+        sr.steps.push_back("dropped event " + std::to_string(i) + " -> " +
+                           std::to_string(cur.size()) + " events");
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Pass 2: halve each surviving event's window while the failure holds.
+  for (std::size_t i = 0; i < cur.actions.size() && sr.runs < 200; ++i) {
+    while (cur.actions[i].duration >= msec(500) && sr.runs < 200) {
+      netsim::FaultPlan cand = cur;
+      cand.actions[i].duration /= 2;
+      if (!run_fails(cand)) break;
+      cur = std::move(cand);
+      sr.steps.push_back("halved event " + std::to_string(i) +
+                         " duration to " +
+                         std::to_string(cur.actions[i].duration) + "ns");
+    }
+  }
+
+  sr.plan = std::move(cur);
+  sr.verdict = std::move(last);
+  return sr;
+}
+
+}  // namespace ipipe::verify

@@ -1,0 +1,92 @@
+// Randomized verification fuzzing: pair a seeded workload mix with a
+// seeded ChaosController::FaultPlan, run one of the two applications in
+// the simulator with a HistoryRecorder attached, and feed the captured
+// history to the matching checker (linearizability for RKV,
+// serializability + atomicity for DT).
+//
+// Every run is a pure function of its FuzzOptions — same seed, same
+// plan, same binary => byte-identical history and verdict — which is
+// what makes shrinking possible: when a run fails, shrink_fault_plan()
+// greedily drops fault events and halves fault windows, re-running the
+// scenario after each candidate edit, until no single edit keeps the
+// failure alive.  The minimized plan replays the failure deterministically
+// and is printed in the FaultPlan text grammar so it can be pasted into a
+// corpus file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "netsim/chaos.h"
+#include "verify/history.h"
+#include "verify/linearize.h"
+#include "verify/serialize.h"
+
+namespace ipipe::verify {
+
+enum class FuzzApp : std::uint8_t { kRkv = 0, kDt = 1 };
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  FuzzApp app = FuzzApp::kRkv;
+  /// Virtual run length.  The last few seconds are a quiesce tail with
+  /// no new client traffic and no new faults.
+  unsigned duration_s = 25;
+  bool chaos = true;  ///< run a fault plan (random unless overridden)
+  /// Mutation self-tests (see RkvParams / DtRecoveryParams): the checker
+  /// is expected to FAIL when one of these is on.
+  bool inject_stale_reads = false;  ///< RKV only
+  bool inject_lost_abort = false;   ///< DT only
+  /// Run exactly this plan instead of the seed-derived one (shrinking,
+  /// corpus replay).
+  std::optional<netsim::FaultPlan> plan_override;
+  trace::Tracer* tracer = nullptr;  ///< optional: verdict/shrink instants
+  std::uint64_t max_states = 4'000'000;  ///< linearizer search budget
+};
+
+struct FuzzVerdict {
+  bool ok = true;
+  bool inconclusive = false;  ///< checker budget exhausted (ok stays true)
+  std::string checker;  ///< failing checker: "linearizability" | ...
+  std::string detail;
+  netsim::FaultPlan plan;  ///< the plan the run actually executed
+  std::uint64_t kv_ops = 0;
+  std::uint64_t kv_completed = 0;
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t states_explored = 0;
+};
+
+/// The seed-derived fault schedule for one run: 2-5 random events
+/// (crash / partition / pcie-corrupt / link-fault) inside the chaos
+/// window, plus — when the stale-read injection is armed — a guaranteed
+/// follower partition so the lag the injected bug exposes is seconds
+/// long instead of microseconds.
+[[nodiscard]] netsim::FaultPlan make_fault_plan(const FuzzOptions& opt);
+
+/// Purely random plan (no injection backbone): `window` is the fault
+/// window end; events start at 2s.
+[[nodiscard]] netsim::FaultPlan random_fault_plan(std::uint64_t seed,
+                                                  std::size_t nodes,
+                                                  Ns window);
+
+/// One deterministic scenario run + checker pass.
+[[nodiscard]] FuzzVerdict run_verify_once(const FuzzOptions& opt);
+
+struct ShrinkResult {
+  netsim::FaultPlan plan;   ///< minimal plan still reproducing the failure
+  FuzzVerdict verdict;      ///< the failure as reproduced by `plan`
+  unsigned runs = 0;        ///< scenario re-executions spent shrinking
+  std::vector<std::string> steps;  ///< human-readable shrink log
+};
+
+/// Greedy ddmin over `failing`: drop events to a fixpoint, then halve
+/// durations while the failure persists.  `opt` must be the options the
+/// failing run used (its plan_override is replaced per candidate).
+[[nodiscard]] ShrinkResult shrink_fault_plan(const FuzzOptions& opt,
+                                             const netsim::FaultPlan& failing);
+
+}  // namespace ipipe::verify

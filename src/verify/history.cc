@@ -1,0 +1,109 @@
+#include "verify/history.h"
+
+#include <span>
+#include <utility>
+
+namespace ipipe::verify {
+
+void HistoryRecorder::hook_rkv_client(workloads::ClientGen& client) {
+  client.set_on_issue([this](const netsim::Packet& pkt) {
+    if (pkt.msg_type < rkv::kClientPut || pkt.msg_type > rkv::kClientDel) {
+      return;
+    }
+    auto req = rkv::ClientReq::decode(
+        std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
+    if (!req) return;
+    KvOp op;
+    op.request_id = pkt.request_id;
+    op.client = pkt.src;
+    op.op = req->op;
+    op.key = std::move(req->key);
+    op.arg = std::move(req->value);
+    op.invoke = pkt.created_at;
+    kv_index_[op.request_id] = kv_.ops.size();
+    kv_.ops.push_back(std::move(op));
+  });
+  client.add_on_reply([this](const netsim::Packet& pkt) {
+    if (pkt.msg_type != rkv::kClientReply) return;
+    const auto it = kv_index_.find(pkt.request_id);
+    if (it == kv_index_.end()) return;
+    KvOp& op = kv_.ops[it->second];
+    if (op.has_status) return;  // duplicate reply: the first one wins
+    auto rep = rkv::ClientReply::decode(
+        std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
+    if (!rep) return;
+    op.response = sim_.now();
+    op.has_status = true;
+    op.status = rep->status;
+    op.result = std::move(rep->value);
+  });
+}
+
+void HistoryRecorder::hook_dt_client(workloads::ClientGen& client) {
+  client.set_on_issue([this](const netsim::Packet& pkt) {
+    if (pkt.msg_type != dt::kTxnRequest) return;
+    TxnClientOp op;
+    op.request_id = pkt.request_id;
+    op.client = pkt.src;
+    op.invoke = pkt.created_at;
+    txn_index_[op.request_id] = dt_.client_ops.size();
+    dt_.client_ops.push_back(op);
+  });
+  client.add_on_reply([this](const netsim::Packet& pkt) {
+    if (pkt.msg_type != dt::kTxnReply) return;
+    const auto it = txn_index_.find(pkt.request_id);
+    if (it == txn_index_.end()) return;
+    TxnClientOp& op = dt_.client_ops[it->second];
+    if (op.has_status) return;
+    auto rep = dt::TxnReply::decode(
+        std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
+    if (!rep) return;
+    op.response = sim_.now();
+    op.has_status = true;
+    op.status = rep->status;
+  });
+}
+
+void HistoryRecorder::hook_dt_coordinator(dt::CoordinatorActor& coord) {
+  dt::CoordinatorObserver obs;
+  obs.on_outcome = [this](const dt::CoordinatorObserver::Outcome& out) {
+    dt_.outcomes.push_back(out);
+  };
+  coord.set_observer(std::move(obs));
+}
+
+void HistoryRecorder::hook_dt_participant(dt::ParticipantActor& part,
+                                          netsim::NodeId node) {
+  dt::ParticipantObserver obs;
+  obs.on_apply = [this, node](Ns at, std::uint64_t txn, const std::string& key,
+                              std::uint32_t version,
+                              std::span<const std::uint8_t> value) {
+    DtHistory::Apply a;
+    a.at = at;
+    a.node = node;
+    a.txn = txn;
+    a.key = key;
+    a.version = version;
+    a.value.assign(value.begin(), value.end());
+    dt_.applies.push_back(std::move(a));
+  };
+  obs.on_read = [this, node](Ns at, std::uint64_t txn, const std::string& key,
+                             std::uint32_t version,
+                             std::span<const std::uint8_t> value, bool ok) {
+    DtHistory::Read r;
+    r.at = at;
+    r.node = node;
+    r.txn = txn;
+    r.key = key;
+    r.version = version;
+    r.value.assign(value.begin(), value.end());
+    r.ok = ok;
+    dt_.reads.push_back(std::move(r));
+  };
+  obs.on_wipe = [this, node](Ns at) {
+    dt_.wipes.push_back(DtHistory::Wipe{at, node});
+  };
+  part.set_observer(std::move(obs));
+}
+
+}  // namespace ipipe::verify

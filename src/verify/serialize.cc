@@ -1,0 +1,285 @@
+#include "verify/serialize.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace ipipe::verify {
+namespace {
+
+using Outcome = dt::CoordinatorObserver::Outcome;
+
+/// txn id -> decisive outcome.  A coordinator that crashed between the
+/// decision and the log resolve can emit twice for one txn (live then
+/// recovered); the live record carries the read set, so it wins.
+std::map<std::uint64_t, const Outcome*> dedup_outcomes(
+    const DtHistory& h, std::string* conflict) {
+  std::map<std::uint64_t, const Outcome*> by_txn;
+  for (const auto& out : h.outcomes) {
+    auto [it, fresh] = by_txn.emplace(out.txn_id, &out);
+    if (fresh) continue;
+    const Outcome* prev = it->second;
+    const bool prev_committed = prev->status == dt::TxnStatus::kCommitted;
+    const bool cur_committed = out.status == dt::TxnStatus::kCommitted;
+    if (prev_committed != cur_committed && conflict) {
+      *conflict += "txn " + std::to_string(out.txn_id) +
+                   ": contradictory outcomes (committed and aborted)\n";
+    }
+    if (prev->recovered && !out.recovered) it->second = &out;
+  }
+  return by_txn;
+}
+
+const char* status_name(dt::TxnStatus s) {
+  switch (s) {
+    case dt::TxnStatus::kCommitted: return "committed";
+    case dt::TxnStatus::kAbortedLocked: return "aborted-locked";
+    case dt::TxnStatus::kAbortedValidation: return "aborted-validation";
+    case dt::TxnStatus::kError: return "error";
+  }
+  return "?";
+}
+
+/// Wipe times for one node, sorted; segment of time t = count of wipes
+/// at or before t.
+std::size_t segment_of(const std::vector<Ns>& wipes, Ns t) {
+  return static_cast<std::size_t>(
+      std::upper_bound(wipes.begin(), wipes.end(), t) - wipes.begin());
+}
+
+}  // namespace
+
+SerializeResult check_dt_atomicity(const DtHistory& h) {
+  SerializeResult out;
+  std::string conflicts;
+  const auto by_txn = dedup_outcomes(h, &conflicts);
+  if (!conflicts.empty()) {
+    out.ok = false;
+    out.detail += conflicts;
+  }
+  for (const auto& [txn, o] : by_txn) {
+    if (o->status == dt::TxnStatus::kCommitted) {
+      ++out.committed;
+    } else {
+      ++out.aborted;
+    }
+  }
+  for (const auto& apply : h.applies) {
+    const auto it = by_txn.find(apply.txn);
+    if (it == by_txn.end()) {
+      ++out.in_doubt;  // no decision recorded: allowed (in-doubt at run end)
+      continue;
+    }
+    if (it->second->status != dt::TxnStatus::kCommitted) {
+      out.ok = false;
+      out.detail += "txn " + std::to_string(apply.txn) + " (" +
+                    status_name(it->second->status) + ") installed " +
+                    apply.key + "@v" + std::to_string(apply.version) +
+                    " on node " + std::to_string(apply.node) + " at t=" +
+                    std::to_string(apply.at) + " — aborted write visible\n";
+    }
+  }
+  return out;
+}
+
+SerializeResult check_dt_serializable(const DtHistory& h) {
+  SerializeResult out;
+  const auto by_txn = dedup_outcomes(h, nullptr);
+  for (const auto& [txn, o] : by_txn) {
+    if (o->status == dt::TxnStatus::kCommitted) {
+      ++out.committed;
+    } else {
+      ++out.aborted;
+    }
+  }
+
+  std::map<netsim::NodeId, std::vector<Ns>> wipes;
+  for (const auto& w : h.wipes) wipes[w.node].push_back(w.at);
+  for (auto& [node, times] : wipes) std::sort(times.begin(), times.end());
+  const auto seg_at = [&wipes](netsim::NodeId node, Ns t) {
+    const auto it = wipes.find(node);
+    return it == wipes.end() ? std::size_t{0} : segment_of(it->second, t);
+  };
+
+  // Install chains per (node, key, segment), ordered by time.  The
+  // commit guard (apply only when stored version < target) makes the
+  // versions within a chain strictly increasing — verified below.
+  struct Install {
+    const DtHistory::Apply* apply = nullptr;
+    bool replayed = false;  ///< decided before this segment began
+  };
+  std::map<std::tuple<netsim::NodeId, std::string, std::size_t>,
+           std::vector<Install>>
+      chains;
+  for (const auto& apply : h.applies) {
+    const std::size_t seg = seg_at(apply.node, apply.at);
+    Install inst{&apply, false};
+    if (seg > 0) {
+      const Ns seg_start = wipes[apply.node][seg - 1];
+      const auto it = by_txn.find(apply.txn);
+      // Unknown decision time (in-doubt) is treated as "long ago": the
+      // conservative choice drops edges rather than inventing them.
+      const Ns decided = it == by_txn.end() ? 0 : it->second->decided_at;
+      inst.replayed = decided < seg_start;
+    }
+    chains[{apply.node, apply.key, seg}].push_back(inst);
+  }
+
+  std::map<std::uint64_t, std::set<std::uint64_t>> adj;
+  const auto add_edge = [&adj, &out](std::uint64_t from, std::uint64_t to) {
+    if (from == to) return;
+    if (adj[from].insert(to).second) ++out.edges;
+  };
+
+  for (auto& [where, chain] : chains) {
+    std::sort(chain.begin(), chain.end(),
+              [](const Install& a, const Install& b) {
+                return std::tie(a.apply->at, a.apply->version) <
+                       std::tie(b.apply->at, b.apply->version);
+              });
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const auto& cur = *chain[i].apply;
+      const auto& nxt = *chain[i + 1].apply;
+      if (nxt.version <= cur.version) {
+        out.ok = false;
+        out.detail += "node " + std::to_string(cur.node) + " key " +
+                      cur.key + ": install chain not version-ordered (v" +
+                      std::to_string(cur.version) + " then v" +
+                      std::to_string(nxt.version) + ")\n";
+      }
+      if (!chain[i + 1].replayed) add_edge(cur.txn, nxt.txn);  // ww
+    }
+  }
+
+  // Validated reads of committed transactions: wr and rw edges.  The
+  // participant-side read records locate the segment each read was
+  // served in; reads are matched by (txn, node, key, version).
+  std::map<std::tuple<std::uint64_t, netsim::NodeId, std::string,
+                      std::uint32_t>,
+           const DtHistory::Read*>
+      read_at;
+  for (const auto& r : h.reads) {
+    if (!r.ok) continue;
+    read_at.emplace(std::make_tuple(r.txn, r.node, r.key, r.version), &r);
+  }
+
+  for (const auto& [txn, o] : by_txn) {
+    if (o->status != dt::TxnStatus::kCommitted || o->recovered) continue;
+    for (std::size_t i = 0; i < o->request.reads.size(); ++i) {
+      if (i >= o->read_versions.size()) break;
+      const auto& rd = o->request.reads[i];
+      const std::uint32_t version = o->read_versions[i];
+      const auto rec_it =
+          read_at.find(std::make_tuple(txn, rd.node, rd.key, version));
+      if (rec_it == read_at.end()) continue;  // can't locate: skip edges
+      const DtHistory::Read& rec = *rec_it->second;
+      const std::size_t seg = seg_at(rd.node, rec.at);
+      const auto chain_it = chains.find({rd.node, rd.key, seg});
+      const auto* chain =
+          chain_it == chains.end() ? nullptr : &chain_it->second;
+
+      if (version == 0) {
+        if (i < o->read_values.size() && !o->read_values[i].empty()) {
+          out.ok = false;
+          out.detail += "txn " + std::to_string(txn) + " read " + rd.key +
+                        "@v0 with a non-empty value\n";
+        }
+        // rw: the first installer in this segment overwrote the absent
+        // state this transaction observed.
+        if (chain && !chain->empty() && !chain->front().replayed) {
+          add_edge(txn, chain->front().apply->txn);
+        }
+        continue;
+      }
+
+      const Install* install = nullptr;
+      const Install* next = nullptr;
+      if (chain) {
+        for (std::size_t c = 0; c < chain->size(); ++c) {
+          if ((*chain)[c].apply->version == version) {
+            install = &(*chain)[c];
+            if (c + 1 < chain->size()) next = &(*chain)[c + 1];
+            break;
+          }
+        }
+      }
+      if (!install) {
+        out.ok = false;
+        out.detail += "txn " + std::to_string(txn) + " read " + rd.key +
+                      "@v" + std::to_string(version) + " on node " +
+                      std::to_string(rd.node) +
+                      " but no install of that version is recorded\n";
+        continue;
+      }
+      if (i < o->read_values.size() &&
+          install->apply->value != o->read_values[i]) {
+        out.ok = false;
+        out.detail += "txn " + std::to_string(txn) + " read " + rd.key +
+                      "@v" + std::to_string(version) +
+                      " with a value that does not match the install\n";
+      }
+      add_edge(install->apply->txn, txn);  // wr
+      if (next && !next->replayed) add_edge(txn, next->apply->txn);  // rw
+    }
+  }
+
+  // Cycle detection: iterative three-color DFS in deterministic order.
+  std::map<std::uint64_t, int> color;  // 0 white / 1 grey / 2 black
+  for (const auto& [start, _] : adj) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::uint64_t, bool>> stack{{start, false}};
+    std::vector<std::uint64_t> path;
+    while (!stack.empty()) {
+      auto [node, leaving] = stack.back();
+      stack.pop_back();
+      if (leaving) {
+        color[node] = 2;
+        path.pop_back();
+        continue;
+      }
+      if (color[node] == 2) continue;
+      if (color[node] == 1) continue;
+      color[node] = 1;
+      path.push_back(node);
+      stack.emplace_back(node, true);
+      const auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      for (auto succ = it->second.rbegin(); succ != it->second.rend();
+           ++succ) {
+        if (color[*succ] == 1) {
+          out.ok = false;
+          std::string cycle;
+          for (auto p = std::find(path.begin(), path.end(), *succ);
+               p != path.end(); ++p) {
+            cycle += std::to_string(*p) + " -> ";
+          }
+          cycle += std::to_string(*succ);
+          out.detail +=
+              "serialization cycle among committed txns: " + cycle + "\n";
+          return out;
+        }
+        if (color[*succ] == 0) stack.emplace_back(*succ, false);
+      }
+    }
+  }
+  return out;
+}
+
+SerializeResult check_dt_history(const DtHistory& h) {
+  SerializeResult atom = check_dt_atomicity(h);
+  SerializeResult ser = check_dt_serializable(h);
+  SerializeResult out;
+  out.committed = ser.committed;
+  out.aborted = ser.aborted;
+  out.in_doubt = atom.in_doubt;
+  out.edges = ser.edges;
+  out.ok = atom.ok && ser.ok;
+  if (!atom.ok) out.detail += "atomicity: " + atom.detail;
+  if (!ser.ok) out.detail += "serializability: " + ser.detail;
+  return out;
+}
+
+}  // namespace ipipe::verify

@@ -1,0 +1,52 @@
+// Serializability + atomicity checking for DT (OCC + 2PC) histories.
+//
+// Atomicity: a transaction the coordinator decided to ABORT must leave
+// no visible effect — any participant install (DtHistory::Apply) whose
+// transaction has a non-committed outcome is a violation.  Installs by
+// transactions with NO outcome are in-doubt (coordinator crashed before
+// deciding or the run ended mid-recovery) and are allowed.
+//
+// Serializability: build the direct serialization graph over committed
+// transactions from the per-(node,key) install chains and the validated
+// read sets — wr (installer -> reader of that version), ww (consecutive
+// installs), rw (reader -> installer of the next version) — and reject
+// cycles.  Version chains are segmented at participant store wipes
+// (crash resets versions to zero, so version numbers only order
+// installs within a segment).
+//
+// Participant stores are volatile by design: a committed write can be
+// wiped by a crash and later REAPPEAR when the coordinator's commit
+// retransmit re-installs it.  Such replayed installs are real visibility
+// events (value checks and wr edges still apply) but they do not mean
+// the writer serialized late — edges INTO a replayed install's
+// transaction are skipped so the design-inherent resurrection anomaly
+// does not read as a serializability violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "verify/history.h"
+
+namespace ipipe::verify {
+
+struct SerializeResult {
+  bool ok = true;
+  std::string detail;  ///< human-readable violation description (ok=false)
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t in_doubt = 0;  ///< installs whose txn has no outcome
+  std::uint64_t edges = 0;
+};
+
+/// Aborted transactions leave no visible effects.
+[[nodiscard]] SerializeResult check_dt_atomicity(const DtHistory& h);
+
+/// Committed transactions admit a serial order (acyclic DSG).
+[[nodiscard]] SerializeResult check_dt_serializable(const DtHistory& h);
+
+/// Both checks; `detail` lines are prefixed "atomicity:" /
+/// "serializability:" so a failure names its checker.
+[[nodiscard]] SerializeResult check_dt_history(const DtHistory& h);
+
+}  // namespace ipipe::verify

@@ -30,6 +30,7 @@ void ClientGen::issue_one() {
   }
   const std::uint64_t id = pkt->request_id;
   inflight_.emplace(id, std::move(fl));
+  if (on_issue_) on_issue_(*pkt);
   net_.send(std::move(pkt));
   if (retries_on_) arm_retry(id, 1);
 }
@@ -93,7 +94,7 @@ void ClientGen::start_open_loop(double rate_rps, Ns stop_at, bool poisson) {
 void ClientGen::receive(netsim::PacketPtr pkt) {
   const auto it = inflight_.find(pkt->request_id);
   if (it == inflight_.end()) {
-    if (on_reply_) on_reply_(*pkt);
+    for (const auto& fn : on_reply_) fn(*pkt);
     return;  // unsolicited (e.g. duplicate or push traffic)
   }
   const Ns latency = sim_.now() - it->second.created;
@@ -105,7 +106,7 @@ void ClientGen::receive(netsim::PacketPtr pkt) {
     ++completed_measured_;
     if (first_measured_ == 0) first_measured_ = sim_.now();
   }
-  if (on_reply_) on_reply_(*pkt);
+  for (const auto& fn : on_reply_) fn(*pkt);
   if (closed_loop_) issue_one();
 }
 

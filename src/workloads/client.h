@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -75,9 +76,22 @@ class ClientGen : public netsim::Endpoint {
   [[nodiscard]] Ns last_completion() const noexcept { return last_completion_; }
   [[nodiscard]] netsim::NodeId node() const noexcept { return self_; }
 
-  /// Optional hook invoked on every reply (after accounting).
+  /// Optional hook invoked on every reply (after accounting).  Replaces
+  /// all previously registered reply hooks.
   void set_on_reply(std::function<void(const netsim::Packet&)> fn) {
-    on_reply_ = std::move(fn);
+    on_reply_.clear();
+    on_reply_.push_back(std::move(fn));
+  }
+  /// Additional reply hook; all registered hooks run in registration
+  /// order (history recorders coexist with workload steering logic).
+  void add_on_reply(std::function<void(const netsim::Packet&)> fn) {
+    on_reply_.push_back(std::move(fn));
+  }
+  /// Invoked on the FIRST transmission of each request, after src /
+  /// request_id / created_at are filled in (retransmits don't re-fire:
+  /// one invocation event per logical operation).
+  void set_on_issue(std::function<void(const netsim::Packet&)> fn) {
+    on_issue_ = std::move(fn);
   }
 
  private:
@@ -113,7 +127,8 @@ class ClientGen : public netsim::Endpoint {
   Ns last_completion_ = 0;
   std::unordered_map<std::uint64_t, Inflight> inflight_;
   LatencyHistogram hist_;
-  std::function<void(const netsim::Packet&)> on_reply_;
+  std::vector<std::function<void(const netsim::Packet&)>> on_reply_;
+  std::function<void(const netsim::Packet&)> on_issue_;
 
   bool retries_on_ = false;
   RetryPolicy retry_;

@@ -1,11 +1,8 @@
-// Chaos harness tests: fault-plan parsing, fabric fault counters, actor
-// supervision, Paxos failover, 2PC crash recovery, and the long-horizon
-// end-to-end chaos runs the acceptance criteria call for (no acked write
-// lost, no dangling locks, deterministic replay across seeds).
-//
-// The long tests honor CHAOS_VSECS (virtual seconds, default 5000; CI
-// uses a reduced value).  Values below ~300 leave no room for the fault
-// schedule and are clamped.
+// Chaos quick tests: fault-plan parsing, fabric fault counters, actor
+// supervision, Paxos failover, and 2PC crash recovery — the compressed
+// scenarios that run in a few virtual minutes.  The long-horizon soak
+// runs live in test_chaos_soak.cc; the shared scenario harness is in
+// chaos_harness.h.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +16,7 @@
 
 #include "apps/dt/dt_actors.h"
 #include "apps/rkv/rkv_actors.h"
+#include "chaos_harness.h"
 #include "fake_env.h"
 #include "netsim/chaos.h"
 #include "testbed/cluster.h"
@@ -27,19 +25,10 @@
 namespace ipipe {
 namespace {
 
+using chaostest::run_rkv_chaos;
 using testbed::Cluster;
 using testbed::ServerSpec;
 using workloads::ClientGen;
-
-constexpr std::uint64_t kSeqMask = (1ULL << 40) - 1;
-
-[[nodiscard]] double chaos_vsecs() {
-  if (const char* env = std::getenv("CHAOS_VSECS")) {
-    const double v = std::atof(env);
-    if (v > 0) return std::max(v, 300.0);
-  }
-  return 5000.0;
-}
 
 // ------------------------------------------------------- FaultPlan parse --
 
@@ -297,289 +286,6 @@ TEST(RkvElection, StaleBallotAndDuplicateVotesRejected) {
 
 // ------------------------------------------------- RKV chaos harness/e2e --
 
-std::string chaos_key(std::uint64_t k) { return "ck" + std::to_string(k); }
-
-std::vector<std::uint8_t> chaos_value(std::uint64_t k) {
-  return {static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(k >> 8),
-          static_cast<std::uint8_t>(k >> 16), 0xA5};
-}
-
-struct RkvChaosResult {
-  std::uint64_t acked = 0;
-  std::uint64_t verified = 0;
-  std::uint64_t lost = 0;
-  std::uint64_t elections = 0;
-  std::uint64_t crashes = 0;
-  std::uint64_t partitions = 0;
-  std::uint64_t corrupted = 0;
-  std::uint64_t post_heal_completed = 0;
-  int leaders = 0;
-  std::string digest;  ///< chaos log + end-state (determinism byte-compare)
-};
-
-/// One full RKV chaos scenario: 3 failover replicas, a seeded random fault
-/// schedule (with guaranteed leader crash / partition / corruption), a
-/// low-rate unique-key writer, and a post-heal read-back sweep over every
-/// acknowledged write.
-RkvChaosResult run_rkv_chaos(std::uint64_t seed, double total_secs) {
-  const Ns total = sec(total_secs);
-  const Ns chaos_start = sec(5);
-  const Ns chaos_end = total - sec(130);
-  const Ns write_end = total - sec(110);
-  const Ns verify_at = total - sec(100);
-
-  Cluster cluster;
-  for (int i = 0; i < 3; ++i) {
-    ServerSpec spec;
-    // The idle management heartbeat dominates long runs; 5ms keeps the
-    // 5000-vsec horizon cheap without disturbing the apps.
-    spec.ipipe.mgmt_period = msec(5);
-    cluster.add_server(spec);
-  }
-  rkv::RkvParams params;
-  params.replicas = {0, 1, 2};
-  params.enable_failover = true;
-  params.heartbeat_period = msec(100);
-  params.election_timeout_min = msec(250);
-  params.election_timeout_max = msec(450);
-  std::vector<rkv::RkvDeployment> deps;
-  for (std::size_t i = 0; i < 3; ++i) {
-    params.self_index = i;
-    auto d = rkv::deploy_rkv(cluster.server(i).runtime(), params);
-    deps.push_back(d);
-    params.peer_consensus_actor = d.consensus;
-  }
-  auto chaos = cluster.make_chaos();
-
-  // Guaranteed fault backbone: leader crash, partition, corrupting fabric.
-  netsim::FaultPlan plan;
-  plan.crash(0, chaos_start, sec(10));
-  plan.partition({1}, {0, 2}, chaos_start + sec(30), sec(5));
-  netsim::FaultModel lossy;
-  lossy.drop_prob = 0.02;
-  lossy.corrupt_prob = 0.02;
-  lossy.dup_prob = 0.01;
-  plan.link_fault(lossy, chaos_start + sec(45), sec(5));
-  // Seeded random tail: crashes, partitions, PCIe bursts, fabric faults.
-  Rng prng(0xC4405000ULL + seed);
-  Ns t = chaos_start + sec(60);
-  while (t < chaos_end) {
-    switch (prng.uniform_u64(4)) {
-      case 0:
-        plan.crash(static_cast<netsim::NodeId>(prng.uniform_u64(3)), t,
-                   sec(5) + static_cast<Ns>(prng.uniform_u64(sec(15))));
-        break;
-      case 1: {
-        const auto lone = static_cast<netsim::NodeId>(prng.uniform_u64(3));
-        std::vector<netsim::NodeId> rest;
-        for (netsim::NodeId n = 0; n < 3; ++n) {
-          if (n != lone) rest.push_back(n);
-        }
-        plan.partition({lone}, std::move(rest), t,
-                       sec(3) + static_cast<Ns>(prng.uniform_u64(sec(7))));
-        break;
-      }
-      case 2:
-        plan.pcie_corrupt(static_cast<netsim::NodeId>(prng.uniform_u64(3)),
-                          0.01, t,
-                          sec(2) + static_cast<Ns>(prng.uniform_u64(sec(6))));
-        break;
-      default:
-        plan.link_fault(lossy, t,
-                        sec(3) + static_cast<Ns>(prng.uniform_u64(sec(7))));
-        break;
-    }
-    t += sec(20) + static_cast<Ns>(prng.uniform_u64(sec(40)));
-  }
-  chaos->execute(plan);
-
-  // Debug aid: CHAOS_PROGRESS=1 prints virtual-time progress (stall hunts).
-  if (std::getenv("CHAOS_PROGRESS")) {
-    for (Ns pt = sec(10); pt < total; pt += sec(10)) {
-      cluster.sim().schedule_at(pt, [&cluster, &deps, pt] {
-        fprintf(stderr, "[chaos] t=%llds events=%llu frames=%llu",
-                static_cast<long long>(pt / sec(1)),
-                static_cast<unsigned long long>(cluster.sim().executed()),
-                static_cast<unsigned long long>(cluster.net().frames_sent()));
-        for (std::size_t i = 0; i < 3; ++i) {
-          auto* c = dynamic_cast<rkv::ConsensusActor*>(
-              cluster.server(i).runtime().find_actor(deps[i].consensus));
-          fprintf(stderr, " | n%zu ldr=%d slot=%llu apply=%llu elect=%llu",
-                  i, c ? c->is_leader() : -1,
-                  c ? static_cast<unsigned long long>(c->next_slot()) : 0ULL,
-                  c ? static_cast<unsigned long long>(c->next_apply()) : 0ULL,
-                  c ? static_cast<unsigned long long>(c->elections_started())
-                    : 0ULL);
-        }
-        fprintf(stderr, "\n");
-      });
-    }
-  }
-
-  // -- writer: unique keys, logical-op retry on NotLeader/abandon --------
-  netsim::NodeId leader = 0;
-  std::deque<std::uint64_t> wq;
-  std::map<std::uint64_t, std::uint64_t> wissued;  // seq -> key
-  std::set<std::uint64_t> acked;
-  std::uint64_t next_key = 1;
-  const ActorId consensus = deps[0].consensus;
-
-  auto& writer = cluster.add_client(
-      10.0,
-      [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
-        std::uint64_t key = 0;
-        if (!wq.empty()) {
-          key = wq.front();
-          wq.pop_front();
-        } else if (cluster.sim().now() < write_end) {
-          key = next_key++;
-        } else {
-          return netsim::PacketPtr{};
-        }
-        wissued[seq] = key;
-        auto pkt = pool.make();
-        pkt->dst = leader;
-        pkt->dst_actor = consensus;
-        pkt->msg_type = rkv::kClientPut;
-        pkt->frame_size = 256;
-        rkv::ClientReq req;
-        req.op = rkv::Op::kPut;
-        req.key = chaos_key(key);
-        req.value = chaos_value(key);
-        pkt->payload = req.encode();
-        return pkt;
-      },
-      /*seed=*/seed * 1000 + 17);
-  writer.enable_retries({.timeout = msec(80), .max_retries = 4,
-                         .backoff = 2.0, .cap = msec(600)});
-  writer.set_on_reply([&](const netsim::Packet& pkt) {
-    const auto it = wissued.find(pkt.request_id & kSeqMask);
-    if (it == wissued.end()) return;
-    const auto rep = rkv::ClientReply::decode(pkt.payload);
-    if (!rep) return;
-    const std::uint64_t key = it->second;
-    wissued.erase(it);
-    if (rep->status == rkv::Status::kOk) {
-      acked.insert(key);
-      return;
-    }
-    if (rep->status == rkv::Status::kNotLeader && !rep->value.empty() &&
-        rep->value[0] < 3) {
-      leader = rep->value[0];
-    }
-    wq.push_back(key);  // not acknowledged: retry the logical op
-  });
-  writer.set_on_abandon([&](std::uint64_t rid) {
-    const auto it = wissued.find(rid & kSeqMask);
-    if (it != wissued.end()) {
-      wq.push_back(it->second);
-      wissued.erase(it);
-    }
-    leader = (leader + 1) % 3;  // maybe talking to a dead node
-  });
-  writer.start_open_loop(2.0, write_end, /*poisson=*/false);
-
-  // -- verifier: read back every acked write after the final heal --------
-  std::deque<std::uint64_t> vq;
-  std::map<std::uint64_t, std::uint64_t> vissued;
-  std::map<std::uint64_t, int> vattempts;
-  std::uint64_t verified = 0;
-  std::uint64_t lost = 0;
-
-  auto& verifier = cluster.add_client(
-      10.0,
-      [&](std::uint64_t seq, Rng&, netsim::PacketPool& pool) {
-        if (vq.empty()) return netsim::PacketPtr{};
-        const std::uint64_t key = vq.front();
-        vq.pop_front();
-        vissued[seq] = key;
-        auto pkt = pool.make();
-        pkt->dst = leader;
-        pkt->dst_actor = consensus;
-        pkt->msg_type = rkv::kClientGet;
-        pkt->frame_size = 256;
-        rkv::ClientReq req;
-        req.op = rkv::Op::kGet;
-        req.key = chaos_key(key);
-        pkt->payload = req.encode();
-        return pkt;
-      },
-      /*seed=*/seed * 1000 + 23);
-  verifier.enable_retries({.timeout = msec(80), .max_retries = 4,
-                           .backoff = 2.0, .cap = msec(600)});
-  verifier.set_on_reply([&](const netsim::Packet& pkt) {
-    const auto it = vissued.find(pkt.request_id & kSeqMask);
-    if (it == vissued.end()) return;
-    const auto rep = rkv::ClientReply::decode(pkt.payload);
-    if (!rep) return;
-    const std::uint64_t key = it->second;
-    vissued.erase(it);
-    if (rep->status == rkv::Status::kOk) {
-      if (rep->value == chaos_value(key)) {
-        ++verified;
-      } else {
-        ++lost;  // acked write came back with someone else's bytes
-      }
-      return;
-    }
-    if (rep->status == rkv::Status::kNotLeader) {
-      if (!rep->value.empty() && rep->value[0] < 3) leader = rep->value[0];
-      vq.push_back(key);
-      return;
-    }
-    // NotFound right after a leader change can be apply lag: retry a few
-    // times before declaring the acked write lost.
-    if (++vattempts[key] <= 5) {
-      vq.push_back(key);
-    } else {
-      ++lost;
-    }
-  });
-  verifier.set_on_abandon([&](std::uint64_t rid) {
-    const auto it = vissued.find(rid & kSeqMask);
-    if (it != vissued.end()) {
-      vq.push_back(it->second);
-      vissued.erase(it);
-    }
-    leader = (leader + 1) % 3;
-  });
-  cluster.sim().schedule_at(verify_at, [&] {
-    for (const std::uint64_t key : acked) vq.push_back(key);
-    verifier.start_open_loop(200.0, total, /*poisson=*/false);
-  });
-
-  cluster.run_until(total);
-
-  RkvChaosResult result;
-  result.acked = acked.size();
-  result.verified = verified;
-  result.lost = lost;
-  result.crashes = chaos->crashes();
-  result.partitions = chaos->partitions();
-  result.corrupted = cluster.net().frames_corrupted();
-  result.post_heal_completed = verifier.completed();
-  std::ostringstream digest;
-  digest << chaos->event_log_text();
-  digest << "acked=" << result.acked << " verified=" << verified
-         << " lost=" << lost << "\n";
-  for (std::size_t i = 0; i < 3; ++i) {
-    auto* c = dynamic_cast<rkv::ConsensusActor*>(
-        cluster.server(i).runtime().find_actor(deps[i].consensus));
-    result.elections += c->elections_started();
-    if (c->is_leader()) ++result.leaders;
-    digest << "replica=" << i << " chosen=" << c->chosen_count()
-           << " applied=" << c->next_apply()
-           << " elections=" << c->elections_started()
-           << " leader=" << c->is_leader() << "\n";
-  }
-  digest << "writer_sent=" << writer.sent()
-         << " writer_retx=" << writer.retransmits()
-         << " verifier_completed=" << verifier.completed() << "\n";
-  digest << "net_dropped=" << cluster.net().frames_dropped()
-         << " corrupted=" << cluster.net().frames_corrupted() << "\n";
-  result.digest = digest.str();
-  return result;
-}
 
 TEST(RkvFailover, LeaderCrashLosesNoAckedWrite) {
   // Compressed chaos scenario: the guaranteed backbone (leader crash,
@@ -639,156 +345,6 @@ TEST(RkvFailover, SimultaneousCandidatesConvergeToOneLeader) {
   EXPECT_GE(elections, 2u);  // both candidacies really started
 }
 
-// ------------------------------------------------- DT chaos harness/e2e --
-
-struct DtChaosResult {
-  std::uint64_t committed = 0;
-  std::uint64_t aborted = 0;
-  std::uint64_t recovered = 0;
-  std::uint64_t post_heal_commits = 0;
-  std::uint64_t locked = 0;      ///< dangling locks across all participants
-  std::uint64_t unresolved = 0;  ///< in-doubt records left in the log
-  std::uint64_t in_flight = 0;
-  std::string digest;
-};
-
-DtChaosResult run_dt_chaos(std::uint64_t seed, double total_secs) {
-  const Ns total = sec(total_secs);
-  const Ns chaos_start = sec(5);
-  const Ns coord_crash_at = chaos_start + sec(20);
-  const Ns chaos_end = total - sec(130);
-  const Ns final_heal = total - sec(100);
-  const Ns traffic_end = total - sec(60);
-
-  Cluster cluster;
-  for (int i = 0; i < 3; ++i) {
-    ServerSpec spec;
-    spec.ipipe.mgmt_period = msec(5);
-    cluster.add_server(spec);
-  }
-  dt::DtRecoveryParams recovery;
-  recovery.enabled = true;
-  recovery.cluster = {0, 1, 2};
-  std::vector<dt::DtDeployment> deps;
-  for (std::size_t i = 0; i < 3; ++i) {
-    deps.push_back(dt::deploy_dt(cluster.server(i).runtime(),
-                                 /*with_coordinator=*/i == 0, recovery));
-  }
-  auto chaos = cluster.make_chaos();
-
-  netsim::FaultPlan plan;
-  plan.crash(1, chaos_start, sec(8));                 // participant crash
-  plan.crash(0, coord_crash_at, sec(10));             // coordinator crash
-  plan.partition({2}, {0, 1}, chaos_start + sec(45), sec(5));
-  netsim::FaultModel lossy;
-  lossy.drop_prob = 0.03;
-  lossy.corrupt_prob = 0.02;
-  plan.link_fault(lossy, chaos_start + sec(60), sec(5));
-  plan.pcie_corrupt(0, 0.01, chaos_start + sec(70), sec(3));
-  Rng prng(0xD7C44050ULL + seed);
-  Ns t = chaos_start + sec(90);
-  while (t < chaos_end) {
-    switch (prng.uniform_u64(3)) {
-      case 0:
-        plan.crash(static_cast<netsim::NodeId>(prng.uniform_u64(3)), t,
-                   sec(4) + static_cast<Ns>(prng.uniform_u64(sec(10))));
-        break;
-      case 1: {
-        const auto lone = static_cast<netsim::NodeId>(prng.uniform_u64(3));
-        std::vector<netsim::NodeId> rest;
-        for (netsim::NodeId n = 0; n < 3; ++n) {
-          if (n != lone) rest.push_back(n);
-        }
-        plan.partition({lone}, std::move(rest), t,
-                       sec(2) + static_cast<Ns>(prng.uniform_u64(sec(5))));
-        break;
-      }
-      default:
-        plan.link_fault(lossy, t,
-                        sec(2) + static_cast<Ns>(prng.uniform_u64(sec(5))));
-        break;
-    }
-    t += sec(20) + static_cast<Ns>(prng.uniform_u64(sec(40)));
-  }
-  chaos->execute(plan);
-
-  const auto txn_make = [&](std::uint64_t salt) {
-    return [&, salt](std::uint64_t seq, Rng&, netsim::PacketPool& pool)
-               -> netsim::PacketPtr {
-      auto pkt = pool.make();
-      pkt->dst = 0;
-      pkt->dst_actor = deps[0].coordinator;
-      pkt->msg_type = dt::kTxnRequest;
-      pkt->frame_size = 512;
-      const std::uint64_t s = seq + salt;
-      dt::TxnRequest txn;
-      txn.reads.push_back({static_cast<netsim::NodeId>(s * 7 % 3),
-                           "r" + std::to_string(s % 40)});
-      txn.writes.push_back({static_cast<netsim::NodeId>((s * 5 + 1) % 3),
-                            "w" + std::to_string(s % 512),
-                            {static_cast<std::uint8_t>(s), 1}});
-      if (s % 4 == 0) {  // cross-node multi-write txns hold 2 locks
-        txn.writes.push_back({static_cast<netsim::NodeId>((s * 5 + 2) % 3),
-                              "w" + std::to_string((s + 256) % 512),
-                              {static_cast<std::uint8_t>(s), 2}});
-      }
-      pkt->payload = txn.encode();
-      return pkt;
-    };
-  };
-
-  auto& client = cluster.add_client(10.0, txn_make(0), seed * 1000 + 31);
-  client.enable_retries({.timeout = msec(100), .max_retries = 3,
-                         .backoff = 2.0, .cap = sec(1)});
-  client.start_open_loop(5.0, traffic_end, /*poisson=*/false);
-
-  // Closed-loop burst straddling the coordinator crash: dozens of
-  // concurrent transactions keep the log/commit pipeline populated, so
-  // some are genuinely in-doubt (logged, not yet resolved) when it dies.
-  auto& burst = cluster.add_client(10.0, txn_make(1'000'000),
-                                   seed * 1000 + 37);
-  burst.enable_retries({.timeout = msec(100), .max_retries = 3,
-                        .backoff = 2.0, .cap = sec(1)});
-  cluster.sim().schedule_at(coord_crash_at - msec(5), [&] {
-    burst.start_closed_loop(64, coord_crash_at + msec(2));
-  });
-
-  auto* coord = dynamic_cast<dt::CoordinatorActor*>(
-      cluster.server(0).runtime().find_actor(deps[0].coordinator));
-  std::uint64_t committed_at_heal = 0;
-  cluster.sim().schedule_at(final_heal,
-                            [&] { committed_at_heal = coord->committed(); });
-
-  cluster.run_until(total);
-
-  DtChaosResult result;
-  result.committed = coord->committed();
-  result.aborted = coord->aborted();
-  result.recovered = coord->recovered_txns();
-  result.post_heal_commits = coord->committed() - committed_at_heal;
-  result.in_flight = coord->in_flight();
-  auto* log = dynamic_cast<dt::LogActor*>(
-      cluster.server(0).runtime().find_actor(deps[0].log));
-  result.unresolved = log->unresolved();
-  std::ostringstream digest;
-  digest << chaos->event_log_text();
-  for (std::size_t i = 0; i < 3; ++i) {
-    auto* part = dynamic_cast<dt::ParticipantActor*>(
-        cluster.server(i).runtime().find_actor(deps[i].participant));
-    result.locked += part->locked_count();
-    digest << "participant=" << i << " locked=" << part->locked_count()
-           << " records=" << part->store().size() << "\n";
-  }
-  digest << "committed=" << result.committed << " aborted=" << result.aborted
-         << " recovered=" << result.recovered
-         << " retx=" << coord->retransmits()
-         << " in_flight=" << result.in_flight
-         << " unresolved=" << result.unresolved << "\n";
-  digest << "client_sent=" << client.sent() << "+" << burst.sent()
-         << " completed=" << client.completed() + burst.completed() << "\n";
-  result.digest = digest.str();
-  return result;
-}
 
 TEST(DtChaos, AbortsReleaseLocksOnLossyFabric) {
   // Satellite regression: abort-path unlocks are retransmitted until
@@ -902,51 +458,6 @@ TEST(DtChaos, CoordinatorRestartResolvesInDoubtTxns) {
   }
   // Service recovered: commits continued after the restart.
   EXPECT_GT(coord->committed(), 0u);
-}
-
-// --------------------------------------------------------- long-form e2e --
-
-TEST(ChaosE2E, RkvLosesNoAckedWriteAcrossSeeds) {
-  for (const std::uint64_t seed : {1, 2}) {
-    const auto r = run_rkv_chaos(seed, chaos_vsecs());
-    EXPECT_EQ(r.lost, 0u) << "seed " << seed;
-    EXPECT_EQ(r.verified, r.acked) << "seed " << seed;
-    EXPECT_GT(r.acked, 100u) << "seed " << seed;
-    EXPECT_GE(r.crashes, 2u) << "seed " << seed;
-    EXPECT_GE(r.partitions, 1u) << "seed " << seed;
-    EXPECT_GT(r.corrupted, 0u) << "seed " << seed;
-    EXPECT_GT(r.elections, 0u) << "seed " << seed;
-    EXPECT_EQ(r.leaders, 1) << "seed " << seed;
-    EXPECT_GT(r.post_heal_completed, 0u) << "seed " << seed;
-  }
-}
-
-TEST(ChaosE2E, DtNoDanglingLocksAcrossSeeds) {
-  for (const std::uint64_t seed : {1, 2}) {
-    const auto r = run_dt_chaos(seed, chaos_vsecs());
-    EXPECT_EQ(r.locked, 0u) << "seed " << seed;
-    EXPECT_EQ(r.unresolved, 0u) << "seed " << seed;
-    EXPECT_EQ(r.in_flight, 0u) << "seed " << seed;
-    EXPECT_GE(r.recovered, 1u) << "seed " << seed;
-    EXPECT_GT(r.committed, 100u) << "seed " << seed;
-    EXPECT_GT(r.post_heal_commits, 0u) << "seed " << seed;
-  }
-}
-
-TEST(ChaosE2E, RkvDeterministicReplay) {
-  for (const std::uint64_t seed : {1, 2}) {
-    const auto a = run_rkv_chaos(seed, chaos_vsecs());
-    const auto b = run_rkv_chaos(seed, chaos_vsecs());
-    EXPECT_EQ(a.digest, b.digest) << "seed " << seed;
-  }
-}
-
-TEST(ChaosE2E, DtDeterministicReplay) {
-  for (const std::uint64_t seed : {1, 2}) {
-    const auto a = run_dt_chaos(seed, chaos_vsecs());
-    const auto b = run_dt_chaos(seed, chaos_vsecs());
-    EXPECT_EQ(a.digest, b.digest) << "seed " << seed;
-  }
 }
 
 }  // namespace

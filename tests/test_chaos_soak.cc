@@ -1,0 +1,60 @@
+// Long-horizon chaos soak tests (label "slow"): the acceptance-criteria
+// end-to-end runs — no acked write lost, no dangling locks, and
+// byte-identical deterministic replay — over CHAOS_VSECS virtual
+// seconds per seed (default 5000; CI uses a reduced value).
+#include <gtest/gtest.h>
+
+#include "chaos_harness.h"
+
+namespace ipipe {
+namespace {
+
+using chaostest::chaos_vsecs;
+using chaostest::run_dt_chaos;
+using chaostest::run_rkv_chaos;
+
+TEST(ChaosE2E, RkvLosesNoAckedWriteAcrossSeeds) {
+  for (const std::uint64_t seed : {1, 2}) {
+    const auto r = run_rkv_chaos(seed, chaos_vsecs());
+    EXPECT_EQ(r.lost, 0u) << "seed " << seed;
+    EXPECT_EQ(r.verified, r.acked) << "seed " << seed;
+    EXPECT_GT(r.acked, 100u) << "seed " << seed;
+    EXPECT_GE(r.crashes, 2u) << "seed " << seed;
+    EXPECT_GE(r.partitions, 1u) << "seed " << seed;
+    EXPECT_GT(r.corrupted, 0u) << "seed " << seed;
+    EXPECT_GT(r.elections, 0u) << "seed " << seed;
+    EXPECT_EQ(r.leaders, 1) << "seed " << seed;
+    EXPECT_GT(r.post_heal_completed, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosE2E, DtNoDanglingLocksAcrossSeeds) {
+  for (const std::uint64_t seed : {1, 2}) {
+    const auto r = run_dt_chaos(seed, chaos_vsecs());
+    EXPECT_EQ(r.locked, 0u) << "seed " << seed;
+    EXPECT_EQ(r.unresolved, 0u) << "seed " << seed;
+    EXPECT_EQ(r.in_flight, 0u) << "seed " << seed;
+    EXPECT_GE(r.recovered, 1u) << "seed " << seed;
+    EXPECT_GT(r.committed, 100u) << "seed " << seed;
+    EXPECT_GT(r.post_heal_commits, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosE2E, RkvDeterministicReplay) {
+  for (const std::uint64_t seed : {1, 2}) {
+    const auto a = run_rkv_chaos(seed, chaos_vsecs());
+    const auto b = run_rkv_chaos(seed, chaos_vsecs());
+    EXPECT_EQ(a.digest, b.digest) << "seed " << seed;
+  }
+}
+
+TEST(ChaosE2E, DtDeterministicReplay) {
+  for (const std::uint64_t seed : {1, 2}) {
+    const auto a = run_dt_chaos(seed, chaos_vsecs());
+    const auto b = run_dt_chaos(seed, chaos_vsecs());
+    EXPECT_EQ(a.digest, b.digest) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ipipe

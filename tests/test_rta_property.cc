@@ -1,0 +1,185 @@
+// Property tests for the RTA Thompson-NFA regex engine: differential
+// testing against std::regex (ECMAScript) on ~1000 seeded random
+// patterns over the engine's supported construct set, plus directed
+// edge cases (anchoring, empty alternation branches, escapes) and
+// syntax-error rejection.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <stdexcept>
+#include <string>
+
+#include "apps/rta/regex.h"
+#include "common/rng.h"
+
+namespace ipipe {
+namespace {
+
+constexpr char kAlphabet[] = "abcd";
+
+std::string gen_alt(Rng& rng, int depth);
+
+std::string gen_atom(Rng& rng, int depth) {
+  const std::uint64_t kinds = depth > 0 ? 7 : 6;
+  switch (rng.uniform_u64(kinds)) {
+    case 0:
+    case 1:
+    case 2:
+      return std::string(1, kAlphabet[rng.uniform_u64(4)]);
+    case 3:
+      return ".";
+    case 4: {  // character class, possibly negated, possibly a range
+      std::string cls = "[";
+      if (rng.bernoulli(0.3)) cls += '^';
+      const std::uint64_t items = 1 + rng.uniform_u64(3);
+      for (std::uint64_t i = 0; i < items; ++i) {
+        if (rng.bernoulli(0.3)) {
+          const char lo = kAlphabet[rng.uniform_u64(3)];
+          const char hi =
+              static_cast<char>(lo + 1 + rng.uniform_u64(
+                                             static_cast<std::uint64_t>(
+                                                 'd' - lo)));
+          cls += lo;
+          cls += '-';
+          cls += hi;
+        } else {
+          cls += kAlphabet[rng.uniform_u64(4)];
+        }
+      }
+      return cls + "]";
+    }
+    case 5: {  // escaped metacharacter: literal in both engines
+      static const char kMeta[] = {'.', '*', '+', '?', '|', '(', ')', '['};
+      return std::string("\\") + kMeta[rng.uniform_u64(sizeof kMeta)];
+    }
+    default:
+      return "(" + gen_alt(rng, depth - 1) + ")";
+  }
+}
+
+std::string gen_concat(Rng& rng, int depth) {
+  std::string out;
+  const std::uint64_t atoms = 1 + rng.uniform_u64(4);
+  for (std::uint64_t i = 0; i < atoms; ++i) {
+    out += gen_atom(rng, depth);
+    switch (rng.uniform_u64(6)) {
+      case 0: out += '*'; break;
+      case 1: out += '+'; break;
+      case 2: out += '?'; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+std::string gen_alt(Rng& rng, int depth) {
+  // An occasional empty branch exercises empty-alternation handling.
+  std::string out =
+      rng.bernoulli(0.08) ? std::string() : gen_concat(rng, depth);
+  const std::uint64_t extra = rng.uniform_u64(3);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    out += '|';
+    if (!rng.bernoulli(0.08)) out += gen_concat(rng, depth);
+  }
+  return out;
+}
+
+std::string gen_input(Rng& rng) {
+  std::string out;
+  const std::uint64_t len = rng.uniform_u64(9);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.uniform_u64(4)];
+  }
+  return out;
+}
+
+/// Compare the NFA engine against std::regex on one (pattern, input).
+void check_differential(const rta::Regex& ours, const std::regex& ref,
+                        const std::string& pattern,
+                        const std::string& input) {
+  EXPECT_EQ(ours.match(input), std::regex_match(input, ref))
+      << "match() disagrees: pattern=\"" << pattern << "\" input=\""
+      << input << "\"";
+  EXPECT_EQ(ours.search(input), std::regex_search(input, ref))
+      << "search() disagrees: pattern=\"" << pattern << "\" input=\""
+      << input << "\"";
+}
+
+TEST(RtaRegexProperty, DifferentialVsStdRegex) {
+  Rng rng(0x52E6E7E57ULL);
+  int tested = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::string pattern = gen_alt(rng, 2);
+    std::regex ref;
+    try {
+      ref = std::regex(pattern, std::regex::ECMAScript);
+    } catch (const std::regex_error&) {
+      continue;  // generator bug, not an engine bug; don't fail the run
+    }
+    rta::Regex ours(pattern);
+    ++tested;
+    for (int i = 0; i < 5; ++i) {
+      check_differential(ours, ref, pattern, gen_input(rng));
+    }
+    // Boundary inputs every round: empty and single characters.
+    check_differential(ours, ref, pattern, "");
+    check_differential(ours, ref, pattern, "a");
+    if (HasFailure()) {
+      FAIL() << "stopping after first divergence (iter " << iter << ")";
+    }
+  }
+  EXPECT_GE(tested, 990) << "generator produced too many invalid patterns";
+}
+
+TEST(RtaRegexProperty, AnchoringMatchVsSearch) {
+  const rta::Regex re("bc+");
+  EXPECT_FALSE(re.match("abccd"));  // match() is fully anchored
+  EXPECT_TRUE(re.search("abccd"));  // search() is not
+  EXPECT_TRUE(re.match("bcc"));
+  EXPECT_FALSE(re.search("bd"));
+
+  // Same pairings as the reference engine.
+  const std::regex ref("bc+");
+  for (const std::string input : {"abccd", "bcc", "bd", "", "bc"}) {
+    EXPECT_EQ(re.match(input), std::regex_match(input, ref)) << input;
+    EXPECT_EQ(re.search(input), std::regex_search(input, ref)) << input;
+  }
+}
+
+TEST(RtaRegexProperty, EmptyPatternAndEmptyAlternation) {
+  const rta::Regex empty("");
+  EXPECT_TRUE(empty.match(""));
+  EXPECT_FALSE(empty.match("a"));
+  EXPECT_TRUE(empty.search("a"));  // matches the empty substring
+
+  for (const std::string pattern : {"a|", "|a", "(|b)a", "a(b|)c", "(a|)*"}) {
+    const rta::Regex ours(pattern);
+    const std::regex ref(pattern);
+    for (const std::string input :
+         {"", "a", "b", "ab", "ac", "abc", "ba", "aa"}) {
+      EXPECT_EQ(ours.match(input), std::regex_match(input, ref))
+          << "pattern=\"" << pattern << "\" input=\"" << input << "\"";
+      EXPECT_EQ(ours.search(input), std::regex_search(input, ref))
+          << "pattern=\"" << pattern << "\" input=\"" << input << "\"";
+    }
+  }
+}
+
+TEST(RtaRegexProperty, EscapesAreLiteral) {
+  EXPECT_TRUE(rta::Regex("\\.").match("."));
+  EXPECT_FALSE(rta::Regex("\\.").match("a"));
+  EXPECT_TRUE(rta::Regex("a\\*").match("a*"));
+  EXPECT_TRUE(rta::Regex("\\(\\)").match("()"));
+  EXPECT_TRUE(rta::Regex("\\\\").match("\\"));
+}
+
+TEST(RtaRegexProperty, RejectsMalformedPatterns) {
+  for (const std::string pattern :
+       {"(", "(ab", "a)", "[ab", "[", "*", "*a", "+", "?", "a|*", "\\"}) {
+    EXPECT_THROW(rta::Regex re(pattern), std::invalid_argument)
+        << "pattern=\"" << pattern << "\" was accepted";
+  }
+}
+
+}  // namespace
+}  // namespace ipipe
