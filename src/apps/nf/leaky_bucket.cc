@@ -12,9 +12,28 @@ void LeakyBucket::refill(Ns now) noexcept {
   last_refill_ = now;
 }
 
+std::size_t LeakyBucket::release_ready() {
+  std::size_t released = 0;
+  while (!queue_.empty() && tokens_ >= static_cast<double>(queue_.front())) {
+    tokens_ -= static_cast<double>(queue_.front());
+    queue_.pop_front();
+    ++passed_;
+    ++released;
+  }
+  return released;
+}
+
 bool LeakyBucket::offer(Ns now, std::uint32_t bytes) {
   refill(now);
-  drain(now);
+  release_ready();
+  // A packet larger than the bucket depth can never accumulate enough
+  // tokens: queueing it would jam the FIFO head forever (and tail-drop
+  // everything behind it).  Reject it up front.
+  if (static_cast<std::uint64_t>(bytes) > burst_) {
+    ++dropped_;
+    ++oversized_;
+    return false;
+  }
   if (queue_.empty() && tokens_ >= static_cast<double>(bytes)) {
     tokens_ -= static_cast<double>(bytes);
     ++passed_;
@@ -30,14 +49,7 @@ bool LeakyBucket::offer(Ns now, std::uint32_t bytes) {
 
 std::size_t LeakyBucket::drain(Ns now) {
   refill(now);
-  std::size_t released = 0;
-  while (!queue_.empty() && tokens_ >= static_cast<double>(queue_.front())) {
-    tokens_ -= static_cast<double>(queue_.front());
-    queue_.pop_front();
-    ++passed_;
-    ++released;
-  }
-  return released;
+  return release_ready();
 }
 
 }  // namespace ipipe::nf

@@ -1,5 +1,12 @@
 // Leaky-bucket rate limiter — the "rate limiter" workload of Table 3.
 // Token-bucket variant over a FIFO of pending packets.
+//
+// Accounting invariant: every offered packet ends up in exactly one of
+// passed() (admitted immediately or queued-then-released), dropped()
+// (tail drop or oversized), or queued() (still pending release), so
+// passed + dropped + queued == total offers at all times.  Packets with
+// bytes > burst can never conform and are rejected at offer() — queueing
+// one would wedge the FIFO head permanently.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +26,8 @@ class LeakyBucket {
         queue_cap_(queue_cap) {}
 
   /// Offer a packet of `bytes` at time `now`.  Returns true when the
-  /// packet may pass immediately; false when it is queued or dropped.
+  /// packet may pass immediately; false when it is queued or dropped
+  /// (dropped() distinguishes the two).
   bool offer(Ns now, std::uint32_t bytes);
 
   /// Drain the queue at time `now`; returns the number of packets
@@ -28,11 +36,16 @@ class LeakyBucket {
 
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Subset of dropped(): packets larger than the bucket depth.
+  [[nodiscard]] std::uint64_t oversized() const noexcept { return oversized_; }
   [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
   [[nodiscard]] double tokens() const noexcept { return tokens_; }
+  [[nodiscard]] std::uint64_t burst() const noexcept { return burst_; }
 
  private:
   void refill(Ns now) noexcept;
+  /// Release queued packets the current token balance covers (no refill).
+  std::size_t release_ready();
 
   double rate_bps_;
   std::uint64_t burst_;
@@ -41,6 +54,7 @@ class LeakyBucket {
   Ns last_refill_ = 0;
   std::deque<std::uint32_t> queue_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t oversized_ = 0;
   std::uint64_t passed_ = 0;
 };
 

@@ -1,8 +1,7 @@
 #include "apps/nf/maglev.h"
 
-#include <cassert>
+#include <algorithm>
 #include <functional>
-#include <limits>
 
 namespace ipipe::nf {
 namespace {
@@ -16,22 +15,55 @@ std::uint64_t hash_str(const std::string& s, std::uint64_t salt) {
   return h;
 }
 
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::size_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+// Maglev's permutation (offset + j*skip mod m) only cycles through every
+// slot when skip is coprime with m; a prime m makes every skip in
+// [1, m-1] coprime.  A composite m lets a backend whose skip shares a
+// factor with m visit only m/gcd slots — once that cycle fills, the
+// inner preference scan never finds an empty slot and populate() spins
+// forever.  Rounding up to a prime removes the failure mode entirely.
+std::size_t next_prime(std::size_t n) {
+  if (n < 2) return 2;
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
 }  // namespace
 
 MaglevTable::MaglevTable(std::vector<std::string> backends,
                          std::size_t table_size)
     : backends_(std::move(backends)),
       alive_(backends_.size(), true),
-      entries_(table_size, std::numeric_limits<std::size_t>::max()) {
-  assert(!backends_.empty());
+      entries_(next_prime(table_size), kNoBackend) {
   populate();
 }
 
-void MaglevTable::populate() {
+std::size_t MaglevTable::alive_count() const noexcept {
+  std::size_t n = 0;
+  for (const bool a : alive_) {
+    if (a) ++n;
+  }
+  return n;
+}
+
+bool MaglevTable::populate() {
   const std::size_t m = entries_.size();
   const std::size_t n = backends_.size();
-  std::fill(entries_.begin(), entries_.end(),
-            std::numeric_limits<std::size_t>::max());
+  std::fill(entries_.begin(), entries_.end(), kNoBackend);
+
+  // No live backend: the table stays empty and every lookup resolves to
+  // kNoBackend.  The caller decides what "no backend" means (the NF
+  // stage drops the packet) — asserting here turns a recoverable state
+  // into an abort in debug builds and an infinite loop in release.
+  if (alive_count() == 0) return false;
 
   // Per-backend permutation parameters (offset, skip), Maglev §3.4.
   std::vector<std::size_t> offset(n);
@@ -46,9 +78,10 @@ void MaglevTable::populate() {
   while (filled < m) {
     for (std::size_t i = 0; i < n && filled < m; ++i) {
       if (!alive_[i]) continue;
-      // Find this backend's next preferred empty slot.
+      // Find this backend's next preferred empty slot.  m is prime so
+      // the permutation visits every slot and the scan terminates.
       std::size_t c = (offset[i] + next[i] * skip[i]) % m;
-      while (entries_[c] != std::numeric_limits<std::size_t>::max()) {
+      while (entries_[c] != kNoBackend) {
         ++next[i];
         c = (offset[i] + next[i] * skip[i]) % m;
       }
@@ -56,15 +89,12 @@ void MaglevTable::populate() {
       ++next[i];
       ++filled;
     }
-    // All backends dead would loop forever; guard.
-    bool any_alive = false;
-    for (std::size_t i = 0; i < n; ++i) any_alive = any_alive || alive_[i];
-    assert(any_alive);
   }
+  return true;
 }
 
 double MaglevTable::remove_backend(std::size_t idx) {
-  assert(idx < backends_.size());
+  if (idx >= backends_.size() || !alive_[idx]) return 0.0;
   const std::vector<std::size_t> before = entries_;
   alive_[idx] = false;
   populate();

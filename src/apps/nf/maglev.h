@@ -1,6 +1,12 @@
 // Maglev consistent-hashing load balancer (Eisenbud et al., NSDI'16) —
 // the "load balancer" workload of Table 3.  Real permutation-table
 // population algorithm; lookup is a single table index.
+//
+// The table size is rounded up to the next prime at construction: the
+// permutation walk (offset + j*skip mod m) only visits every slot when
+// skip is coprime with m, and a composite m can make populate() spin
+// forever.  With every backend dead (or an empty backend list) the table
+// is valid but empty — lookup returns kNoBackend instead of asserting.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +17,15 @@ namespace ipipe::nf {
 
 class MaglevTable {
  public:
-  /// `table_size` should be a prime > 100 * backends for good balance.
+  /// Sentinel returned by lookup() when no backend is alive.
+  static constexpr std::size_t kNoBackend = ~std::size_t{0};
+
+  /// `table_size` is rounded up to the next prime (>= 100 * backends
+  /// recommended for good balance).
   MaglevTable(std::vector<std::string> backends, std::size_t table_size = 65537);
 
-  /// Backend index for a flow hash (O(1) single probe).
+  /// Backend index for a flow hash (O(1) single probe); kNoBackend when
+  /// every backend is dead.
   [[nodiscard]] std::size_t lookup(std::uint64_t flow_hash) const noexcept {
     return entries_[flow_hash % entries_.size()];
   }
@@ -24,17 +35,20 @@ class MaglevTable {
   [[nodiscard]] std::size_t backend_count() const noexcept {
     return backends_.size();
   }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
   [[nodiscard]] std::size_t table_size() const noexcept { return entries_.size(); }
 
   /// Remove a backend and repopulate; returns the fraction of table
-  /// entries that changed (Maglev's disruption metric).
+  /// entries that changed (Maglev's disruption metric).  Removing an
+  /// unknown or already-dead backend is a no-op returning 0.
   double remove_backend(std::size_t idx);
 
   /// Entries assigned to each backend (for balance tests).
   [[nodiscard]] std::vector<std::size_t> load_distribution() const;
 
  private:
-  void populate();
+  /// Rebuild the table; false when no backend is alive (table empty).
+  bool populate();
 
   std::vector<std::string> backends_;
   std::vector<bool> alive_;

@@ -27,6 +27,12 @@ namespace ipipe {
 using netsim::ActorId;
 using netsim::NodeId;
 
+/// Actor-group handle (pipeline co-placement).  Actors registered under
+/// the same group are placed and migrated as a unit and are exempt from
+/// the scheduler's autonomous migration policies.
+using GroupId = std::uint32_t;
+constexpr GroupId kNoGroup = 0;
+
 class ActorEnv;
 
 /// Base class for application actors.
@@ -110,6 +116,23 @@ class ActorEnv {
   /// Asynchronous message to an actor on this node (possibly across PCIe).
   virtual void local_send(ActorId dst_actor, std::uint16_t type,
                           std::vector<std::uint8_t> payload) = 0;
+  /// Hand a whole packet to another actor on this node, preserving every
+  /// field (flow, request_id, frame_size, created_at, ...).  Unlike
+  /// local_send — which builds a *fresh* message — this is the pipeline
+  /// primitive: downstream stages see the exact packet, so end-to-end
+  /// correlation ids and timestamps survive multi-stage paths.  Default:
+  /// the packet is dropped (environments without a delivery path).
+  virtual void forward(ActorId dst_actor, netsim::PacketPtr pkt) {
+    (void)dst_actor;
+    pkt.reset();
+  }
+  /// Field-for-field packet copy from this environment's arena (fan-out,
+  /// or promoting a borrowed `const Packet&` into an owned packet).
+  [[nodiscard]] virtual netsim::PacketPtr clone_packet(
+      const netsim::Packet& src) {
+    return netsim::PacketPtr(new netsim::Packet(src),
+                             netsim::PacketDeleter{nullptr});
+  }
   /// Deliver `type` back to this actor after `delay` of virtual time
   /// (heartbeats, election timeouts, retransmit sweeps).  The timer is
   /// silently dropped if the actor is killed/crashed before it fires;
@@ -166,6 +189,7 @@ struct ActorControl {
   Actor* actor = nullptr;
   ActorId id = 0;
   ActorLoc loc = ActorLoc::kNic;
+  GroupId group = kNoGroup;  ///< pipeline co-placement unit (kNoGroup = free)
   bool is_drr = false;
   std::uint32_t demotions = 0;  ///< FCFS->DRR downgrades (hysteresis scaling)
   bool killed = false;

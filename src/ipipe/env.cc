@@ -156,6 +156,25 @@ void NicEnv::local_send(ActorId dst_actor, std::uint16_t type,
   });
 }
 
+void NicEnv::forward(ActorId dst_actor, netsim::PacketPtr pkt) {
+  // The packet keeps every field the sender saw (flow, request_id,
+  // created_at, payload) — only the destination actor changes.  Cost
+  // model matches local_send: a queue insert same-side, the full
+  // channel-handling tax when the receiver lives across PCIe.
+  pkt->dst = node();
+  pkt->dst_actor = dst_actor;
+  pkt->local_hop = true;
+  const auto* dst = rt_.control(dst_actor);
+  const bool crosses = dst != nullptr && dst->loc == ActorLoc::kHost;
+  charge(crosses ? rt_.config().channel_handling_ns
+                 : rt_.config().channel_handling_ns / 2);
+  Runtime& rt = rt_;
+  ctx_.defer([&rt, p = std::move(pkt)]() mutable {
+    const ActorId dst = p->dst_actor;
+    rt.deliver_local(dst, std::move(p), MemSide::kNic);
+  });
+}
+
 // --------------------------------------------------------------- HostEnv --
 
 void HostEnv::compute(double units) {
@@ -196,6 +215,21 @@ void HostEnv::reply(const netsim::Packet& req, std::uint16_t type,
 void HostEnv::local_send(ActorId dst_actor, std::uint16_t type,
                          std::vector<std::uint8_t> payload) {
   auto pkt = make_packet(node(), dst_actor, type, std::move(payload), 0);
+  const auto* dst = rt_.control(dst_actor);
+  const bool crosses = dst != nullptr && dst->loc == ActorLoc::kNic;
+  charge(crosses ? rt_.config().channel_handling_ns
+                 : rt_.config().channel_handling_ns / 2);
+  Runtime& rt = rt_;
+  ctx_.defer([&rt, p = std::move(pkt)]() mutable {
+    const ActorId dst = p->dst_actor;
+    rt.deliver_local(dst, std::move(p), MemSide::kHost);
+  });
+}
+
+void HostEnv::forward(ActorId dst_actor, netsim::PacketPtr pkt) {
+  pkt->dst = node();
+  pkt->dst_actor = dst_actor;
+  pkt->local_hop = true;
   const auto* dst = rt_.control(dst_actor);
   const bool crosses = dst != nullptr && dst->loc == ActorLoc::kNic;
   charge(crosses ? rt_.config().channel_handling_ns

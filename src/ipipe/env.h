@@ -41,6 +41,11 @@ class EnvBase : public ActorEnv {
     rt_.schedule_actor_msg(ac_.id, delay, type, std::move(payload));
   }
 
+  [[nodiscard]] netsim::PacketPtr clone_packet(
+      const netsim::Packet& src) override {
+    return rt_.pool().make(src);
+  }
+
  protected:
   /// Charge the DMO translation + memory cost for touching `bytes`.
   void charge_dmo(std::uint64_t bytes);
@@ -87,6 +92,7 @@ class NicEnv final : public EnvBase {
              std::uint32_t frame_size) override;
   void local_send(ActorId dst_actor, std::uint16_t type,
                   std::vector<std::uint8_t> payload) override;
+  void forward(ActorId dst_actor, netsim::PacketPtr pkt) override;
 
  private:
   nic::NicExecContext& ctx_;
@@ -117,6 +123,7 @@ class HostEnv final : public EnvBase {
              std::uint32_t frame_size) override;
   void local_send(ActorId dst_actor, std::uint16_t type,
                   std::vector<std::uint8_t> payload) override;
+  void forward(ActorId dst_actor, netsim::PacketPtr pkt) override;
 
  private:
   hostsim::HostExecContext& ctx_;

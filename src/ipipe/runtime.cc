@@ -111,7 +111,8 @@ Runtime::~Runtime() {
 
 // ------------------------------------------------------------ actor mgmt --
 
-ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial) {
+ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial,
+                                GroupId group) {
   const ActorId id = next_actor_id_++;
   actor->id_ = id;
 
@@ -119,6 +120,7 @@ ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial) 
   ac.actor = actor.get();
   ac.id = id;
   ac.loc = actor->host_pinned() ? ActorLoc::kHost : initial;
+  ac.group = group;
   ac.latency = EwmaMeanStd(0.2);
   if (cfg_.policy == SchedPolicy::kDrrOnly && ac.loc == ActorLoc::kNic) {
     ac.is_drr = true;
@@ -137,6 +139,29 @@ ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial) 
     if (drr_cores() == 0) spawn_drr_core();
   }
   return id;
+}
+
+std::vector<ActorId> Runtime::group_members(GroupId group) const {
+  std::vector<ActorId> out;
+  if (group == kNoGroup) return out;
+  for (const auto& owned : owned_actors_) {
+    const auto* ac = control(owned->id());
+    if (ac != nullptr && ac->group == group) out.push_back(ac->id);
+  }
+  return out;
+}
+
+std::size_t Runtime::migrate_group(GroupId group, ActorLoc to) {
+  std::size_t queued = 0;
+  for (const ActorId id : group_members(group)) {
+    const auto* ac = control(id);
+    if (ac == nullptr || ac->killed || ac->loc == to) continue;
+    if (to == ActorLoc::kNic && ac->actor->host_pinned()) continue;
+    pending_group_migs_.emplace_back(id, to);
+    ++queued;
+  }
+  if (queued > 0) nic_.wake_core(0);  // the management core drains the queue
+  return queued;
 }
 
 void Runtime::delete_actor(ActorId id) {
@@ -258,6 +283,7 @@ void Runtime::crash_node_state() {
   // Volatile runtime state dies with the power: in-progress migration,
   // dispatcher queues, per-actor mailboxes and every PCIe ring byte.
   migration_.reset();
+  pending_group_migs_.clear();
   drr_queue_.clear();
   for (const auto& owned : owned_actors_) {
     auto* ac = control(owned->id());
@@ -505,7 +531,8 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
                                               : nic_cfg.sw_shuffle_cost);
     // Intra-NIC actor messages re-enter the work queue without paying the
     // wire RX/TX tax; only frames from the MAC or the host DMA path do.
-    const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
+    const bool local_msg =
+        (pkt->src == nic_.node() && !pkt->from_host) || pkt->local_hop;
     if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
     dispatch_nic(ctx, std::move(pkt), pkt_start);
     if (cfg_.policy == SchedPolicy::kHybrid && fcfs_stats_.seeded()) {
@@ -797,8 +824,8 @@ bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
                 (1.0 - cfg_.alpha) * static_cast<double>(cfg_.tail_thresh)) {
           maybe_upgrade();  // ALG 2 lines 10-12
         }
-        if (cfg_.enable_migration && ac->mailbox.size() > cfg_.q_thresh &&
-            !migration_.has_value()) {
+        if (cfg_.enable_migration && ac->group == kNoGroup &&
+            ac->mailbox.size() > cfg_.q_thresh && !migration_.has_value()) {
           start_migration(ac->id, ActorLoc::kHost);  // ALG 2 lines 18-20
         }
         return true;
@@ -815,7 +842,8 @@ bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
     const auto& nic_cfg = nic_.config();
     ctx.charge(nic_cfg.has_hw_traffic_manager ? nic_cfg.tm_dequeue_cost
                                               : nic_cfg.sw_shuffle_cost);
-    const bool local_msg = pkt->src == nic_.node() && !pkt->from_host;
+    const bool local_msg =
+        (pkt->src == nic_.node() && !pkt->from_host) || pkt->local_hop;
     if (!local_msg) ctx.charge_forwarding(pkt->frame_size);
     dispatch_nic(ctx, std::move(pkt), pkt_start);
     return true;
@@ -837,6 +865,17 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
   if (cfg_.supervise && !node_down_) supervise_scan();
   if (tracer_.enabled() && metrics_.due(sim_.now())) snapshot_metrics();
 
+  // Explicit group migrations outrank policy migrations and ignore the
+  // cooldown/EWMA gates — the application asked for them.  One member at
+  // a time through the single migration slot.
+  if (!migration_.has_value() && !pending_group_migs_.empty()) {
+    const auto [id, to] = pending_group_migs_.front();
+    pending_group_migs_.pop_front();
+    ctx.charge(cfg_.sched_bookkeeping_ns);
+    start_migration(id, to);  // skip members already home / killed
+    return true;
+  }
+
   if (!cfg_.enable_migration || migration_.has_value() ||
       !fcfs_stats_.seeded()) {
     return false;
@@ -855,7 +894,7 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
     ActorControl* heaviest = nullptr;
     for (auto& [id, ac] : actors_) {
       (void)id;
-      if (ac.killed || ac.loc != ActorLoc::kNic ||
+      if (ac.killed || ac.loc != ActorLoc::kNic || ac.group != kNoGroup ||
           ac.mig != MigState::kStable || !ac.latency.seeded()) {
         continue;
       }
@@ -870,7 +909,7 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
     for (auto& [id, ac] : actors_) {
       (void)id;
       if (ac.killed || ac.loc != ActorLoc::kHost || ac.actor->host_pinned() ||
-          ac.mig != MigState::kStable) {
+          ac.group != kNoGroup || ac.mig != MigState::kStable) {
         continue;
       }
       if (lightest == nullptr || ac.load() < lightest->load()) lightest = &ac;

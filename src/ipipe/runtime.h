@@ -142,14 +142,30 @@ class Runtime {
 
   // ---- actor management (Table 4) ----------------------------------------
   /// actor_create + actor_register + actor_init.  Ownership transfers to
-  /// the runtime.  Returns the assigned actor id.
+  /// the runtime.  Returns the assigned actor id.  Actors registered
+  /// under a `group` are placed as a unit: the autonomous migration
+  /// policies (push/pull, ALG2 mailbox pressure) skip them, and
+  /// migrate_group() moves every member through the migration machinery.
   ActorId register_actor(std::unique_ptr<Actor> actor,
-                         ActorLoc initial = ActorLoc::kNic);
+                         ActorLoc initial = ActorLoc::kNic,
+                         GroupId group = kNoGroup);
   /// actor_delete.
   void delete_actor(ActorId id);
   /// actor_migrate: manual migration trigger (the scheduler also calls
   /// this autonomously).
   bool start_migration(ActorId id, ActorLoc to);
+
+  // ---- actor groups (pipeline co-placement) --------------------------------
+  /// A fresh group handle for register_actor.
+  [[nodiscard]] GroupId create_actor_group() noexcept {
+    return next_group_id_++;
+  }
+  /// Members of `group`, in registration order.
+  [[nodiscard]] std::vector<ActorId> group_members(GroupId group) const;
+  /// Queue every member of `group` for migration to `to`.  Members move
+  /// one at a time through the single migration slot (the management
+  /// core drains the queue); returns the number of members queued.
+  std::size_t migrate_group(GroupId group, ActorLoc to);
 
   [[nodiscard]] Actor* find_actor(ActorId id);
   [[nodiscard]] ActorControl* control(ActorId id);
@@ -340,6 +356,9 @@ class Runtime {
   std::unordered_map<ActorId, ActorControl> actors_;
   std::vector<std::unique_ptr<Actor>> owned_actors_;
   ActorId next_actor_id_ = 1;
+  GroupId next_group_id_ = 1;
+  /// Explicit group migrations awaiting the single migration slot.
+  std::deque<std::pair<ActorId, ActorLoc>> pending_group_migs_;
 
   std::vector<CoreRole> roles_;
   std::vector<ActorId> drr_queue_;  ///< runnable queue shared by DRR cores

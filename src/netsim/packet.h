@@ -54,6 +54,16 @@ struct Packet {
   /// path) rather than arriving from the wire.
   bool from_host = false;
 
+  /// True for an actor-to-actor hop within one node (ActorEnv::forward):
+  /// the frame re-enters the work queue without re-paying the wire RX
+  /// forwarding tax.  Original source fields stay intact for replies.
+  bool local_hop = false;
+
+  /// Per-source ingress sequence stamped by an NF pipeline's head stage
+  /// (1, 2, 3, ... in arrival order); preserved hop to hop so the egress
+  /// reorder point can restore ingress order.  0 = unsequenced.
+  std::uint64_t pipe_seq = 0;
+
   /// Timestamp when the originating client created the request.
   Ns created_at = 0;
   /// Timestamp when this frame entered the current NIC (for forwarding

@@ -17,6 +17,8 @@ void reset_packet(Packet& p) noexcept {
   p.frame_size = 64;
   p.payload.clear();
   p.from_host = false;
+  p.local_hop = false;
+  p.pipe_seq = 0;
   p.created_at = 0;
   p.nic_arrival = 0;
 }
@@ -59,6 +61,8 @@ PacketPtr PacketPool::make(const Packet& src) {
   raw->frame_size = src.frame_size;
   raw->payload.assign(src.payload.begin(), src.payload.end());
   raw->from_host = src.from_host;
+  raw->local_hop = src.local_hop;
+  raw->pipe_seq = src.pipe_seq;
   raw->created_at = src.created_at;
   raw->nic_arrival = src.nic_arrival;
   return p;

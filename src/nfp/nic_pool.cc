@@ -1,0 +1,176 @@
+#include "nfp/nic_pool.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "netsim/packet.h"
+#include "nic/accelerator.h"
+
+namespace ipipe::nfp {
+namespace {
+
+/// Offline StageCtx pricing cost hooks against one NicConfig.  Emitted
+/// packets are discarded (the meter measures processing cost, not
+/// transport); time advances with the charges plus a fixed inter-packet
+/// gap so time-dependent stages (token refill) behave realistically.
+class CostMeter final : public StageCtx {
+ public:
+  explicit CostMeter(const nic::NicConfig& cfg) : cfg_(cfg), rng_(0xC057ULL) {}
+
+  [[nodiscard]] Ns now() const override { return now_; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void charge(Ns t) override { acc_ += t; }
+  void compute(double units) override {
+    // Same conversion the NIC-side ActorEnv uses (IPipeConfig default
+    // achieved IPC for the wimpy in-order cores).
+    acc_ += static_cast<Ns>(units / (kNicIpc * cfg_.freq_ghz));
+  }
+  void mem(std::uint64_t ws, std::uint64_t n) override {
+    // Resolve the working set against the memory hierarchy: dependent
+    // random accesses pay the latency of the smallest level they fit in.
+    double lat = cfg_.dram.latency_ns;
+    if (ws <= cfg_.l1.capacity_bytes) {
+      lat = cfg_.l1.latency_ns;
+    } else if (ws <= cfg_.l2.capacity_bytes) {
+      lat = cfg_.l2.latency_ns;
+    }
+    acc_ += static_cast<Ns>(lat * static_cast<double>(n));
+  }
+  void accel(nic::AccelKind kind, std::uint32_t bytes,
+             std::uint32_t batch) override {
+    // Per-item amortized engine cost; the bank timings are the fitted
+    // Table-3 values (per-config engine banks live on NicModel, which an
+    // offline meter deliberately does not instantiate).
+    acc_ += static_cast<Ns>(bank_.per_item_us(kind, bytes, batch) * 1000.0);
+  }
+  [[nodiscard]] netsim::PacketPtr clone(const netsim::Packet& src) override {
+    return netsim::PacketPtr(new netsim::Packet(src),
+                             netsim::PacketDeleter{nullptr});
+  }
+
+  void advance(Ns gap) { now_ += gap; }
+  [[nodiscard]] Ns consumed() const noexcept { return acc_; }
+
+ protected:
+  void do_emit(netsim::PacketPtr pkt) override { pkt.reset(); }
+
+ private:
+  static constexpr double kNicIpc = 1.2;  // IPipeConfig default nic_ipc
+
+  const nic::NicConfig& cfg_;
+  nic::AcceleratorBank bank_;
+  Rng rng_;
+  Ns now_ = 1;
+  Ns acc_ = 0;
+};
+
+/// Deterministic synthetic packet `i` of the measurement stream: a small
+/// set of flows, mixed frame sizes, sequence ids 1..n (what stages see
+/// in production).
+netsim::PacketPtr synth_packet(std::size_t i) {
+  auto pkt = netsim::alloc_packet();
+  pkt->src = 1000;
+  pkt->dst = 0;
+  pkt->src_actor = 7;
+  pkt->msg_type = kNfData;
+  pkt->flow = static_cast<std::uint32_t>(i % 16);
+  pkt->request_id = static_cast<std::uint64_t>(i + 1);
+  pkt->frame_size = (i % 4 == 0) ? netsim::kMtuFrameSize : 512;
+  pkt->payload.assign(64, static_cast<std::uint8_t>(i));
+  return pkt;
+}
+
+}  // namespace
+
+PipelineCost measure_pipeline_cost(const PipelineSpec& spec,
+                                   const nic::NicConfig& cfg,
+                                   std::uint64_t seed, std::size_t samples) {
+  PipelineCost out;
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    auto stage = make_stage(spec.stages[s], seed + s);
+    CostMeter meter(cfg);
+    meter.set_stats(&stage->stats());
+    const Ns period = stage->tick_period();
+    Ns next_tick = period;
+    for (std::size_t i = 0; i < samples; ++i) {
+      meter.advance(usec(1));  // ~1Mpps measurement stream
+      if (period > 0 && meter.now() >= next_tick) {
+        stage->tick(meter);
+        next_tick += period;
+      }
+      stage->process(meter, synth_packet(i));
+    }
+    StageCost sc;
+    sc.name = stage->name();
+    sc.ns_per_pkt =
+        static_cast<double>(meter.consumed()) / static_cast<double>(samples);
+    sc.state_bytes = stage->state_bytes();
+    out.total_ns_per_pkt += sc.ns_per_pkt;
+    out.state_bytes += sc.state_bytes;
+    out.stages.push_back(std::move(sc));
+  }
+  return out;
+}
+
+std::size_t NicPool::add_nic(std::string name, nic::NicConfig cfg) {
+  nics_.push_back(PoolNic{std::move(name), std::move(cfg), 0.0, 0});
+  return nics_.size() - 1;
+}
+
+NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
+                                  std::uint64_t seed) {
+  if (nics_.empty()) {
+    throw std::logic_error("NicPool::place called with no NICs in the pool");
+  }
+
+  // Per-NIC cost of this pipeline and the utilization it would add:
+  // offered_pps * ns/pkt spread over the card's cores.
+  struct Candidate {
+    double added = 0.0;
+    double resulting = 0.0;
+    PipelineCost cost;
+  };
+  std::vector<Candidate> cand(nics_.size());
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    cand[i].cost = measure_pipeline_cost(spec, nics_[i].cfg, seed);
+    cand[i].added = offered_pps * cand[i].cost.total_ns_per_pkt / 1e9 /
+                    static_cast<double>(nics_[i].cfg.cores);
+    cand[i].resulting = nics_[i].utilization + cand[i].added;
+  }
+
+  // First choice: among NICs that stay under the saturation threshold,
+  // the one ending least utilized (balances the pool as pipelines land).
+  std::size_t best = nics_.size();
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    if (cand[i].resulting > saturation_) continue;
+    if (best == nics_.size() || cand[i].resulting < cand[best].resulting) {
+      best = i;
+    }
+  }
+  bool spilled = false;
+  if (best == nics_.size()) {
+    // Spillover: every card would saturate — take the least-bad one and
+    // flag it so the caller can surface the overload.
+    spilled = true;
+    best = 0;
+    for (std::size_t i = 1; i < nics_.size(); ++i) {
+      if (cand[i].resulting < cand[best].resulting) best = i;
+    }
+  }
+
+  nics_[best].utilization = cand[best].resulting;
+  nics_[best].pipelines += 1;
+
+  Placement p;
+  p.nic = best;
+  p.spilled = spilled;
+  p.utilization_added = cand[best].added;
+  p.cost = std::move(cand[best].cost);
+  return p;
+}
+
+}  // namespace ipipe::nfp

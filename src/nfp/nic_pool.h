@@ -1,0 +1,87 @@
+// NicPool: places whole pipelines across a pool of heterogeneous
+// SmartNICs.
+//
+// Placement inputs come from an offline cost meter: each stage is
+// instantiated fresh and driven with a deterministic synthetic packet
+// stream under a StageCtx that prices cost hooks against the target
+// NIC's core/memory model (compute -> units / (ipc * freq), mem -> the
+// hierarchy level the working set fits in, accel -> the engine bank's
+// batch timing).  The same pipeline therefore costs different ns/pkt on
+// a 1.2GHz cnMIPS LiquidIO than on a 3GHz A72 Stingray, and placement
+// accounts for it.
+//
+// Semantics are one-NIC: a pipeline is never split across cards.  The
+// pool picks the NIC that (a) stays under the saturation threshold after
+// adding the pipeline's utilization and (b) ends up least utilized among
+// those; when every NIC would saturate, the pipeline spills onto the
+// least-loaded card anyway (marked `spilled`, so callers can report it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfp/spec.h"
+#include "nic/nic_config.h"
+
+namespace ipipe::nfp {
+
+struct StageCost {
+  std::string name;
+  double ns_per_pkt = 0.0;
+  std::uint64_t state_bytes = 0;
+};
+
+struct PipelineCost {
+  std::vector<StageCost> stages;
+  double total_ns_per_pkt = 0.0;
+  std::uint64_t state_bytes = 0;
+};
+
+/// Price one pipeline on one NIC model, by measurement (not by a static
+/// table): `samples` synthetic packets per stage, deterministic in
+/// `seed`.
+[[nodiscard]] PipelineCost measure_pipeline_cost(const PipelineSpec& spec,
+                                                 const nic::NicConfig& cfg,
+                                                 std::uint64_t seed = 42,
+                                                 std::size_t samples = 128);
+
+class NicPool {
+ public:
+  struct PoolNic {
+    std::string name;
+    nic::NicConfig cfg;
+    double utilization = 0.0;       ///< committed fraction of core capacity
+    std::size_t pipelines = 0;      ///< pipelines placed here
+  };
+
+  struct Placement {
+    std::size_t nic = 0;          ///< index into nics()
+    bool spilled = false;         ///< every candidate was saturated
+    double utilization_added = 0; ///< this pipeline's share on that NIC
+    PipelineCost cost;            ///< the measured per-stage costs used
+  };
+
+  /// Fraction of aggregate core capacity a NIC may commit before it
+  /// counts as saturated (default leaves headroom for forwarding).
+  explicit NicPool(double saturation = 0.85) : saturation_(saturation) {}
+
+  /// Returns the NIC's pool index.
+  std::size_t add_nic(std::string name, nic::NicConfig cfg);
+
+  /// Place one pipeline offered `offered_pps` packets/sec and commit the
+  /// utilization.  Requires at least one NIC.
+  [[nodiscard]] Placement place(const PipelineSpec& spec, double offered_pps,
+                                std::uint64_t seed = 42);
+
+  [[nodiscard]] const std::vector<PoolNic>& nics() const noexcept {
+    return nics_;
+  }
+  [[nodiscard]] double saturation() const noexcept { return saturation_; }
+
+ private:
+  double saturation_;
+  std::vector<PoolNic> nics_;
+};
+
+}  // namespace ipipe::nfp

@@ -1,0 +1,218 @@
+#include "nfp/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ipipe::nfp {
+namespace {
+
+/// StageCtx running inside an actor handler: costs and transport resolve
+/// against the actor's current placement through ActorEnv.
+class ActorStageCtx final : public StageCtx {
+ public:
+  ActorStageCtx(ActorEnv& env, netsim::ActorId next) : env_(env), next_(next) {}
+
+  [[nodiscard]] Ns now() const override { return env_.now(); }
+  [[nodiscard]] Rng& rng() override { return env_.rng(); }
+  void charge(Ns t) override { env_.charge(t); }
+  void compute(double units) override { env_.compute(units); }
+  void mem(std::uint64_t ws, std::uint64_t n) override { env_.mem(ws, n); }
+  void accel(nic::AccelKind kind, std::uint32_t bytes,
+             std::uint32_t batch) override {
+    env_.accel(kind, bytes, batch);
+  }
+  [[nodiscard]] netsim::PacketPtr clone(const netsim::Packet& src) override {
+    return env_.clone_packet(src);
+  }
+
+ protected:
+  void do_emit(netsim::PacketPtr pkt) override {
+    env_.forward(next_, std::move(pkt));
+  }
+  void do_drop(netsim::PacketPtr pkt) override {
+    // A dropped primary leaves a hole in the per-source sequence; send a
+    // tombstone down the chain so the egress reorder point can account
+    // for the sequence number instead of stalling on it forever.  Bonus
+    // copies occupy no sequence slot and just vanish.
+    if (pkt->msg_type != kNfData) {
+      pkt.reset();
+      return;
+    }
+    pkt->msg_type = kNfTomb;
+    pkt->payload.clear();
+    pkt->frame_size = netsim::kMinFrameSize;
+    env_.forward(next_, std::move(pkt));
+  }
+
+ private:
+  ActorEnv& env_;
+  netsim::ActorId next_;
+};
+
+}  // namespace
+
+class StageActor final : public Actor {
+ public:
+  StageActor(std::unique_ptr<Stage> stage, netsim::ActorId next, bool head)
+      : Actor("nfp." + stage->name()),
+        stage_(std::move(stage)),
+        next_(next),
+        head_(head) {}
+
+  void init(ActorEnv& env) override {
+    if (stage_->tick_period() > 0) {
+      env.schedule_self(stage_->tick_period(), kNfTick);
+    }
+  }
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override {
+    ActorStageCtx ctx(env, next_);
+    ctx.set_stats(&stage_->stats());
+    switch (req.msg_type) {
+      case kNfTick:
+        stage_->tick(ctx);
+        env.schedule_self(stage_->tick_period(), kNfTick);
+        break;
+      case kNfTomb:
+        // Pass-through: tombstones carry no work, only a sequence slot.
+        env.compute(4.0);
+        env.forward(next_, env.clone_packet(req));
+        break;
+      case kNfData:
+      case kNfBonus: {
+        ++stage_->stats().in;
+        // The runtime owns `req`; promote it to an owned packet so the
+        // stage can hold or forward it.
+        auto pkt = env.clone_packet(req);
+        // The head stage stamps the per-source ingress sequence the
+        // egress reorder point restores (request ids are client-encoded
+        // and opaque; the pipeline numbers arrivals itself).
+        if (head_ && pkt->msg_type == kNfData && pkt->pipe_seq == 0) {
+          pkt->pipe_seq = ++ingress_seq_[(static_cast<std::uint64_t>(pkt->src)
+                                          << 32) |
+                                         pkt->src_actor];
+        }
+        stage_->process(ctx, std::move(pkt));
+        break;
+      }
+      default:
+        break;  // stray message: ignore
+    }
+  }
+
+  [[nodiscard]] std::uint64_t region_bytes() const override { return 2 * MiB; }
+  [[nodiscard]] Stage& stage() noexcept { return *stage_; }
+  [[nodiscard]] const Stage& stage() const noexcept { return *stage_; }
+
+ private:
+  std::unique_ptr<Stage> stage_;
+  netsim::ActorId next_;
+  bool head_;
+  std::map<std::uint64_t, std::uint64_t> ingress_seq_;  ///< per source key
+};
+
+class EgressActor final : public Actor {
+ public:
+  EgressActor() : Actor("nfp.egress") {}
+
+  void handle(ActorEnv& env, const netsim::Packet& req) override {
+    switch (req.msg_type) {
+      case kNfBonus:
+        ++stats_.bonus;
+        env.compute(6.0);
+        break;
+      case kNfData:
+      case kNfTomb: {
+        env.compute(15.0);
+        auto& src = sources_[key_of(req)];
+        env.mem(src.pending.size() * 64 + 1024, 2);
+        const std::uint64_t seq = req.pipe_seq;
+        if (seq == 0) break;  // unsequenced stray: not part of a pipeline
+        if (seq < src.next_expected) {
+          // Duplicate or a release below the watermark: the order
+          // invariant is broken (or an upstream retransmitted).
+          ++stats_.order_violations;
+          break;
+        }
+        if (req.msg_type == kNfData) {
+          src.pending[seq] = env.clone_packet(req);
+        } else {
+          src.pending[seq] = nullptr;  // tombstone marker
+        }
+        flush(env, src);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t region_bytes() const override { return 2 * MiB; }
+
+  [[nodiscard]] EgressStats stats() const {
+    EgressStats s = stats_;
+    for (const auto& [k, src] : sources_) {
+      (void)k;
+      s.pending += src.pending.size();
+    }
+    return s;
+  }
+
+ private:
+  static std::uint64_t key_of(const netsim::Packet& req) noexcept {
+    return (static_cast<std::uint64_t>(req.src) << 32) | req.src_actor;
+  }
+
+  void flush(ActorEnv& env, EgressSource& src) {
+    auto it = src.pending.begin();
+    while (it != src.pending.end() && it->first == src.next_expected) {
+      if (it->second != nullptr) {
+        const netsim::Packet& pkt = *it->second;
+        if (pkt.pipe_seq <= src.last_delivered) ++stats_.order_violations;
+        src.last_delivered = pkt.pipe_seq;
+        env.reply(pkt, kNfOut, pkt.payload, pkt.frame_size);
+        ++stats_.delivered;
+      } else {
+        ++stats_.tombstones;
+      }
+      ++src.next_expected;
+      it = src.pending.erase(it);
+    }
+  }
+
+  std::map<std::uint64_t, EgressSource> sources_;
+  EgressStats stats_;
+};
+
+PipelineRunner::PipelineRunner(Runtime& rt, const PipelineSpec& spec,
+                               Options opts)
+    : rt_(rt), spec_(spec), group_(rt.create_actor_group()) {
+  // Register back to front so each stage knows its successor's id.
+  auto egress = std::make_unique<EgressActor>();
+  egress_ = egress.get();
+  netsim::ActorId next =
+      rt_.register_actor(std::move(egress), opts.initial, group_);
+
+  stages_.resize(spec_.stages.size(), nullptr);
+  for (std::size_t i = spec_.stages.size(); i-- > 0;) {
+    auto stage = make_stage(spec_.stages[i], opts.seed + i);
+    auto actor =
+        std::make_unique<StageActor>(std::move(stage), next, /*head=*/i == 0);
+    stages_[i] = actor.get();
+    next = rt_.register_actor(std::move(actor), opts.initial, group_);
+  }
+  ingress_ = next;
+}
+
+std::vector<StageSnapshot> PipelineRunner::stage_snapshots() const {
+  std::vector<StageSnapshot> out;
+  out.reserve(stages_.size());
+  for (const StageActor* sa : stages_) {
+    out.push_back({sa->stage().name(), sa->stage().stats()});
+  }
+  return out;
+}
+
+EgressStats PipelineRunner::egress_stats() const { return egress_->stats(); }
+
+}  // namespace ipipe::nfp

@@ -1,0 +1,91 @@
+// Pipeline runtime: maps a parsed PipelineSpec onto a chain of iPipe
+// actors (one StageActor per stage plus an egress reorder actor),
+// registered as one actor group so the scheduler places and migrates the
+// pipeline as a unit.
+//
+// Packet contract.  Clients inject kNfData packets; the head stage
+// stamps each arrival with a per-source ingress sequence (Packet::
+// pipe_seq = 1, 2, 3, ... in arrival order — request ids stay opaque,
+// client-owned correlation state).  Stages forward packets with
+// ActorEnv::forward, which preserves every field, so the sequence
+// survives the whole chain.  Drops become kNfTomb tombstones that
+// continue down the chain;
+// fan-out copies travel as kNfBonus.  The egress actor restores ingress
+// order per source before replying: data for sequence s is released only
+// after every sequence below s was released (as a reply or a tombstone),
+// so cross-stage reordering — multi-core execution, rate-limiter holds,
+// pFabric's priority inversion — is invisible to clients.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipipe/runtime.h"
+#include "nfp/spec.h"
+#include "nfp/stage.h"
+
+namespace ipipe::nfp {
+
+/// Per-source state of the egress reorder point.
+struct EgressSource {
+  std::uint64_t next_expected = 1;
+  std::uint64_t last_delivered = 0;
+  std::map<std::uint64_t, netsim::PacketPtr> pending;  ///< null = tombstone
+};
+
+/// Egress counters (order_violations must stay 0 — the bench asserts it).
+struct EgressStats {
+  std::uint64_t delivered = 0;         ///< in-order replies sent
+  std::uint64_t tombstones = 0;        ///< dropped sequences accounted
+  std::uint64_t bonus = 0;             ///< fan-out copies absorbed
+  std::uint64_t order_violations = 0;  ///< non-monotonic release (bug!)
+  std::uint64_t pending = 0;           ///< buffered at last count
+};
+
+/// One stage's public-facing snapshot.
+struct StageSnapshot {
+  std::string name;
+  StageStats stats;
+};
+
+class StageActor;
+class EgressActor;
+
+class PipelineRunner {
+ public:
+  struct Options {
+    std::uint64_t seed = 42;
+    ActorLoc initial = ActorLoc::kNic;
+  };
+
+  /// Build and register the pipeline on `rt`.  The runtime owns the
+  /// actors; the runner borrows them and must not outlive `rt`.
+  PipelineRunner(Runtime& rt, const PipelineSpec& spec, Options opts);
+  PipelineRunner(Runtime& rt, const PipelineSpec& spec)
+      : PipelineRunner(rt, spec, Options{}) {}
+
+  /// Actor id clients address their requests to (the first stage).
+  [[nodiscard]] netsim::ActorId ingress() const noexcept { return ingress_; }
+  [[nodiscard]] GroupId group() const noexcept { return group_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return stages_.size(); }
+  [[nodiscard]] const PipelineSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] std::vector<StageSnapshot> stage_snapshots() const;
+  [[nodiscard]] EgressStats egress_stats() const;
+
+  /// Move the whole pipeline NIC<->host as one unit.
+  std::size_t migrate(ActorLoc to) { return rt_.migrate_group(group_, to); }
+
+ private:
+  Runtime& rt_;
+  PipelineSpec spec_;
+  GroupId group_ = kNoGroup;
+  netsim::ActorId ingress_ = 0;
+  std::vector<StageActor*> stages_;  ///< owned by the runtime
+  EgressActor* egress_ = nullptr;    ///< owned by the runtime
+};
+
+}  // namespace ipipe::nfp

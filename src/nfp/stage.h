@@ -1,0 +1,124 @@
+// Composable NF pipeline stages.
+//
+// A Stage is one network function with a uniform pkt-in/pkt-out
+// contract: process() consumes one netsim::Packet and emits zero or more
+// through its StageCtx.  Verdicts are expressed through the ctx calls:
+//   * ctx.emit(pkt)       — pass the (primary) packet downstream;
+//   * ctx.emit_bonus(pkt) — fan-out copy (emit-N: replicas, mirrors);
+//   * ctx.drop(pkt)       — terminal drop (accounted, tombstoned);
+//   * neither             — the stage holds the packet (rate-limiter
+//                           queue, pFabric heap) and must emit or drop it
+//                           from a later process()/tick() call.
+//
+// Stages are placement-agnostic: the same Stage object runs inside a
+// StageActor on a simulated NIC (costs charged to the core model), under
+// the offline CostMeter that prices a stage for NicPool placement, or
+// under a plain test harness.  Every cost must go through the ctx hooks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "netsim/packet.h"
+#include "nic/accelerator.h"
+
+namespace ipipe::nfp {
+
+// Pipeline message tags (Packet::msg_type).  The ingress sequence rides
+// in Packet::request_id and is preserved hop to hop by ActorEnv::forward.
+constexpr std::uint16_t kNfData = 0x4E01;   ///< primary pipeline packet
+constexpr std::uint16_t kNfBonus = 0x4E02;  ///< fan-out copy (emit-N)
+constexpr std::uint16_t kNfTomb = 0x4E03;   ///< dropped-seq tombstone
+constexpr std::uint16_t kNfTick = 0x4E04;   ///< periodic stage timer
+constexpr std::uint16_t kNfOut = 0x4E05;    ///< egress reply to the client
+
+struct StageStats {
+  std::uint64_t in = 0;       ///< primary packets offered to process()
+  std::uint64_t out = 0;      ///< primary packets emitted downstream
+  std::uint64_t bonus = 0;    ///< fan-out copies emitted
+  std::uint64_t dropped = 0;  ///< terminal drops
+  /// Packets currently held inside the stage (in - out - dropped).
+  [[nodiscard]] std::uint64_t held() const noexcept {
+    return in - out - dropped;
+  }
+};
+
+/// Execution services for a running stage.  The base class owns verdict
+/// accounting so all three harnesses (actor, meter, test) count the same
+/// way; subclasses implement the do_* transport and cost hooks.
+class StageCtx {
+ public:
+  virtual ~StageCtx() = default;
+
+  [[nodiscard]] virtual Ns now() const = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  // ---- cost charging (same units as ActorEnv) ---------------------------
+  virtual void charge(Ns t) = 0;
+  virtual void compute(double units) = 0;
+  virtual void mem(std::uint64_t ws, std::uint64_t n) = 0;
+  virtual void accel(nic::AccelKind kind, std::uint32_t bytes,
+                     std::uint32_t batch) = 0;
+
+  // ---- verdicts ---------------------------------------------------------
+  void emit(netsim::PacketPtr pkt) {
+    if (stats_ != nullptr) ++stats_->out;
+    do_emit(std::move(pkt));
+  }
+  void emit_bonus(netsim::PacketPtr pkt) {
+    if (stats_ != nullptr) ++stats_->bonus;
+    pkt->msg_type = kNfBonus;
+    do_emit(std::move(pkt));
+  }
+  void drop(netsim::PacketPtr pkt) {
+    if (stats_ != nullptr) ++stats_->dropped;
+    do_drop(std::move(pkt));
+  }
+  /// Field-for-field packet copy (fan-out source).
+  [[nodiscard]] virtual netsim::PacketPtr clone(const netsim::Packet& src) = 0;
+
+  void set_stats(StageStats* stats) noexcept { stats_ = stats; }
+
+ protected:
+  virtual void do_emit(netsim::PacketPtr pkt) = 0;
+  /// Terminal drop; the actor harness turns primary drops into
+  /// tombstones so the egress reorder point never stalls on the gap.
+  virtual void do_drop(netsim::PacketPtr pkt) { pkt.reset(); }
+
+ private:
+  StageStats* stats_ = nullptr;
+};
+
+class Stage {
+ public:
+  explicit Stage(std::string name) : name_(std::move(name)) {}
+  virtual ~Stage() = default;
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  /// Handle one packet; see the verdict contract above.  `pkt.msg_type`
+  /// is kNfData or kNfBonus; stages treat both alike.
+  virtual void process(StageCtx& ctx, netsim::PacketPtr pkt) = 0;
+
+  /// Periodic service hook for stages that hold packets (released
+  /// rate-limiter queue, pFabric drain).  Called every tick_period().
+  virtual void tick(StageCtx& /*ctx*/) {}
+  [[nodiscard]] virtual Ns tick_period() const { return 0; }
+
+  /// Resident state bytes (working set for memory-cost charging and
+  /// NicPool footprint accounting).
+  [[nodiscard]] virtual std::uint64_t state_bytes() const { return 0; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] StageStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const StageStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::string name_;
+  StageStats stats_;
+};
+
+}  // namespace ipipe::nfp
