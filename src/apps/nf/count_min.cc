@@ -1,5 +1,7 @@
 #include "apps/nf/count_min.h"
 
+#include <stdexcept>
+
 namespace ipipe::nf {
 namespace {
 
@@ -17,6 +19,12 @@ std::uint64_t mix(std::uint64_t x) noexcept {
 CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
                                std::uint64_t seed)
     : width_(width), depth_(depth), cells_(width * depth, 0), seeds_(depth) {
+  // index() computes `% width_` and every row loop assumes depth_ >= 1; a
+  // zero dimension is mod-by-zero UB, not an empty sketch.
+  if (width_ == 0 || depth_ == 0) {
+    throw std::invalid_argument(
+        "CountMinSketch: width and depth must be nonzero");
+  }
   std::uint64_t s = seed;
   for (auto& v : seeds_) v = s = mix(s + 0x9E3779B97F4A7C15ULL);
 }

@@ -1,19 +1,57 @@
 #include "apps/nf/pfabric.h"
 
 namespace ipipe::nf {
+namespace {
+
+[[nodiscard]] bool key_less(const PFabricScheduler::Entry& a,
+                            const PFabricScheduler::Entry& b) noexcept {
+  return a.remaining < b.remaining ||
+         (a.remaining == b.remaining && a.flow_id < b.flow_id);
+}
+
+}  // namespace
+
+std::uint64_t PFabricScheduler::next_prio() noexcept {
+  // splitmix64: a deterministic per-scheduler stream, one draw per insert.
+  std::uint64_t x = (prio_state_ += 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t PFabricScheduler::insert(std::unique_ptr<Node>& slot,
+                                     std::unique_ptr<Node> node) {
+  if (!slot) {
+    slot = std::move(node);
+    return 1;
+  }
+  std::size_t visits = 1;
+  if (key_less(node->entry, slot->entry)) {
+    visits += insert(slot->left, std::move(node));
+    if (slot->left->prio > slot->prio) {
+      // Right rotation: lift the higher-priority left child above us.
+      auto l = std::move(slot->left);
+      slot->left = std::move(l->right);
+      l->right = std::move(slot);
+      slot = std::move(l);
+    }
+  } else {
+    visits += insert(slot->right, std::move(node));
+    if (slot->right->prio > slot->prio) {
+      auto r = std::move(slot->right);
+      slot->right = std::move(r->left);
+      r->left = std::move(slot);
+      slot = std::move(r);
+    }
+  }
+  return visits;
+}
 
 std::size_t PFabricScheduler::enqueue(const Entry& e) {
-  std::size_t visits = 1;
-  std::unique_ptr<Node>* slot = &root_;
-  while (*slot) {
-    ++visits;
-    const bool less = e.remaining < (*slot)->entry.remaining ||
-                      (e.remaining == (*slot)->entry.remaining &&
-                       e.flow_id < (*slot)->entry.flow_id);
-    slot = less ? &(*slot)->left : &(*slot)->right;
-  }
-  *slot = std::make_unique<Node>();
-  (*slot)->entry = e;
+  auto node = std::make_unique<Node>();
+  node->entry = e;
+  node->prio = next_prio();
+  const std::size_t visits = insert(root_, std::move(node));
   ++size_;
   last_visits_ = visits;
   return visits;
@@ -27,6 +65,9 @@ std::optional<PFabricScheduler::Entry> PFabricScheduler::dequeue() {
     ++visits;
     slot = &(*slot)->left;
   }
+  // Splicing the leftmost node keeps the treap valid: it has no left
+  // child, and its right subtree's priorities are already below every
+  // ancestor's.
   const Entry e = (*slot)->entry;
   *slot = std::move((*slot)->right);
   --size_;

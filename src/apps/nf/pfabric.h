@@ -1,7 +1,15 @@
 // pFabric priority packet scheduler (Alizadeh et al., SIGCOMM'13) — the
 // "packet scheduler" workload of Table 3.  Packets are prioritized by
-// remaining flow size; we keep them in a real binary search tree
-// (std::multimap is not used — we want visit counts for cost accounting).
+// remaining flow size; we keep them in a real search tree (std::multimap
+// is not used — we want visit counts for cost accounting).
+//
+// The tree is a treap: every node carries a pseudo-random heap priority
+// drawn from a seeded generator, so the expected depth is O(log n) for
+// *any* insertion order.  A plain BST degenerated to a linked list under
+// monotone `remaining` keys — exactly what a long flow draining in order
+// produces — making enqueue/dequeue O(n) per packet.  Key order and
+// tie-breaks are unchanged: smaller remaining first, then smaller
+// flow_id, equal entries to the right.
 #pragma once
 
 #include <cstdint>
@@ -18,9 +26,10 @@ class PFabricScheduler {
     std::uint64_t packet_ref = 0;
   };
 
-  PFabricScheduler() = default;
+  explicit PFabricScheduler(std::uint64_t seed = 0x9F4B51C5ULL)
+      : prio_state_(seed) {}
 
-  /// Insert a packet; returns BST nodes visited (cost accounting).
+  /// Insert a packet; returns tree nodes visited (cost accounting).
   std::size_t enqueue(const Entry& e);
 
   /// Remove and return the highest-priority (smallest remaining) entry.
@@ -36,13 +45,18 @@ class PFabricScheduler {
  private:
   struct Node {
     Entry entry;
+    std::uint64_t prio = 0;  ///< treap heap priority (max at the root)
     std::unique_ptr<Node> left;
     std::unique_ptr<Node> right;
   };
 
+  [[nodiscard]] std::uint64_t next_prio() noexcept;
+  std::size_t insert(std::unique_ptr<Node>& slot, std::unique_ptr<Node> node);
+
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
   std::size_t last_visits_ = 0;
+  std::uint64_t prio_state_;
 };
 
 }  // namespace ipipe::nf

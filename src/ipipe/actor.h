@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "ipipe/dmo.h"
+#include "ipipe/tenant.h"
 #include "netsim/packet.h"
 #include "nic/accelerator.h"
 
@@ -190,6 +191,7 @@ struct ActorControl {
   ActorId id = 0;
   ActorLoc loc = ActorLoc::kNic;
   GroupId group = kNoGroup;  ///< pipeline co-placement unit (kNoGroup = free)
+  TenantId tenant = kNoTenant;  ///< owning virtual function (kNoTenant = PF)
   bool is_drr = false;
   std::uint32_t demotions = 0;  ///< FCFS->DRR downgrades (hysteresis scaling)
   bool killed = false;

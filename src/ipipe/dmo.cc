@@ -88,8 +88,46 @@ void ObjectTable::register_actor(ActorId actor, std::uint64_t region_bytes) {
 void ObjectTable::deregister_actor(ActorId actor) {
   const auto it = regions_.find(actor);
   if (it == regions_.end()) return;
-  for (const ObjId id : it->second.objects) objects_.erase(id);
+  QuotaGroup* quota = quota_of(actor);
+  for (const ObjId id : it->second.objects) {
+    if (quota != nullptr) {
+      const auto obj = objects_.find(id);
+      if (obj != objects_.end()) {
+        const std::uint64_t charge = quota_charge(obj->second.size);
+        quota->used -= std::min(quota->used, charge);
+      }
+    }
+    objects_.erase(id);
+  }
   regions_.erase(it);
+  actor_quota_.erase(actor);
+}
+
+void ObjectTable::set_quota(ActorId actor, std::uint32_t group,
+                            std::uint64_t cap_bytes) {
+  if (group == 0) {
+    actor_quota_.erase(actor);
+    return;
+  }
+  actor_quota_[actor] = group;
+  quota_groups_[group].cap = cap_bytes;
+}
+
+std::uint64_t ObjectTable::quota_used(std::uint32_t group) const noexcept {
+  const auto it = quota_groups_.find(group);
+  return it == quota_groups_.end() ? 0 : it->second.used;
+}
+
+std::uint64_t ObjectTable::quota_cap(std::uint32_t group) const noexcept {
+  const auto it = quota_groups_.find(group);
+  return it == quota_groups_.end() ? 0 : it->second.cap;
+}
+
+ObjectTable::QuotaGroup* ObjectTable::quota_of(ActorId actor) {
+  const auto it = actor_quota_.find(actor);
+  if (it == actor_quota_.end()) return nullptr;
+  const auto git = quota_groups_.find(it->second);
+  return git == quota_groups_.end() ? nullptr : &git->second;
 }
 
 bool ObjectTable::actor_registered(ActorId actor) const noexcept {
@@ -101,8 +139,15 @@ DmoStatus ObjectTable::alloc(ActorId actor, std::uint32_t size, MemSide side,
   out_id = kInvalidObj;
   const auto it = regions_.find(actor);
   if (it == regions_.end()) return DmoStatus::kWrongOwner;
+  QuotaGroup* quota = quota_of(actor);
+  const std::uint64_t charge = quota_charge(size);
+  if (quota != nullptr && quota->cap != 0 && quota->used + charge > quota->cap) {
+    ++quota_denials_;
+    return DmoStatus::kQuotaExceeded;
+  }
   auto addr = allocator(it->second, side).alloc(size);
   if (!addr) return DmoStatus::kNoMemory;
+  if (quota != nullptr) quota->used += charge;
 
   const ObjId id = next_id_++;
   DmoRecord rec;
@@ -134,6 +179,10 @@ DmoStatus ObjectTable::free(ActorId actor, ObjId id) {
   const auto region_it = regions_.find(actor);
   assert(region_it != regions_.end());
   allocator(region_it->second, rec->side).free(rec->addr);
+  if (QuotaGroup* quota = quota_of(actor); quota != nullptr) {
+    const std::uint64_t charge = quota_charge(rec->size);
+    quota->used -= std::min(quota->used, charge);
+  }
   auto& objs = region_it->second.objects;
   objs.erase(std::remove(objs.begin(), objs.end(), id), objs.end());
   objects_.erase(id);

@@ -78,6 +78,7 @@ enum class DmoStatus {
   kOutOfBounds,  ///< isolation trap: past the end of the object
   kNoMemory,     ///< region exhausted (the paper: "DMO allocation fails")
   kWrongSide,    ///< object currently lives on the other side of PCIe
+  kQuotaExceeded,  ///< tenant quota group over cap (not an isolation trap)
 };
 
 struct DmoRecord {
@@ -154,6 +155,21 @@ class ObjectTable {
   /// Total resident bytes across an actor's live objects (working set).
   [[nodiscard]] std::uint64_t working_set(ActorId actor) const;
 
+  // ---- tenant quota groups -------------------------------------------------
+  /// Cap the combined DMO footprint of a set of actors: every member of
+  /// quota group `group` charges its (padded) allocations against the
+  /// shared `cap_bytes`; an alloc that would exceed the cap returns
+  /// kQuotaExceeded instead of consuming region memory.  Unlike kNoMemory
+  /// this is a policy denial, not capacity exhaustion — other groups'
+  /// regions are untouched.  Re-calling updates the cap; group 0 = none.
+  void set_quota(ActorId actor, std::uint32_t group, std::uint64_t cap_bytes);
+  [[nodiscard]] std::uint64_t quota_used(std::uint32_t group) const noexcept;
+  [[nodiscard]] std::uint64_t quota_cap(std::uint32_t group) const noexcept;
+  /// Allocations denied with kQuotaExceeded.
+  [[nodiscard]] std::uint64_t quota_denials() const noexcept {
+    return quota_denials_;
+  }
+
   [[nodiscard]] std::uint64_t traps() const noexcept { return traps_; }
   /// Accesses rejected with kWrongSide (remote-residency hits).  These
   /// are not isolation traps: the runtime normally retries them as
@@ -172,6 +188,20 @@ class ObjectTable {
     std::vector<ObjId> objects;
   };
 
+  struct QuotaGroup {
+    std::uint64_t cap = 0;
+    std::uint64_t used = 0;
+  };
+
+  /// Bytes an object of `size` charges against its quota group — the
+  /// padded allocator footprint, so quota accounting matches what the
+  /// region actually loses.
+  [[nodiscard]] static std::uint64_t quota_charge(std::uint32_t size) noexcept {
+    const std::uint64_t raw = size == 0 ? 1 : size;
+    return (raw + 15) & ~std::uint64_t{15};
+  }
+  [[nodiscard]] QuotaGroup* quota_of(ActorId actor);
+
   DmoRecord* find_mut(ObjId id);
   [[nodiscard]] RegionAllocator& allocator(ActorRegion& region, MemSide side) {
     return side == MemSide::kNic ? region.nic_alloc : region.host_alloc;
@@ -181,9 +211,12 @@ class ObjectTable {
 
   std::unordered_map<ActorId, ActorRegion> regions_;
   std::unordered_map<ObjId, DmoRecord> objects_;
+  std::unordered_map<std::uint32_t, QuotaGroup> quota_groups_;
+  std::unordered_map<ActorId, std::uint32_t> actor_quota_;
   ObjId next_id_ = 1;
   mutable std::uint64_t traps_ = 0;
   mutable std::uint64_t wrong_side_hits_ = 0;
+  std::uint64_t quota_denials_ = 0;
   std::uint64_t next_region_base_ = 0x10f0000000ULL;
   trace::Tracer* tracer_ = nullptr;
 };

@@ -45,6 +45,11 @@ ObjId EnvBase::dmo_alloc(std::uint32_t size) {
   charge(rt_.config().dmo_translate_ns * 4);  // allocator + table insert
   ObjId id = kInvalidObj;
   const auto status = rt_.objects().alloc(ac_.id, size, side(), id);
+  if (status == DmoStatus::kQuotaExceeded) {
+    // Policy denial, not a trap: the actor sees a failed alloc (like
+    // kNoMemory), and the tenant's ledger records who was denied.
+    rt_.note_dmo_denied(ac_.id);
+  }
   return status == DmoStatus::kOk ? id : kInvalidObj;
 }
 

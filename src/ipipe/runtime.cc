@@ -112,7 +112,7 @@ Runtime::~Runtime() {
 // ------------------------------------------------------------ actor mgmt --
 
 ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial,
-                                GroupId group) {
+                                GroupId group, TenantId tenant) {
   const ActorId id = next_actor_id_++;
   actor->id_ = id;
 
@@ -130,6 +130,10 @@ ActorId Runtime::register_actor(std::unique_ptr<Actor> actor, ActorLoc initial,
   auto [it, inserted] = actors_.emplace(id, std::move(ac));
   assert(inserted);
   owned_actors_.push_back(std::move(actor));
+
+  // Tenancy before init: the init handler's DMO allocations must already
+  // charge the tenant's quota.
+  if (tenant != kNoTenant) assign_actor_to_tenant(id, tenant);
 
   InitEnv env(*this, it->second);
   it->second.actor->init(env);
@@ -211,10 +215,286 @@ void Runtime::kill_actor(ActorId id, bool isolation_trap) {
            isolation_trap ? "isolation trap" : "watchdog timeout");
 }
 
+// ------------------------------------------------------------ multi-tenancy --
+
+TenantId Runtime::create_tenant(TenantConfig config) {
+  if (tenants_.empty()) tenants_.push_back(nullptr);  // slot 0 = the PF
+  const auto id = static_cast<TenantId>(tenants_.size());
+  auto t = std::make_unique<TenantState>(id, std::move(config));
+  // The tenant's RX queue pair: a dedicated weighted TM class.
+  nic_.tm().configure_class(id, t->cfg.drr_weight, t->cfg.rx_queue_cap);
+  tenants_.push_back(std::move(t));
+  if (!classifier_installed_) {
+    classifier_installed_ = true;
+    nic_.tm().set_classifier(
+        [this](netsim::Packet& pkt) { return classify_ingress(pkt); });
+  }
+  return id;
+}
+
+bool Runtime::assign_actor_to_tenant(ActorId id, TenantId tid) {
+  auto* ac = control(id);
+  TenantState* t = tenant(tid);
+  if (ac == nullptr || t == nullptr) return false;
+  ac->tenant = tid;
+  t->members.push_back(id);
+  if (t->cfg.dmo_cap_bytes > 0) {
+    objects_.set_quota(id, tid, t->cfg.dmo_cap_bytes);
+  }
+  return true;
+}
+
+TenantState* Runtime::tenant(TenantId id) {
+  return id != kNoTenant && id < tenants_.size() ? tenants_[id].get() : nullptr;
+}
+
+const TenantState* Runtime::tenant(TenantId id) const {
+  return id != kNoTenant && id < tenants_.size() ? tenants_[id].get() : nullptr;
+}
+
+TenantState* Runtime::tenant_of(ActorId id) {
+  const auto* ac = control(id);
+  return ac == nullptr ? nullptr : tenant(ac->tenant);
+}
+
+int Runtime::classify_ingress(netsim::Packet& pkt) {
+  const auto* ac = control(pkt.dst_actor);
+  if (ac == nullptr) return 0;
+  TenantState* t = tenant(ac->tenant);
+  if (t == nullptr) return 0;
+  pkt.tenant = t->id;
+
+  // Intra-node hops already passed the VF's ingress checks when the
+  // originating frame arrived; only wire/host-DMA arrivals are policed.
+  const bool local_hop =
+      pkt.local_hop || (pkt.src == nic_.node() && !pkt.from_host);
+  if (!local_hop) {
+    const Ns now = sim_.now();
+    if (t->quarantined) {
+      ++t->stats.filter_drops;
+      return -1;
+    }
+    if (t->throttled(now)) {
+      ++t->stats.throttle_drops;
+      return -1;
+    }
+    if (!t->cfg.allowed_src.empty() &&
+        std::find(t->cfg.allowed_src.begin(), t->cfg.allowed_src.end(),
+                  pkt.src) == t->cfg.allowed_src.end()) {
+      ++t->stats.filter_drops;
+      t->note_violation(now);
+      return -1;
+    }
+    if (!t->ingress_admit(pkt.frame_size, now)) {
+      ++t->stats.policer_drops;
+      t->note_violation(now);
+      return -1;
+    }
+  }
+  ++t->stats.admitted_packets;
+  t->stats.admitted_bytes += pkt.frame_size;
+  return static_cast<int>(t->id);
+}
+
+bool Runtime::vf_mailbox_post(TenantId id, VfMboxMsg msg) {
+  TenantState* t = tenant(id);
+  if (t == nullptr || t->quarantined) return false;
+  ++t->stats.mbox_msgs;
+  if (t->mbox.size() >= t->cfg.mailbox_cap) {
+    // Contain the spam: over-cap requests are refused, not queued, and
+    // count toward the throttle ladder.
+    ++t->stats.mbox_drops;
+    t->note_violation(sim_.now());
+    return false;
+  }
+  t->mbox.push_back(msg);
+  nic_.wake_core(0);  // the management core serves VF mailboxes
+  return true;
+}
+
+std::optional<VfMboxReply> Runtime::vf_mailbox_poll(TenantId id) {
+  TenantState* t = tenant(id);
+  if (t == nullptr || t->mbox_replies.empty()) return std::nullopt;
+  const VfMboxReply r = t->mbox_replies.front();
+  t->mbox_replies.pop_front();
+  return r;
+}
+
+void Runtime::quarantine_tenant(TenantId id) {
+  TenantState* t = tenant(id);
+  if (t == nullptr || t->quarantined) return;
+  t->quarantined = true;
+  ++tenants_quarantined_;
+  // The whole VF goes down as a unit: every member dies via the §3.4
+  // isolation path and is barred from supervised restart — restarting
+  // into the same overload would just re-earn the quarantine.
+  for (const ActorId a : t->members) {
+    auto* ac = control(a);
+    if (ac == nullptr) continue;
+    if (!ac->killed) kill_actor(a, /*isolation_trap=*/true);
+    ac->quarantined = true;
+  }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "tenant_quarantine", trace::tid::kChaos,
+                    id, {"throttles", static_cast<double>(t->throttle_count)});
+  }
+  LOG_WARN("tenant %u (%s) quarantined after %u throttle episodes", id,
+           t->cfg.name.c_str(), t->throttle_count);
+}
+
+void Runtime::note_dmo_denied(ActorId id) {
+  if (TenantState* t = tenant_of(id); t != nullptr) {
+    ++t->stats.dmo_denied;
+    t->note_violation(sim_.now());
+  }
+}
+
+void Runtime::tenant_scan(nic::NicExecContext& ctx) {
+  const Ns now = sim_.now();
+  for (auto& slot : tenants_) {
+    TenantState* t = slot.get();
+    if (t == nullptr) continue;
+
+    // Fold the TM's tail-drops on this tenant's class into its ledger.
+    const std::uint64_t tm_drops = nic_.tm().class_drops(t->id);
+    if (tm_drops > t->tm_drops_seen) {
+      const std::uint64_t delta = tm_drops - t->tm_drops_seen;
+      t->tm_drops_seen = tm_drops;
+      t->stats.queue_drops += delta;
+      t->note_violation(now);
+      t->violations_window += delta - 1;
+    }
+
+    if (t->quarantined) continue;
+
+    // Serve at most mailbox_batch control requests per scan — a spamming
+    // tenant monopolizes its own batch, not the management core.
+    std::size_t served = 0;
+    while (!t->mbox.empty() && served < t->cfg.mailbox_batch) {
+      const VfMboxMsg m = t->mbox.front();
+      t->mbox.pop_front();
+      ++served;
+      ctx.charge(cfg_.channel_handling_ns);
+      VfMboxReply rep{m.op, 0.0, now};
+      switch (m.op) {
+        case VfMboxOp::kPing:
+          rep.value = 1.0;
+          break;
+        case VfMboxOp::kQueryStats:
+          rep.value = static_cast<double>(t->stats.admitted_packets);
+          break;
+        case VfMboxOp::kSetWeight: {
+          const double w = std::clamp(m.arg, 0.1, 16.0);
+          t->cfg.drr_weight = w;
+          nic_.tm().set_class_weight(t->id, w);
+          rep.value = w;
+          break;
+        }
+        case VfMboxOp::kSetIngressRate:
+          t->cfg.ingress_rate_bps = std::max(0.0, m.arg);
+          rep.value = t->cfg.ingress_rate_bps;
+          break;
+      }
+      ++t->stats.mbox_processed;
+      t->mbox_replies.push_back(rep);
+      // Bound the reply queue too: a tenant that never polls must not
+      // grow unbounded state inside the runtime.
+      while (t->mbox_replies.size() > 64) t->mbox_replies.pop_front();
+    }
+
+    // Penalty lapsed: let the DRR cores pick the tenant's parked
+    // mailboxes back up.
+    if (t->unthrottle_pending && now >= t->throttled_until) {
+      t->unthrottle_pending = false;
+      wake_drr_cores();
+      if (drr_cores() == 0 && drr_work_pending()) spawn_drr_core();
+    }
+
+    // Escalation ladder: enough violations inside the window throttle
+    // the tenant; each episode doubles the penalty, and persistent
+    // offenders are quarantined as a unit.
+    if (t->cfg.throttle_threshold != 0 && !t->throttled(now) &&
+        t->violations_window >= t->cfg.throttle_threshold) {
+      const Ns penalty = t->cfg.throttle_window
+                         << std::min<std::uint32_t>(t->throttle_count, 4);
+      t->throttled_until = now + penalty;
+      t->unthrottle_pending = true;
+      ++t->throttle_count;
+      ++t->stats.throttles;
+      t->stats.throttled_ns += penalty;
+      ++tenant_throttles_;
+      t->violations_window = 0;
+      LOG_WARN("tenant %u (%s) throttled for %llu us (episode %u)", t->id,
+               t->cfg.name.c_str(),
+               static_cast<unsigned long long>(penalty / kNsPerUs),
+               t->throttle_count);
+      if (t->cfg.quarantine_after != 0 &&
+          t->throttle_count >= t->cfg.quarantine_after) {
+        quarantine_tenant(t->id);
+      } else {
+        // Keep the management heartbeat alive through the penalty so the
+        // unthrottle wake actually fires on an otherwise idle NIC.
+        nic_.wake_core_at(0, t->throttled_until);
+      }
+    }
+  }
+}
+
+bool Runtime::fair_share_allows_spawn(unsigned n_drr) {
+  if (tenants_.size() <= 1) return true;
+  std::size_t total = 0;
+  std::vector<std::size_t> backlog(tenants_.size(), 0);
+  for (const ActorId id : drr_queue_) {
+    const auto* ac = control(id);
+    if (ac == nullptr || ac->killed) continue;
+    total += ac->mailbox.size();
+    if (ac->tenant != kNoTenant && ac->tenant < tenants_.size()) {
+      backlog[ac->tenant] += ac->mailbox.size();
+    }
+  }
+  if (total == 0) return true;
+  TenantId dom = kNoTenant;
+  std::size_t dom_backlog = 0;
+  for (std::size_t i = 1; i < backlog.size(); ++i) {
+    if (backlog[i] > dom_backlog) {
+      dom_backlog = backlog[i];
+      dom = static_cast<TenantId>(i);
+    }
+  }
+  // Only gate when one tenant is essentially the whole backlog — mixed
+  // pressure means the spawn helps everyone.
+  if (dom == kNoTenant ||
+      static_cast<double>(dom_backlog) < 0.9 * static_cast<double>(total)) {
+    return true;
+  }
+  double weight_sum = 0.0;
+  for (std::size_t i = 1; i < tenants_.size(); ++i) {
+    if (tenants_[i]) {
+      weight_sum += std::clamp(tenants_[i]->cfg.drr_weight, 0.1, 16.0);
+    }
+  }
+  const double share =
+      std::clamp(tenants_[dom]->cfg.drr_weight, 0.1, 16.0) /
+      std::max(weight_sum, 1e-9);
+  const unsigned avail = nic_.active_cores() > 1 ? nic_.active_cores() - 1 : 1;
+  const auto cap = static_cast<unsigned>(
+      std::max(1.0, share * static_cast<double>(avail)));
+  if (n_drr >= cap) {
+    ++fair_share_denials_;
+    return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------- supervision & failure domains
 
 void Runtime::revive_actor(ActorControl& ac) {
   objects_.register_actor(ac.id, ac.actor->region_bytes());
+  // kill_actor's deregister dropped the quota binding; re-arm it.
+  if (const TenantState* t = tenant(ac.tenant);
+      t != nullptr && t->cfg.dmo_cap_bytes > 0) {
+    objects_.set_quota(ac.id, ac.tenant, t->cfg.dmo_cap_bytes);
+  }
   ac.killed = false;
   ac.killed_at = 0;
   ac.mailbox.clear();
@@ -259,6 +539,12 @@ void Runtime::supervise_scan() {
   for (const auto& owned : owned_actors_) {
     auto* ac = control(owned->id());
     if (ac == nullptr || !ac->killed || ac->quarantined) continue;
+    // Don't restart an actor into its tenant's penalty box: the revived
+    // actor would re-enter the same overload and re-earn the kill.
+    if (const TenantState* t = tenant(ac->tenant);
+        t != nullptr && (t->quarantined || t->throttled(sim_.now()))) {
+      continue;
+    }
     if (ac->restarts >= cfg_.supervise_quarantine_after) {
       ac->quarantined = true;
       ++quarantines_;
@@ -686,6 +972,12 @@ Ns Runtime::send_or_queue(MemSide from, const ChannelMsg& msg) {
     // side visibly slows down instead of racing ahead of the consumer.
     cost += cfg_.channel_backpressure_stall_ns;
   }
+  // Tenant channel budget: traffic destined to a tenant's actor charges
+  // that tenant's token bucket, and an over-budget tenant pays a
+  // sender-side stall — the shared PCIe rings stay available to others.
+  if (TenantState* t = tenant_of(msg.dst_actor); t != nullptr) {
+    cost += t->chan_charge(msg.wire_bytes(), sim_.now());
+  }
   return cost;
 }
 
@@ -774,11 +1066,16 @@ double Runtime::drr_quantum_ns(const ActorControl& ac) const {
       static_cast<double>(nic_.active_cores()) / pps * 1e9;  // ns
   const double fwd = static_cast<double>(
       nic_cfg.forwarding.cost(static_cast<std::uint32_t>(size)));
-  return std::max(1000.0, budget - fwd);
+  double quantum = std::max(1000.0, budget - fwd);
+  // Weighted traffic classes: a tenant's DRR quantum scales with its
+  // weight, so core time under contention divides by weight share.
+  if (const TenantState* t = tenant(ac.tenant); t != nullptr) {
+    quantum *= std::clamp(t->cfg.drr_weight, 0.1, 16.0);
+  }
+  return quantum;
 }
 
 bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
-  (void)core;
   if (drr_queue_.empty()) return false;
 
 
@@ -795,6 +1092,13 @@ bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
       drr_scan_ = (drr_scan_ + 1) % drr_queue_.size();
       ActorControl* ac = control(drr_queue_[drr_scan_]);
       if (ac == nullptr || ac->killed) continue;
+      // A throttled/quarantined tenant's actors are parked: skip them
+      // *before* the pending check so their backlog does not spin the
+      // round (the unthrottle wake resumes them).
+      if (const TenantState* t = tenant(ac->tenant);
+          t != nullptr && (t->quarantined || t->throttled(sim_.now()))) {
+        continue;
+      }
       ctx.charge(cfg_.sched_bookkeeping_ns / 4);  // scan cost
 
       if (ac->mailbox.empty()) {
@@ -849,11 +1153,25 @@ bool Runtime::drr_run(nic::NicExecContext& ctx, unsigned core) {
     return true;
   }
   // Park only when there is neither handler nor dispatch work; deficits
-  // carry over to the next slice.
+  // carry over to the next slice.  Throttled tenants' backlogs don't
+  // count as work (that would busy-spin the core through the penalty) —
+  // instead, arm a wake at the earliest penalty expiry.
+  Ns wake_at = 0;
   for (const ActorId id : drr_queue_) {
     const auto* ac = control(id);
-    if (ac != nullptr && !ac->mailbox.empty()) return true;
+    if (ac == nullptr || ac->killed || ac->mailbox.empty()) continue;
+    if (const TenantState* t = tenant(ac->tenant); t != nullptr) {
+      if (t->quarantined) continue;
+      if (t->throttled(sim_.now())) {
+        if (wake_at == 0 || t->throttled_until < wake_at) {
+          wake_at = t->throttled_until;
+        }
+        continue;
+      }
+    }
+    return true;
   }
+  if (wake_at != 0) nic_.wake_core_at(core, wake_at);
   return false;
 }
 
@@ -862,6 +1180,7 @@ bool Runtime::management_run(nic::NicExecContext& ctx) {
   ctx.charge(cfg_.sched_bookkeeping_ns * 2);
 
   check_autoscale();
+  if (!tenants_.empty() && !node_down_) tenant_scan(ctx);
   if (cfg_.supervise && !node_down_) supervise_scan();
   if (tracer_.enabled() && metrics_.due(sim_.now())) snapshot_metrics();
 
@@ -996,7 +1315,10 @@ void Runtime::check_autoscale() {
   // core; shrink it when it idles.
   if (n_drr > 0 && drr_util >= 0.95 && n_fcfs > 1 &&
       fcfs_util < static_cast<double>(n_fcfs - 1) / n_fcfs) {
-    spawn_drr_core();
+    // Fair share: a single tenant saturating DRR may not annex FCFS
+    // cores past its weight share — that would starve other tenants of
+    // forwarding capacity (the aggressor's goal, exactly).
+    if (fair_share_allows_spawn(n_drr)) spawn_drr_core();
   } else if (n_drr > 0 && (drr_queue_.empty() || (drr_util < 0.5 &&
                                                   fcfs_util > 0.9))) {
     retire_drr_core();
@@ -1022,7 +1344,12 @@ void Runtime::spawn_drr_core() {
 bool Runtime::drr_work_pending() const {
   for (const ActorId id : drr_queue_) {
     const auto* ac = control(id);
-    if (ac != nullptr && !ac->killed && !ac->mailbox.empty()) return true;
+    if (ac == nullptr || ac->killed || ac->mailbox.empty()) continue;
+    if (const TenantState* t = tenant(ac->tenant);
+        t != nullptr && (t->quarantined || t->throttled(sim_.now()))) {
+      continue;
+    }
+    return true;
   }
   return false;
 }

@@ -22,6 +22,7 @@
 #include "ipipe/actor.h"
 #include "ipipe/channel.h"
 #include "ipipe/dmo.h"
+#include "ipipe/tenant.h"
 #include "netsim/packet.h"
 #include "nic/nic_model.h"
 #include "sim/simulation.h"
@@ -148,7 +149,8 @@ class Runtime {
   /// migrate_group() moves every member through the migration machinery.
   ActorId register_actor(std::unique_ptr<Actor> actor,
                          ActorLoc initial = ActorLoc::kNic,
-                         GroupId group = kNoGroup);
+                         GroupId group = kNoGroup,
+                         TenantId tenant = kNoTenant);
   /// actor_delete.
   void delete_actor(ActorId id);
   /// actor_migrate: manual migration trigger (the scheduler also calls
@@ -195,6 +197,41 @@ class Runtime {
   /// Burst corruption on the PCIe channel (chaos pcie-corrupt hook).
   void set_channel_fault(double rate, std::uint64_t seed = 0x5EEDULL) {
     channel_.set_fault_injection(rate, seed);
+  }
+
+  // ---- multi-tenancy (SR-IOV virtual functions) ----------------------------
+  /// Create a tenant (a virtual function).  Allocates the tenant's TM
+  /// traffic class (its RX queue pair) and installs the ingress
+  /// classifier on first use; returns the tenant handle.
+  TenantId create_tenant(TenantConfig config);
+  /// Attach a registered actor to a tenant: its DMO allocations charge
+  /// the tenant's quota group and its DRR quantum scales by the tenant's
+  /// weight.  register_actor's `tenant` argument does this inline.
+  bool assign_actor_to_tenant(ActorId id, TenantId tenant);
+  [[nodiscard]] TenantState* tenant(TenantId id);
+  [[nodiscard]] const TenantState* tenant(TenantId id) const;
+  /// Tenants created so far (handles are 1..tenant_count()).
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.empty() ? 0 : tenants_.size() - 1;
+  }
+  /// PF<->VF control mailbox: post a request (false when the tenant's
+  /// mailbox is over cap — spam is contained, not queued) / poll the
+  /// next reply served by the management core.
+  bool vf_mailbox_post(TenantId id, VfMboxMsg msg);
+  std::optional<VfMboxReply> vf_mailbox_poll(TenantId id);
+  /// Kill every member actor (isolation trap, no supervised restart) and
+  /// drop the tenant's ingress at line rate from now on.
+  void quarantine_tenant(TenantId id);
+  [[nodiscard]] std::uint64_t tenant_throttles() const noexcept {
+    return tenant_throttles_;
+  }
+  [[nodiscard]] std::uint64_t tenants_quarantined() const noexcept {
+    return tenants_quarantined_;
+  }
+  /// DRR core spawns denied because one tenant already held its fair
+  /// share of the NIC cores.
+  [[nodiscard]] std::uint64_t fair_share_denials() const noexcept {
+    return fair_share_denials_;
   }
 
   // ---- component access ----------------------------------------------------
@@ -295,8 +332,13 @@ class Runtime {
   /// refuses to drop the last DRR core while DRR mailboxes hold work.
   void spawn_drr_core();
   void retire_drr_core();
-  /// True when any DRR-group actor still has a non-empty mailbox.
+  /// True when any DRR-group actor still has a non-empty mailbox
+  /// (throttled/quarantined tenants' mailboxes don't count: their work
+  /// is parked, and counting it would busy-spin the DRR cores through
+  /// the whole penalty window).
   [[nodiscard]] bool drr_work_pending() const;
+  /// Tenant accounting hook for env-layer DMO denials (kQuotaExceeded).
+  void note_dmo_denied(ActorId id);
 
  private:
   enum class CoreRole : std::uint8_t { kFcfs, kDrr };
@@ -331,6 +373,18 @@ class Runtime {
   void maybe_downgrade();
   void maybe_upgrade();
   void check_autoscale();
+  // ---- tenancy internals ---------------------------------------------------
+  /// TM ingress classifier: resolve the destination actor's tenant,
+  /// stamp the packet, apply filter/policer/throttle, return the traffic
+  /// class (negative = line-rate drop).
+  int classify_ingress(netsim::Packet& pkt);
+  /// Per-tenant bookkeeping on the management core: serve VF mailboxes,
+  /// fold TM drops into the ledger, run the throttle/quarantine ladder.
+  void tenant_scan(nic::NicExecContext& ctx);
+  [[nodiscard]] TenantState* tenant_of(ActorId id);
+  /// Fair-share gate for DRR core spawns: when one tenant dominates the
+  /// DRR backlog, it may not grow the group past its weight share.
+  bool fair_share_allows_spawn(unsigned n_drr);
   /// Record one metrics snapshot (management core, when due).
   void snapshot_metrics();
   void wake_drr_cores();
@@ -394,6 +448,13 @@ class Runtime {
   std::uint64_t quarantines_ = 0;
   std::uint64_t node_crashes_ = 0;
   bool node_down_ = false;
+
+  /// Tenant table, indexed by TenantId (slot 0 = the PF, always null).
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+  bool classifier_installed_ = false;
+  std::uint64_t tenant_throttles_ = 0;
+  std::uint64_t tenants_quarantined_ = 0;
+  std::uint64_t fair_share_denials_ = 0;
 };
 
 }  // namespace ipipe

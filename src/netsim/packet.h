@@ -59,6 +59,11 @@ struct Packet {
   /// forwarding tax.  Original source fields stay intact for replies.
   bool local_hop = false;
 
+  /// Tenant (virtual function) the ingress classifier attributed this
+  /// frame to; 0 = untenanted / physical-function traffic.  Stamped at
+  /// TM admission so drops and queueing damage stay attributable.
+  std::uint16_t tenant = 0;
+
   /// Per-source ingress sequence stamped by an NF pipeline's head stage
   /// (1, 2, 3, ... in arrival order); preserved hop to hop so the egress
   /// reorder point can restore ingress order.  0 = unsequenced.

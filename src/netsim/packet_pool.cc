@@ -18,6 +18,7 @@ void reset_packet(Packet& p) noexcept {
   p.payload.clear();
   p.from_host = false;
   p.local_hop = false;
+  p.tenant = 0;
   p.pipe_seq = 0;
   p.created_at = 0;
   p.nic_arrival = 0;
@@ -62,6 +63,7 @@ PacketPtr PacketPool::make(const Packet& src) {
   raw->payload.assign(src.payload.begin(), src.payload.end());
   raw->from_host = src.from_host;
   raw->local_hop = src.local_hop;
+  raw->tenant = src.tenant;
   raw->pipe_seq = src.pipe_seq;
   raw->created_at = src.created_at;
   raw->nic_arrival = src.nic_arrival;

@@ -1,5 +1,6 @@
 #include "nfp/nic_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <limits>
@@ -117,12 +118,28 @@ PipelineCost measure_pipeline_cost(const PipelineSpec& spec,
 }
 
 std::size_t NicPool::add_nic(std::string name, nic::NicConfig cfg) {
-  nics_.push_back(PoolNic{std::move(name), std::move(cfg), 0.0, 0});
+  nics_.push_back(PoolNic{std::move(name), std::move(cfg), 0.0, 0, {}});
   return nics_.size() - 1;
 }
 
+void NicPool::set_tenant_quota(TenantId tenant, double max_fraction) {
+  if (tenant == kNoTenant) return;
+  quotas_[tenant] = std::min(1.0, std::max(1e-6, max_fraction));
+}
+
+double NicPool::tenant_quota(TenantId tenant) const {
+  const auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? 1.0 : it->second;
+}
+
+double NicPool::tenant_utilization(std::size_t nic, TenantId tenant) const {
+  if (nic >= nics_.size()) return 0.0;
+  const auto it = nics_[nic].tenant_util.find(tenant);
+  return it == nics_[nic].tenant_util.end() ? 0.0 : it->second;
+}
+
 NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, TenantId tenant) {
   if (nics_.empty()) {
     throw std::logic_error("NicPool::place called with no NICs in the pool");
   }
@@ -132,42 +149,65 @@ NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
   struct Candidate {
     double added = 0.0;
     double resulting = 0.0;
+    double tenant_resulting = 0.0;  ///< tenant's share after placement
+    bool quota_ok = true;
     PipelineCost cost;
   };
+  const double quota = tenant_quota(tenant);
   std::vector<Candidate> cand(nics_.size());
   for (std::size_t i = 0; i < nics_.size(); ++i) {
     cand[i].cost = measure_pipeline_cost(spec, nics_[i].cfg, seed);
     cand[i].added = offered_pps * cand[i].cost.total_ns_per_pkt / 1e9 /
                     static_cast<double>(nics_[i].cfg.cores);
     cand[i].resulting = nics_[i].utilization + cand[i].added;
+    cand[i].tenant_resulting =
+        tenant_utilization(i, tenant) + cand[i].added;
+    cand[i].quota_ok =
+        tenant == kNoTenant || cand[i].tenant_resulting <= quota;
   }
 
-  // First choice: among NICs that stay under the saturation threshold,
-  // the one ending least utilized (balances the pool as pipelines land).
+  // First choice: among NICs that stay under the saturation threshold
+  // *and* under the tenant's quota, the one ending least utilized
+  // (balances the pool as pipelines land).
   std::size_t best = nics_.size();
   for (std::size_t i = 0; i < nics_.size(); ++i) {
-    if (cand[i].resulting > saturation_) continue;
+    if (cand[i].resulting > saturation_ || !cand[i].quota_ok) continue;
     if (best == nics_.size() || cand[i].resulting < cand[best].resulting) {
       best = i;
     }
   }
   bool spilled = false;
+  bool quota_limited = false;
   if (best == nics_.size()) {
-    // Spillover: every card would saturate — take the least-bad one and
-    // flag it so the caller can surface the overload.
+    // Spillover: prefer quota-respecting cards even when saturated; only
+    // when the tenant's quota excludes every card do we breach it — on
+    // the card where the tenant's share stays smallest — and flag it.
     spilled = true;
-    best = 0;
-    for (std::size_t i = 1; i < nics_.size(); ++i) {
-      if (cand[i].resulting < cand[best].resulting) best = i;
+    for (std::size_t i = 0; i < nics_.size(); ++i) {
+      if (!cand[i].quota_ok) continue;
+      if (best == nics_.size() || cand[i].resulting < cand[best].resulting) {
+        best = i;
+      }
+    }
+    if (best == nics_.size()) {
+      quota_limited = true;
+      best = 0;
+      for (std::size_t i = 1; i < nics_.size(); ++i) {
+        if (cand[i].tenant_resulting < cand[best].tenant_resulting) best = i;
+      }
     }
   }
 
   nics_[best].utilization = cand[best].resulting;
   nics_[best].pipelines += 1;
+  if (tenant != kNoTenant) {
+    nics_[best].tenant_util[tenant] = cand[best].tenant_resulting;
+  }
 
   Placement p;
   p.nic = best;
   p.spilled = spilled;
+  p.quota_limited = quota_limited;
   p.utilization_added = cand[best].added;
   p.cost = std::move(cand[best].cost);
   return p;

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "ipipe/tenant.h"
 #include "nfp/spec.h"
 #include "nic/nic_config.h"
 
@@ -53,11 +55,14 @@ class NicPool {
     nic::NicConfig cfg;
     double utilization = 0.0;       ///< committed fraction of core capacity
     std::size_t pipelines = 0;      ///< pipelines placed here
+    /// Committed capacity per tenant on this NIC (quota accounting).
+    std::map<TenantId, double> tenant_util;
   };
 
   struct Placement {
     std::size_t nic = 0;          ///< index into nics()
     bool spilled = false;         ///< every candidate was saturated
+    bool quota_limited = false;   ///< tenant quota excluded every NIC
     double utilization_added = 0; ///< this pipeline's share on that NIC
     PipelineCost cost;            ///< the measured per-stage costs used
   };
@@ -70,9 +75,21 @@ class NicPool {
   std::size_t add_nic(std::string name, nic::NicConfig cfg);
 
   /// Place one pipeline offered `offered_pps` packets/sec and commit the
-  /// utilization.  Requires at least one NIC.
+  /// utilization.  Requires at least one NIC.  A tenanted pipeline also
+  /// charges its tenant's per-NIC share and respects the tenant's quota.
   [[nodiscard]] Placement place(const PipelineSpec& spec, double offered_pps,
-                                std::uint64_t seed = 42);
+                                std::uint64_t seed = 42,
+                                TenantId tenant = kNoTenant);
+
+  /// Cap the fraction of any single NIC's core capacity `tenant` may
+  /// commit (clamped to (0, 1]).  Placement prefers NICs where the
+  /// tenant stays under its cap; when no NIC qualifies the placement is
+  /// flagged `quota_limited` and lands where the tenant's share is
+  /// smallest — the pool never silently gives one tenant a whole card.
+  void set_tenant_quota(TenantId tenant, double max_fraction);
+  [[nodiscard]] double tenant_quota(TenantId tenant) const;
+  [[nodiscard]] double tenant_utilization(std::size_t nic,
+                                          TenantId tenant) const;
 
   [[nodiscard]] const std::vector<PoolNic>& nics() const noexcept {
     return nics_;
@@ -82,6 +99,7 @@ class NicPool {
  private:
   double saturation_;
   std::vector<PoolNic> nics_;
+  std::map<TenantId, double> quotas_;  ///< max per-NIC capacity fraction
 };
 
 }  // namespace ipipe::nfp

@@ -191,7 +191,7 @@ PipelineRunner::PipelineRunner(Runtime& rt, const PipelineSpec& spec,
   auto egress = std::make_unique<EgressActor>();
   egress_ = egress.get();
   netsim::ActorId next =
-      rt_.register_actor(std::move(egress), opts.initial, group_);
+      rt_.register_actor(std::move(egress), opts.initial, group_, opts.tenant);
 
   stages_.resize(spec_.stages.size(), nullptr);
   for (std::size_t i = spec_.stages.size(); i-- > 0;) {
@@ -199,7 +199,7 @@ PipelineRunner::PipelineRunner(Runtime& rt, const PipelineSpec& spec,
     auto actor =
         std::make_unique<StageActor>(std::move(stage), next, /*head=*/i == 0);
     stages_[i] = actor.get();
-    next = rt_.register_actor(std::move(actor), opts.initial, group_);
+    next = rt_.register_actor(std::move(actor), opts.initial, group_, opts.tenant);
   }
   ingress_ = next;
 }

@@ -59,6 +59,10 @@ class PipelineRunner {
   struct Options {
     std::uint64_t seed = 42;
     ActorLoc initial = ActorLoc::kNic;
+    /// Owning tenant: every stage actor registers under this virtual
+    /// function, so the pipeline's DMO/bandwidth/core usage is isolated
+    /// and accounted as a unit.  kNoTenant = the physical function.
+    TenantId tenant = kNoTenant;
   };
 
   /// Build and register the pipeline on `rt`.  The runtime owns the

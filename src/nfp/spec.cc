@@ -71,6 +71,11 @@ PipelineSpec parse_pipeline(const std::string& text) {
     if (i < text.size() && text[i] == '(') {
       ++i;  // consume '('
       skip_ws(text, i);
+      // Known kinds get their argument bindings checked against the
+      // canonical parameter table; unknown kinds (which only fail later,
+      // at make_stage) skip validation so they keep round-tripping.
+      const std::vector<std::string>* params = stage_param_names(stage.kind);
+      bool seen_named = false;
       while (i < text.size() && text[i] != ')') {
         // Either `key=value` or a bare positional value; values may carry
         // a unit suffix so read the full token up to ',' / ')'.
@@ -88,6 +93,26 @@ PipelineSpec parse_pipeline(const std::string& text) {
                                    }),
                     key.end());
           if (key.empty()) fail(text, tok_start, "empty parameter name");
+          if (stage.kv.count(key) != 0) {
+            fail(text, tok_start, "duplicate parameter '" + key + "'");
+          }
+          if (params != nullptr) {
+            const auto it = std::find(params->begin(), params->end(), key);
+            if (it == params->end()) {
+              fail(text, tok_start,
+                   "unknown parameter '" + key + "' for stage '" + stage.kind +
+                       "'");
+            }
+            const auto idx =
+                static_cast<std::size_t>(it - params->begin());
+            if (idx < stage.args.size()) {
+              // Silent last-write-wins used to hide this: param() prefers
+              // kv, so the positional binding would be dead on arrival.
+              fail(text, tok_start,
+                   "parameter '" + key + "' already bound positionally");
+            }
+          }
+          seen_named = true;
           i = tok_end + 1;  // past '='
           std::size_t val_end = i;
           while (val_end < text.size() && text[val_end] != ',' &&
@@ -114,6 +139,17 @@ PipelineSpec parse_pipeline(const std::string& text) {
                                    }),
                     val.end());
           if (val.empty()) fail(text, tok_start, "empty argument");
+          if (seen_named) {
+            // A positional after a named argument has no well-defined
+            // slot — and if its slot's name was already given, param()
+            // would silently prefer the kv binding.
+            fail(text, tok_start, "positional argument after named argument");
+          }
+          if (params != nullptr && stage.args.size() >= params->size()) {
+            fail(text, tok_start,
+                 "too many positional arguments for stage '" + stage.kind +
+                     "'");
+          }
           try {
             stage.args.push_back(parse_number(val));
           } catch (const std::invalid_argument& e) {

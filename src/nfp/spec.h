@@ -56,4 +56,11 @@ struct PipelineSpec {
 /// All stage kinds make_stage accepts (for --help and error messages).
 [[nodiscard]] const std::vector<std::string>& stage_kinds();
 
+/// Canonical positional parameter names of `kind`, in positional order
+/// (the table make_stage binds against).  nullptr for unknown kinds —
+/// those still parse and only fail at make_stage, so spec-level argument
+/// validation skips them.
+[[nodiscard]] const std::vector<std::string>* stage_param_names(
+    const std::string& kind);
+
 }  // namespace ipipe::nfp

@@ -13,8 +13,10 @@
 #include <array>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -484,50 +486,96 @@ const std::vector<std::string>& stage_kinds() {
   return kinds;
 }
 
+const std::vector<std::string>* stage_param_names(const std::string& kind) {
+  // Positional order must match the spec.param(i, ...) calls below.
+  static const std::map<std::string, std::vector<std::string>> names = {
+      {"firewall", {"rules", "strict"}},
+      {"ipsec", {"batch"}},
+      {"ratelimit", {"rate", "burst", "cap"}},
+      {"maglev", {"backends", "table"}},
+      {"counter", {"width", "depth"}},
+      {"kvcache", {"buckets"}},
+      {"chainrepl", {"replicas"}},
+      {"classify", {"classes", "features"}},
+      {"lpm", {"prefixes", "default_route"}},
+      {"pfabric", {"cap", "quantum"}},
+  };
+  const auto it = names.find(kind);
+  return it == names.end() ? nullptr : &it->second;
+}
+
 std::unique_ptr<Stage> make_stage(const StageSpec& spec, std::uint64_t seed) {
-  const auto u = [](double v) { return static_cast<std::uint64_t>(v); };
-  const auto z = [](double v) { return static_cast<std::size_t>(v); };
+  // The double->unsigned casts below are UB for negative or non-finite
+  // spec values, and the sketch/table dimensions are modulo divisors
+  // (mod-by-zero): reject out-of-domain values as spec errors instead of
+  // letting them wrap or trap.
+  const auto checked = [&spec](const char* name, double v, double min) {
+    if (!(v >= min) || v > 1e15) {
+      throw std::invalid_argument(
+          "stage '" + spec.kind + "': parameter '" + name + "' must be " +
+          (min >= 1.0 ? "a positive integer" : "a non-negative number") +
+          " (got " + std::to_string(v) + ")");
+    }
+    return v;
+  };
+  const auto u = [&checked](const char* name, double v) {
+    return static_cast<std::uint64_t>(checked(name, v, 0.0));
+  };
+  const auto z = [&checked](const char* name, double v) {
+    return static_cast<std::size_t>(checked(name, v, 0.0));
+  };
+  const auto zpos = [&checked](const char* name, double v) {
+    return static_cast<std::size_t>(checked(name, v, 1.0));
+  };
   if (spec.kind == "firewall") {
-    return std::make_unique<FirewallStage>(z(spec.param(0, "rules", 128)),
-                                           spec.param(1, "strict", 0) != 0,
-                                           seed);
+    return std::make_unique<FirewallStage>(
+        z("rules", spec.param(0, "rules", 128)),
+        spec.param(1, "strict", 0) != 0, seed);
   }
   if (spec.kind == "ipsec") {
     return std::make_unique<IpsecStage>(
-        static_cast<std::uint32_t>(spec.param(0, "batch", 8)), seed);
+        static_cast<std::uint32_t>(
+            checked("batch", spec.param(0, "batch", 8), 1.0)),
+        seed);
   }
   if (spec.kind == "ratelimit") {
     return std::make_unique<RatelimitStage>(
-        spec.param(0, "rate", 1e9), u(spec.param(1, "burst", 16 * KiB)),
-        z(spec.param(2, "cap", 256)));
+        checked("rate", spec.param(0, "rate", 1e9), 0.0),
+        u("burst", spec.param(1, "burst", 16 * KiB)),
+        z("cap", spec.param(2, "cap", 256)));
   }
   if (spec.kind == "maglev") {
-    return std::make_unique<MaglevStage>(z(spec.param(0, "backends", 8)),
-                                         z(spec.param(1, "table", 4093)));
+    return std::make_unique<MaglevStage>(
+        zpos("backends", spec.param(0, "backends", 8)),
+        zpos("table", spec.param(1, "table", 4093)));
   }
   if (spec.kind == "counter") {
-    return std::make_unique<CounterStage>(z(spec.param(0, "width", 2048)),
-                                          z(spec.param(1, "depth", 4)), seed);
+    return std::make_unique<CounterStage>(
+        zpos("width", spec.param(0, "width", 2048)),
+        zpos("depth", spec.param(1, "depth", 4)), seed);
   }
   if (spec.kind == "kvcache") {
-    return std::make_unique<KvCacheStage>(z(spec.param(0, "buckets", 4096)));
+    return std::make_unique<KvCacheStage>(
+        zpos("buckets", spec.param(0, "buckets", 4096)));
   }
   if (spec.kind == "chainrepl") {
-    return std::make_unique<ChainReplStage>(z(spec.param(0, "replicas", 2)));
+    return std::make_unique<ChainReplStage>(
+        zpos("replicas", spec.param(0, "replicas", 2)));
   }
   if (spec.kind == "classify") {
-    return std::make_unique<ClassifyStage>(z(spec.param(0, "classes", 4)),
-                                           z(spec.param(1, "features", 16)),
-                                           seed);
+    return std::make_unique<ClassifyStage>(
+        zpos("classes", spec.param(0, "classes", 4)),
+        z("features", spec.param(1, "features", 16)), seed);
   }
   if (spec.kind == "lpm") {
-    return std::make_unique<LpmStage>(z(spec.param(0, "prefixes", 256)),
-                                      spec.param(1, "default_route", 1) != 0,
-                                      seed);
+    return std::make_unique<LpmStage>(
+        z("prefixes", spec.param(0, "prefixes", 256)),
+        spec.param(1, "default_route", 1) != 0, seed);
   }
   if (spec.kind == "pfabric") {
-    return std::make_unique<PfabricStage>(z(spec.param(0, "cap", 64)),
-                                          z(spec.param(1, "quantum", 8)));
+    return std::make_unique<PfabricStage>(
+        z("cap", spec.param(0, "cap", 64)),
+        zpos("quantum", spec.param(1, "quantum", 8)));
   }
   throw std::invalid_argument("unknown stage kind '" + spec.kind +
                               "' (known: firewall ipsec ratelimit maglev "

@@ -3,11 +3,22 @@
 // lack this unit; the iPipe runtime then layers a software shuffle queue
 // with a higher per-dequeue cost (§3.2.6), modeled by the NicConfig's
 // `sw_shuffle_cost`.
+//
+// Multi-tenancy extension: the TM optionally splits into weighted traffic
+// classes — the SR-IOV shape of per-VF receive queues.  A classifier
+// callback (installed by the runtime) maps each arriving frame to a class
+// (or rejects it at line rate: MAC/flow filter miss, policer violation).
+// Each class has its own bounded queue and drop counter; dequeue is
+// smooth weighted round-robin over the non-empty classes, so one
+// tenant's flood can fill only its own queue, never another tenant's
+// share of the dispatch bandwidth.  With no classes configured the TM is
+// exactly the old single shared FIFO.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "netsim/packet.h"
 
@@ -15,44 +26,135 @@ namespace ipipe::nic {
 
 class TrafficManager {
  public:
-  explicit TrafficManager(std::size_t capacity = 4096) : capacity_(capacity) {}
+  /// Maps an arriving frame to a traffic class; may stamp attribution
+  /// fields on the packet.  Return a class index, or a negative value to
+  /// drop the frame at line rate (filter/policer reject).
+  using Classifier = std::function<int(netsim::Packet&)>;
 
-  /// Enqueue a work item; drops (tail-drop) when the packet buffer is full.
-  /// Returns false on drop.
+  explicit TrafficManager(std::size_t capacity = 4096) : capacity_(capacity) {
+    classes_.emplace_back(1.0, capacity);
+  }
+
+  /// Enqueue a work item; drops (tail-drop) when the class queue is full
+  /// or the classifier rejects the frame.  Returns false on drop.
   bool push(netsim::PacketPtr pkt) {
-    if (queue_.size() >= capacity_) {
+    std::size_t cls = 0;
+    if (classifier_) {
+      const int c = classifier_(*pkt);
+      if (c < 0) {
+        ++filtered_;
+        return false;
+      }
+      cls = static_cast<std::size_t>(c) < classes_.size()
+                ? static_cast<std::size_t>(c)
+                : 0;
+    }
+    ClassQ& q = classes_[cls];
+    if (q.queue.size() >= q.cap) {
       ++drops_;
+      ++q.drops;
       return false;
     }
-    queue_.push_back(std::move(pkt));
+    q.queue.push_back(std::move(pkt));
+    ++depth_;
     if (notify_) notify_();
     return true;
   }
 
-  /// Dequeue the oldest item; nullptr when empty.
+  /// Dequeue the next item (oldest within its class; classes are served
+  /// by smooth weighted round-robin); nullptr when empty.
   [[nodiscard]] netsim::PacketPtr pop() {
-    if (queue_.empty()) return nullptr;
-    auto pkt = std::move(queue_.front());
-    queue_.pop_front();
+    if (depth_ == 0) return nullptr;
+    ClassQ* best = nullptr;
+    if (classes_.size() == 1) {
+      best = &classes_[0];
+    } else {
+      // Smooth WRR: every non-empty class gains its weight in credit;
+      // the highest-credit class is served and pays back the round.
+      double round_weight = 0.0;
+      for (ClassQ& q : classes_) {
+        if (q.queue.empty()) continue;
+        q.credit += q.weight;
+        round_weight += q.weight;
+        if (best == nullptr || q.credit > best->credit) best = &q;
+      }
+      best->credit -= round_weight;
+    }
+    auto pkt = std::move(best->queue.front());
+    best->queue.pop_front();
+    --depth_;
     return pkt;
   }
 
   /// Drop every queued item (node power-fail: buffered frames are lost).
-  void clear() noexcept { queue_.clear(); }
+  void clear() noexcept {
+    for (ClassQ& q : classes_) {
+      q.queue.clear();
+      q.credit = 0.0;
+    }
+    depth_ = 0;
+  }
 
-  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  /// Create/resize traffic class `cls` with the given WRR weight and
+  /// queue capacity.  Class 0 is the default (PF) class; intermediate
+  /// classes materialize with weight 1 and the shared capacity.
+  void configure_class(std::size_t cls, double weight, std::size_t cap) {
+    while (classes_.size() <= cls) {
+      classes_.emplace_back(1.0, capacity_);
+    }
+    classes_[cls].weight = weight > 0.0 ? weight : 1.0;
+    classes_[cls].cap = cap;
+  }
+  void set_class_weight(std::size_t cls, double weight) {
+    if (cls < classes_.size() && weight > 0.0) classes_[cls].weight = weight;
+  }
+  /// Install (or clear) the ingress classifier.
+  void set_classifier(Classifier fn) { classifier_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] bool empty() const noexcept { return depth_ == 0; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  /// Frames the classifier rejected at line rate (never queued).
+  [[nodiscard]] std::uint64_t filtered() const noexcept { return filtered_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t class_depth(std::size_t cls) const noexcept {
+    return cls < classes_.size() ? classes_[cls].queue.size() : 0;
+  }
+  [[nodiscard]] std::uint64_t class_drops(std::size_t cls) const noexcept {
+    return cls < classes_.size() ? classes_[cls].drops : 0;
+  }
 
   /// Invoked on every push (used by the NIC to wake idle cores).
   void set_notify(std::function<void()> fn) { notify_ = std::move(fn); }
 
  private:
+  struct ClassQ {
+    // Move-only, explicitly: the queue holds move-only PacketPtrs, and
+    // vector growth must pick the (throwing) move constructor instead of
+    // instantiating an ill-formed deque copy.
+    ClassQ(double w, std::size_t c) : weight(w), cap(c) {}
+    ClassQ(ClassQ&&) = default;
+    ClassQ& operator=(ClassQ&&) = default;
+    ClassQ(const ClassQ&) = delete;
+    ClassQ& operator=(const ClassQ&) = delete;
+
+    std::deque<netsim::PacketPtr> queue;
+    double weight = 1.0;
+    double credit = 0.0;  ///< smooth-WRR running credit
+    std::size_t cap = 0;
+    std::uint64_t drops = 0;
+  };
+
   std::size_t capacity_;
-  std::deque<netsim::PacketPtr> queue_;
+  std::vector<ClassQ> classes_;
+  std::size_t depth_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t filtered_ = 0;
   std::function<void()> notify_;
+  Classifier classifier_;
 };
 
 }  // namespace ipipe::nic

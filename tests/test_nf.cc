@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "apps/nf/chain_repl.h"
@@ -31,6 +32,15 @@ TEST(CountMin, NeverUnderestimates) {
   for (const auto& [key, count] : truth) {
     EXPECT_GE(sketch.estimate(key), count);
   }
+}
+
+TEST(CountMin, RejectsZeroDimensions) {
+  // Regression: width 0 made index() compute `hash % 0` (UB); depth 0
+  // made estimate() return uint64_t-max from an empty min-fold.  Both
+  // are rejected at construction now.
+  EXPECT_THROW(CountMinSketch(0, 4), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(1024, 0), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(0, 0), std::invalid_argument);
 }
 
 TEST(CountMin, AccurateForHeavyHitters) {
@@ -221,6 +231,46 @@ TEST(PFabric, DequeuesSmallestRemaining) {
     EXPECT_EQ(e->remaining, expected);
   }
   EXPECT_FALSE(sched.dequeue().has_value());
+}
+
+TEST(PFabric, MonotoneInsertionStaysBalanced) {
+  // Regression: a long flow draining in order produces strictly
+  // increasing `remaining` keys.  The old plain BST degenerated into a
+  // linked list (enqueue #4096 visited 4096 nodes); the treap keeps the
+  // expected depth logarithmic regardless of insertion order.
+  PFabricScheduler sched;
+  constexpr std::size_t kN = 4096;
+  std::size_t max_visits = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    sched.enqueue({i, static_cast<std::uint32_t>(i + 1), 0});
+    max_visits = std::max(max_visits, sched.last_visits());
+  }
+  EXPECT_EQ(sched.size(), kN);
+  // log2(4096) = 12; allow generous slack for treap variance, but far
+  // below the linear 4096 the unbalanced tree produced.
+  EXPECT_LE(max_visits, 64u);
+
+  // Order semantics are unchanged: ascending by remaining.
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto e = sched.dequeue();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->remaining, static_cast<std::uint32_t>(i + 1));
+  }
+  EXPECT_FALSE(sched.dequeue().has_value());
+}
+
+TEST(PFabric, EqualKeysDequeueInInsertionOrder) {
+  // Tie-break contract the treap must preserve: equal (remaining,
+  // flow_id) entries go to the right, so they drain FIFO.
+  PFabricScheduler sched;
+  for (std::uint64_t ref = 1; ref <= 32; ++ref) {
+    sched.enqueue({7, 1000, ref});
+  }
+  for (std::uint64_t ref = 1; ref <= 32; ++ref) {
+    const auto e = sched.dequeue();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->packet_ref, ref);
+  }
 }
 
 TEST(PFabric, DropLowestEvictsLargest) {

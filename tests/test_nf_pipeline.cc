@@ -194,6 +194,72 @@ TEST(PipelineSpec, RejectsMalformedPipelines) {
   EXPECT_THROW((void)nfp::make_stage(spec.stages[0]), std::invalid_argument);
 }
 
+/// Parse `text` expecting a spec error; returns the message for
+/// content checks (every parser error is position-annotated).
+std::string parse_error_of(const std::string& text) {
+  try {
+    (void)nfp::parse_pipeline(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected spec error for: " << text;
+  return {};
+}
+
+TEST(PipelineSpec, RejectsDuplicateNamedArgs) {
+  // Regression: `rate=1Gbps, rate=2Gbps` used to silently keep the last
+  // binding.  Now it is a spec error carrying the offending offset.
+  const std::string msg =
+      parse_error_of("ratelimit(rate=1Gbps, rate=2Gbps)");
+  EXPECT_NE(msg.find("duplicate parameter 'rate'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at offset"), std::string::npos) << msg;
+}
+
+TEST(PipelineSpec, RejectsNamedArgCollidingWithPositional) {
+  // `maglev(8, backends=16)` binds `backends` twice: positionally (the
+  // 8) and by name.  The old parser let the name win silently.
+  const std::string msg = parse_error_of("maglev(8, backends=16)");
+  EXPECT_NE(msg.find("'backends' already bound positionally"),
+            std::string::npos)
+      << msg;
+  // ...whereas naming a *different* parameter after a positional is the
+  // documented mixed style and still parses.
+  const auto ok = nfp::parse_pipeline("maglev(8, table=17)");
+  EXPECT_EQ(ok.stages[0].args.size(), 1u);
+  EXPECT_EQ(ok.stages[0].kv.count("table"), 1u);
+}
+
+TEST(PipelineSpec, RejectsPositionalAfterNamed) {
+  const std::string msg = parse_error_of("counter(width=2048, 4)");
+  EXPECT_NE(msg.find("positional argument after named argument"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(PipelineSpec, RejectsUnknownAndOverflowingParams) {
+  EXPECT_NE(parse_error_of("ratelimit(frobnicate=1)")
+                .find("unknown parameter 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(parse_error_of("maglev(8, 17, 99)")
+                .find("too many positional arguments"),
+            std::string::npos);
+}
+
+TEST(Stages, CounterRejectsZeroDimensions) {
+  // Regression: counter(0) built a CountMinSketch with width 0 — a
+  // mod-by-zero in index() (UB).  The spec/factory layer rejects it.
+  for (const char* bad :
+       {"counter(0)", "counter(width=0)", "counter(2048, 0)",
+        "counter(depth=0)"}) {
+    const auto spec = nfp::parse_pipeline(bad);
+    EXPECT_THROW((void)nfp::make_stage(spec.stages[0]), std::invalid_argument)
+        << bad;
+  }
+  // Zero stays legal where it is meaningful (catch-all firewall).
+  const auto fw = nfp::parse_pipeline("firewall(0)");
+  EXPECT_NE(nfp::make_stage(fw.stages[0]), nullptr);
+}
+
 TEST(PipelineSpec, NormalizedTextRoundTrips) {
   const auto a = nfp::parse_pipeline(
       "  firewall( rules = 64 )|ratelimit(1Gbps,cap=32)  | counter");
