@@ -1,5 +1,6 @@
 #include "harness/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,8 +32,51 @@ SweepOpts parse_sweep_opts(int argc, char** argv) {
     if (arg.rfind("--jobs=", 0) == 0) {
       const long n = std::strtol(argv[i] + 7, nullptr, 10);
       opts.jobs = n > 1 ? static_cast<unsigned>(n) : 1;
+    } else if (arg.rfind("--sim-threads=", 0) == 0) {
+      const long n = std::strtol(argv[i] + 14, nullptr, 10);
+      opts.sim_threads = n > 1 ? static_cast<unsigned>(n) : 1;
     } else if (arg.rfind("--bench-json=", 0) == 0) {
       opts.bench_json = std::string(arg.substr(13));
+    } else if (arg == "--help") {
+      std::fprintf(
+          stderr,
+          "shared harness flags:\n"
+          "  --jobs=N         run N sweep points concurrently (default 1);\n"
+          "                   stdout stays byte-identical to --jobs=1\n"
+          "  --sim-threads=N  parallel event-engine workers per sim point\n"
+          "                   (default 1); results are byte-identical for\n"
+          "                   any N on multi-domain (ParallelCluster)\n"
+          "                   benches\n"
+          "  --bench-json=P   write a machine-readable perf baseline to P\n"
+          "  --help           this text\n"
+          "when --sim-threads > 1, jobs x sim-threads is clamped to\n"
+          "hardware_concurrency (jobs is reduced first) with a warning;\n"
+          "benches may add their own flags.\n");
+      std::exit(0);
+    }
+  }
+  // Keep the total OS-thread demand at or below the machine when both axes
+  // are in play: they multiply, and oversubscribing both at once only adds
+  // scheduler noise to wall-time numbers.  Plain --jobs oversubscription
+  // (sim-threads=1) stays allowed — it predates the engine axis and is
+  // harmless.  Results are unaffected either way.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && opts.sim_threads > 1) {
+    const unsigned product = opts.jobs * opts.sim_threads;
+    if (product > hw && opts.jobs > 1) {
+      const unsigned clamped =
+          std::max(1u, hw / std::max(1u, opts.sim_threads));
+      std::fprintf(stderr,
+                   "sweep: --jobs=%u x --sim-threads=%u exceeds %u hardware "
+                   "threads; clamping --jobs to %u\n",
+                   opts.jobs, opts.sim_threads, hw, clamped);
+      opts.jobs = clamped;
+    }
+    if (opts.sim_threads > hw) {
+      std::fprintf(stderr,
+                   "sweep: --sim-threads=%u exceeds %u hardware threads; "
+                   "keeping it (deterministic, but expect no extra speedup)\n",
+                   opts.sim_threads, hw);
     }
   }
   return opts;

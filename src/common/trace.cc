@@ -297,6 +297,20 @@ void export_text(std::ostream& os, const Tracer& tracer,
                   static_cast<double>(s.resp_p99_ns) / 1000.0,
                   static_cast<unsigned long long>(s.resp_count));
     os << line;
+    if (s.eng_windows != 0 || s.eng_events != 0) {
+      std::snprintf(line, sizeof(line),
+                    "#   engine events=%llu windows=%llu stalls=%llu "
+                    "handoffs in=%llu out=%llu ring_peak=%llu "
+                    "lookahead=%lluns\n",
+                    static_cast<unsigned long long>(s.eng_events),
+                    static_cast<unsigned long long>(s.eng_windows),
+                    static_cast<unsigned long long>(s.eng_stalled_windows),
+                    static_cast<unsigned long long>(s.eng_handoffs_in),
+                    static_cast<unsigned long long>(s.eng_handoffs_out),
+                    static_cast<unsigned long long>(s.eng_ring_peak),
+                    static_cast<unsigned long long>(s.eng_lookahead_ns));
+      os << line;
+    }
     for (const ActorSample& a : s.actors) {
       std::snprintf(
           line, sizeof(line),

@@ -1259,6 +1259,17 @@ void Runtime::snapshot_metrics() {
   snap.resp_p50_ns = response_hist_.p50();
   snap.resp_p99_ns = response_hist_.p99();
   snap.resp_count = response_hist_.count();
+  if (engine_ != nullptr && engine_domain_ != sim::kNoDomain) {
+    const sim::DomainStats es = engine_->stats(engine_domain_);
+    snap.eng_events = es.events;
+    snap.eng_windows = es.windows;
+    snap.eng_stalled_windows = es.stalled_windows;
+    snap.eng_handoffs_in = es.handoffs_in;
+    snap.eng_handoffs_out = es.handoffs_out;
+    snap.eng_ring_peak = es.ring_high_watermark;
+    snap.eng_lookahead_ns =
+        es.effective_lookahead == ~Ns{0} ? 0 : es.effective_lookahead;
+  }
   snap.actors.reserve(actors_.size());
   for (const auto& [id, ac] : actors_) {
     if (ac.killed) continue;

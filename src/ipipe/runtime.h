@@ -25,6 +25,7 @@
 #include "ipipe/tenant.h"
 #include "netsim/packet.h"
 #include "nic/nic_model.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 
 namespace ipipe {
@@ -317,6 +318,18 @@ class Runtime {
     metrics_.set_period(metrics_period);
   }
 
+  /// Register this runtime's parallel-engine domain (ParallelCluster
+  /// wiring).  Metrics snapshots then include the domain's engine
+  /// counters — events, window stalls, handoff traffic, lookahead — so
+  /// parallel-efficiency regressions show up in exported traces.
+  void set_engine(sim::ParallelSimulation* psim, sim::DomainId domain) {
+    engine_ = psim;
+    engine_domain_ = domain;
+  }
+  [[nodiscard]] sim::DomainId engine_domain() const noexcept {
+    return engine_domain_;
+  }
+
   // ---- internals shared with env/adapters (not for applications) -----------
   bool nic_run_once(nic::NicExecContext& ctx, unsigned core);
   bool host_run_once(hostsim::HostExecContext& ctx, unsigned core);
@@ -403,6 +416,8 @@ class Runtime {
 
   trace::Tracer tracer_;
   trace::MetricsRegistry metrics_;
+  sim::ParallelSimulation* engine_ = nullptr;
+  sim::DomainId engine_domain_ = sim::kNoDomain;
 
   ObjectTable objects_;
   MessageChannel channel_;

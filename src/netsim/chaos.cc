@@ -1,5 +1,6 @@
 #include "netsim/chaos.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -293,65 +294,92 @@ std::string FaultPlan::to_text() const {
 
 // ------------------------------------------------------- ChaosController --
 
+sim::Simulation& ChaosController::action_sim(const FaultAction& a) {
+  if (!net_.sharded()) return sim_;
+  // Node-scoped actions run where the node's state lives; fabric-scoped
+  // ones on the switch domain that owns partitions and the fault model.
+  switch (a.kind) {
+    case FaultAction::Kind::kCrash:
+    case FaultAction::Kind::kPcieCorrupt: {
+      const sim::DomainId d = net_.node_domain(a.node);
+      if (d != sim::kNoDomain) return net_.engine()->domain(d);
+      return sim_;
+    }
+    case FaultAction::Kind::kPartition:
+    case FaultAction::Kind::kLinkFault:
+      return net_.engine()->domain(net_.switch_domain());
+  }
+  return sim_;
+}
+
 void ChaosController::execute(const FaultPlan& plan) {
   for (const FaultAction& a : plan.actions) {
+    sim::Simulation& s = action_sim(a);
+    const std::uint64_t seq = next_seq_;
+    next_seq_ += 2;  // fire line, then its heal/restore line
+    if (a.kind == FaultAction::Kind::kCrash) down_[a.node];
     switch (a.kind) {
       case FaultAction::Kind::kCrash:
-        sim_.schedule_at(a.at, [this, a] { fire_crash(a); });
+        s.schedule_at(a.at, [this, &s, a, seq] { fire_crash(s, a, seq); });
         break;
       case FaultAction::Kind::kPartition:
-        sim_.schedule_at(a.at, [this, a] { fire_partition(a); });
+        s.schedule_at(a.at, [this, &s, a, seq] { fire_partition(s, a, seq); });
         break;
       case FaultAction::Kind::kPcieCorrupt:
-        sim_.schedule_at(a.at, [this, a] { fire_pcie_corrupt(a); });
+        s.schedule_at(a.at,
+                      [this, &s, a, seq] { fire_pcie_corrupt(s, a, seq); });
         break;
       case FaultAction::Kind::kLinkFault:
-        sim_.schedule_at(a.at, [this, a] { fire_link_fault(a); });
+        s.schedule_at(a.at,
+                      [this, &s, a, seq] { fire_link_fault(s, a, seq); });
         break;
     }
   }
 }
 
-void ChaosController::fire_crash(const FaultAction& a) {
+void ChaosController::fire_crash(sim::Simulation& s, const FaultAction& a,
+                                 std::uint64_t seq) {
   char buf[96];
-  if (down_.count(a.node) != 0) {
+  std::atomic<bool>& flag = down_[a.node];
+  if (flag.load(std::memory_order_relaxed)) {
     std::snprintf(buf, sizeof(buf), "t=%lld crash node=%u skipped(down)",
-                  static_cast<long long>(sim_.now()), a.node);
-    log_line(buf);
+                  static_cast<long long>(s.now()), a.node);
+    log_line(s.now(), seq, buf);
     return;
   }
-  down_.insert(a.node);
-  ++crashes_;
+  flag.store(true, std::memory_order_relaxed);
+  crashes_.fetch_add(1, std::memory_order_relaxed);
   const auto it = hooks_.find(a.node);
   if (it != hooks_.end() && it->second.crash) it->second.crash();
   std::snprintf(buf, sizeof(buf), "t=%lld crash node=%u down_ns=%lld",
-                static_cast<long long>(sim_.now()), a.node,
+                static_cast<long long>(s.now()), a.node,
                 static_cast<long long>(a.duration));
-  log_line(buf);
+  log_line(s.now(), seq, buf);
   trace_event("node_crash", static_cast<double>(a.node));
 
-  sim_.schedule(a.duration, [this, node = a.node] {
-    down_.erase(node);
-    ++restores_;
+  s.schedule(a.duration, [this, &s, node = a.node, seq] {
+    down_[node].store(false, std::memory_order_relaxed);
+    restores_.fetch_add(1, std::memory_order_relaxed);
     const auto h = hooks_.find(node);
     if (h != hooks_.end() && h->second.restore) h->second.restore();
     char b[64];
     std::snprintf(b, sizeof(b), "t=%lld restore node=%u",
-                  static_cast<long long>(sim_.now()), node);
-    log_line(b);
+                  static_cast<long long>(s.now()), node);
+    log_line(s.now(), seq + 1, b);
     trace_event("node_restore", static_cast<double>(node));
   });
 }
 
-void ChaosController::fire_partition(const FaultAction& a) {
+void ChaosController::fire_partition(sim::Simulation& s, const FaultAction& a,
+                                     std::uint64_t seq) {
   for (const NodeId x : a.group_a) {
     for (const NodeId y : a.group_b) {
       net_.block_pair(x, y);
     }
   }
-  ++partitions_;
+  partitions_.fetch_add(1, std::memory_order_relaxed);
   std::ostringstream os;
-  os << "t=" << sim_.now() << " partition";
+  os << "t=" << s.now() << " partition";
   for (std::size_t i = 0; i < a.group_a.size(); ++i) {
     os << (i == 0 ? " " : ",") << a.group_a[i];
   }
@@ -360,82 +388,103 @@ void ChaosController::fire_partition(const FaultAction& a) {
     os << (i == 0 ? "" : ",") << a.group_b[i];
   }
   os << " heal_ns=" << a.duration;
-  log_line(os.str());
+  log_line(s.now(), seq, os.str());
   trace_event("partition", static_cast<double>(a.group_a.size() +
                                                a.group_b.size()));
 
-  sim_.schedule(a.duration, [this, ga = a.group_a, gb = a.group_b] {
+  s.schedule(a.duration, [this, &s, ga = a.group_a, gb = a.group_b, seq] {
     for (const NodeId x : ga) {
       for (const NodeId y : gb) {
         net_.unblock_pair(x, y);
       }
     }
-    ++heals_;
+    heals_.fetch_add(1, std::memory_order_relaxed);
     char b[48];
     std::snprintf(b, sizeof(b), "t=%lld heal",
-                  static_cast<long long>(sim_.now()));
-    log_line(b);
+                  static_cast<long long>(s.now()));
+    log_line(s.now(), seq + 1, b);
     trace_event("partition_heal", 0.0);
   });
 }
 
-void ChaosController::fire_pcie_corrupt(const FaultAction& a) {
+void ChaosController::fire_pcie_corrupt(sim::Simulation& s,
+                                        const FaultAction& a,
+                                        std::uint64_t seq) {
   const auto it = hooks_.find(a.node);
   if (it != hooks_.end() && it->second.pcie_corrupt) {
     it->second.pcie_corrupt(a.rate);
   }
   char buf[96];
   std::snprintf(buf, sizeof(buf), "t=%lld pcie-corrupt node=%u rate=%g",
-                static_cast<long long>(sim_.now()), a.node, a.rate);
-  log_line(buf);
+                static_cast<long long>(s.now()), a.node, a.rate);
+  log_line(s.now(), seq, buf);
   trace_event("pcie_corrupt", a.rate);
 
-  sim_.schedule(a.duration, [this, node = a.node] {
+  s.schedule(a.duration, [this, &s, node = a.node, seq] {
     const auto h = hooks_.find(node);
     if (h != hooks_.end() && h->second.pcie_corrupt) h->second.pcie_corrupt(0.0);
     char b[64];
     std::snprintf(b, sizeof(b), "t=%lld pcie-heal node=%u",
-                  static_cast<long long>(sim_.now()), node);
-    log_line(b);
+                  static_cast<long long>(s.now()), node);
+    log_line(s.now(), seq + 1, b);
     trace_event("pcie_heal", static_cast<double>(node));
   });
 }
 
-void ChaosController::fire_link_fault(const FaultAction& a) {
+void ChaosController::fire_link_fault(sim::Simulation& s, const FaultAction& a,
+                                      std::uint64_t seq) {
   const FaultModel saved = net_.fault_model();
   net_.set_fault_model(a.fault);
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "t=%lld link-fault drop=%g dup=%g corrupt=%g jitter=%lld",
-                static_cast<long long>(sim_.now()), a.fault.drop_prob,
+                static_cast<long long>(s.now()), a.fault.drop_prob,
                 a.fault.dup_prob, a.fault.corrupt_prob,
                 static_cast<long long>(a.fault.reorder_jitter));
-  log_line(buf);
+  log_line(s.now(), seq, buf);
   trace_event("link_fault", a.fault.drop_prob);
 
-  sim_.schedule(a.duration, [this, saved] {
+  s.schedule(a.duration, [this, &s, saved, seq] {
     net_.set_fault_model(saved);
     char b[48];
     std::snprintf(b, sizeof(b), "t=%lld link-heal",
-                  static_cast<long long>(sim_.now()));
-    log_line(b);
+                  static_cast<long long>(s.now()));
+    log_line(s.now(), seq + 1, b);
     trace_event("link_heal", 0.0);
   });
 }
 
-void ChaosController::log_line(std::string line) {
-  log_.push_back(std::move(line));
+void ChaosController::log_line(Ns t, std::uint64_t seq, std::string line) {
+  const std::lock_guard<std::mutex> guard(log_mu_);
+  recs_.push_back(LogRec{t, seq, std::move(line)});
 }
 
 void ChaosController::trace_event(const char* name, double arg) {
-  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  // Sharded runs skip the tracer: one ring cannot take concurrent
+  // appends, and per-domain engine counters cover the visibility need.
+  if (tracer_ == nullptr || !tracer_->enabled() || net_.sharded()) return;
   tracer_->instant(trace::Cat::kChaos, name, trace::tid::kChaos, 0,
                    {"v", arg});
 }
 
+const std::vector<std::string>& ChaosController::event_log() const {
+  // (t, seq) is a total order — seqs are unique — so the merged view is
+  // independent of which domain's worker appended first.
+  const std::lock_guard<std::mutex> guard(log_mu_);
+  std::sort(recs_.begin(), recs_.end(),
+            [](const LogRec& x, const LogRec& y) {
+              if (x.t != y.t) return x.t < y.t;
+              return x.seq < y.seq;
+            });
+  log_.clear();
+  log_.reserve(recs_.size());
+  for (const LogRec& r : recs_) log_.push_back(r.line);
+  return log_;
+}
+
 std::string ChaosController::event_log_text() const {
   std::string out;
-  for (const std::string& line : log_) {
+  for (const std::string& line : event_log()) {
     out += line;
     out += '\n';
   }

@@ -16,11 +16,12 @@
 // is the testbed's business (ServerNode::crash / restore).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -95,12 +96,22 @@ struct NodeHooks {
   std::function<void(double)> pcie_corrupt;
 };
 
+/// Against a sharded fabric the controller becomes multi-domain aware:
+/// node-scoped actions (crash, restore, pcie-corrupt) are scheduled on
+/// the target node's engine domain, fabric-scoped ones (partition, heal,
+/// link-fault) on the switch domain that owns the partition set and the
+/// fault model.  Log lines from different domains merge under a mutex
+/// keyed by (virtual time, plan sequence), so `event_log()` stays
+/// byte-identical across thread counts; the down flags and counters are
+/// atomics.  The tracer hook is ignored in sharded mode (one Tracer
+/// cannot take concurrent appends).
 class ChaosController {
  public:
   ChaosController(sim::Simulation& sim, Network& net) : sim_(sim), net_(net) {}
 
   void register_node(NodeId node, NodeHooks hooks) {
     hooks_[node] = std::move(hooks);
+    down_[node].store(false, std::memory_order_relaxed);
   }
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
@@ -109,41 +120,63 @@ class ChaosController {
   void execute(const FaultPlan& plan);
 
   [[nodiscard]] bool node_down(NodeId node) const {
-    return down_.count(node) != 0;
+    const auto it = down_.find(node);
+    return it != down_.end() && it->second.load(std::memory_order_relaxed);
   }
 
   // ---- the replayable record -----------------------------------------------
   /// Every fault/heal event, in execution order, as "t=<ns> <what> ..."
-  /// lines.  Byte-identical across runs of the same plan + same binary.
-  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
-    return log_;
-  }
+  /// lines.  Byte-identical across runs of the same plan + same binary
+  /// (and, sharded, across thread counts).  Call only while the
+  /// simulation is not running.
+  [[nodiscard]] const std::vector<std::string>& event_log() const;
   /// The log joined with newlines (for the determinism byte-compare).
   [[nodiscard]] std::string event_log_text() const;
 
   [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
   [[nodiscard]] std::uint64_t restores() const noexcept { return restores_; }
-  [[nodiscard]] std::uint64_t partitions() const noexcept { return partitions_; }
+  [[nodiscard]] std::uint64_t partitions() const noexcept {
+    return partitions_;
+  }
   [[nodiscard]] std::uint64_t heals() const noexcept { return heals_; }
 
  private:
-  void fire_crash(const FaultAction& a);
-  void fire_partition(const FaultAction& a);
-  void fire_pcie_corrupt(const FaultAction& a);
-  void fire_link_fault(const FaultAction& a);
-  void log_line(std::string line);
+  /// `s` is the domain queue the action executes on (the node's domain /
+  /// the switch domain when sharded; `sim_` otherwise).  `seq` is the
+  /// action's plan-order sequence, the deterministic tie-break for log
+  /// lines that share a timestamp.
+  void fire_crash(sim::Simulation& s, const FaultAction& a, std::uint64_t seq);
+  void fire_partition(sim::Simulation& s, const FaultAction& a,
+                      std::uint64_t seq);
+  void fire_pcie_corrupt(sim::Simulation& s, const FaultAction& a,
+                         std::uint64_t seq);
+  void fire_link_fault(sim::Simulation& s, const FaultAction& a,
+                       std::uint64_t seq);
+  /// Domain an action schedules on (multi-domain dispatch when sharded).
+  [[nodiscard]] sim::Simulation& action_sim(const FaultAction& a);
+  void log_line(Ns t, std::uint64_t seq, std::string line);
   void trace_event(const char* name, double arg);
 
   sim::Simulation& sim_;
   Network& net_;
   trace::Tracer* tracer_ = nullptr;
   std::map<NodeId, NodeHooks> hooks_;
-  std::set<NodeId> down_;
-  std::vector<std::string> log_;
-  std::uint64_t crashes_ = 0;
-  std::uint64_t restores_ = 0;
-  std::uint64_t partitions_ = 0;
-  std::uint64_t heals_ = 0;
+  /// Pre-populated at registration / plan execution (the map's shape is
+  /// frozen while workers run; only the atomic flags flip).
+  std::map<NodeId, std::atomic<bool>> down_;
+  struct LogRec {
+    Ns t;
+    std::uint64_t seq;
+    std::string line;
+  };
+  mutable std::mutex log_mu_;
+  mutable std::vector<LogRec> recs_;
+  mutable std::vector<std::string> log_;  ///< sorted cache, rebuilt on read
+  std::uint64_t next_seq_ = 0;            ///< 2 per action: fire, then heal
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> restores_{0};
+  std::atomic<std::uint64_t> partitions_{0};
+  std::atomic<std::uint64_t> heals_{0};
 };
 
 }  // namespace ipipe::netsim

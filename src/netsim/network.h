@@ -19,8 +19,25 @@
 //  * frames in flight to a node that detaches before delivery are lost.
 // Every drop is counted under its reason; `frames_dropped()` stays the
 // grand total.
+//
+// Sharded mode (parallel engine): constructed against a
+// `sim::ParallelSimulation`, the fabric becomes the only cross-domain
+// surface in the system.  The switch is its own domain — it owns the
+// partition set, the fault RNG, and the fault model — and the switch
+// latency splits into an ingress and an egress half that become the
+// lookahead on the node→switch and switch→node edges.  A frame then
+// takes three hops: tx serialization on the source's domain (the source
+// port's tx state is source-owned), a switch event (partition/fault
+// decisions, deterministic because handoffs drain in canonical order),
+// and an arrival event on the destination's domain (rx serialization and
+// the up/down check are destination-owned).  The port map is frozen
+// during a sharded run: detach marks the port down instead of erasing,
+// attach on an existing node updates in place, and the frame counters
+// are relaxed atomics (their sums are order-invariant, so deterministic
+// output may print them).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -29,6 +46,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "netsim/packet.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 
 namespace ipipe::netsim {
@@ -55,15 +73,48 @@ class Network {
       : sim_(sim),
         pool_(PacketPool::local()),
         switch_latency_(switch_latency),
+        switch_in_(switch_latency / 2),
+        switch_out_(switch_latency - switch_latency / 2),
         rng_(0xFAB51Cull) {}
 
-  /// Attach `ep` as `node` with a full-duplex link of `gbps`.
-  void attach(NodeId node, Endpoint& ep, double gbps);
+  /// Sharded fabric for the parallel engine.  `switch_domain` must be a
+  /// dedicated domain (it runs the switch events and owns the fault
+  /// state).  `switch_latency` should be >= 2 ns so both half-latencies
+  /// (the edge lookaheads) stay nonzero — a rack-scale value in the
+  /// microseconds gives the engine wide safe windows.
+  Network(sim::ParallelSimulation& psim, sim::DomainId switch_domain,
+          Ns switch_latency = 300 /*ns*/)
+      : sim_(psim.domain(switch_domain)),
+        psim_(&psim),
+        switch_domain_(switch_domain),
+        pool_(PacketPool::local()),
+        switch_latency_(switch_latency),
+        switch_in_(switch_latency / 2),
+        switch_out_(switch_latency - switch_latency / 2),
+        rng_(0xFAB51Cull) {}
 
-  /// Detach (e.g. simulate node failure); in-flight frames to it are lost.
+  /// Attach `ep` as `node` with a full-duplex link of `gbps`.  In
+  /// sharded mode `domain` names the engine domain that owns the
+  /// endpoint (rx state and delivery run there); defaulted, a new port
+  /// takes the current attach domain (`set_attach_domain`) and a known
+  /// node keeps its domain — so components that re-attach on restore
+  /// (ServerNode) need no domain plumbing.  Re-attaching updates the
+  /// port in place and marks it back up.
+  void attach(NodeId node, Endpoint& ep, double gbps,
+              sim::DomainId domain = sim::kNoDomain);
+
+  /// Domain assigned to subsequently attached new ports (sharded setup:
+  /// the cluster sets this before constructing each node's components,
+  /// which self-attach without knowing about domains).
+  void set_attach_domain(sim::DomainId d) noexcept { attach_domain_ = d; }
+
+  /// Detach (e.g. simulate node failure); in-flight frames to it are
+  /// lost.  Sharded mode marks the port down instead of erasing it (the
+  /// port map is frozen while workers run).
   void detach(NodeId node);
   [[nodiscard]] bool attached(NodeId node) const {
-    return ports_.count(node) != 0;
+    const auto it = ports_.find(node);
+    return it != ports_.end() && it->second.up;
   }
 
   /// Block / unblock frames between `a` and `b` in both directions
@@ -113,12 +164,29 @@ class Network {
   /// draw their request frames from here).
   [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
 
+  /// Sharded-mode surface (null / kNoDomain when single-queue).
+  [[nodiscard]] bool sharded() const noexcept { return psim_ != nullptr; }
+  [[nodiscard]] sim::ParallelSimulation* engine() noexcept { return psim_; }
+  [[nodiscard]] sim::DomainId switch_domain() const noexcept {
+    return switch_domain_;
+  }
+  /// Domain owning `node`'s endpoint (kNoDomain when unattached).
+  [[nodiscard]] sim::DomainId node_domain(NodeId node) const {
+    const auto it = ports_.find(node);
+    return it == ports_.end() ? sim::kNoDomain : it->second.domain;
+  }
+  /// Declare the node<->switch lookahead edges on the engine.  Call once
+  /// after every attach(), before the first run().
+  void install_lookahead();
+
  private:
   struct PortState {
     Endpoint* ep = nullptr;
     double gbps = 10.0;
-    Ns tx_busy_until = 0;  // uplink (endpoint -> switch)
-    Ns rx_busy_until = 0;  // downlink (switch -> endpoint)
+    Ns tx_busy_until = 0;  // uplink (endpoint -> switch): src-domain-owned
+    Ns rx_busy_until = 0;  // downlink (switch -> endpoint): dst-domain-owned
+    sim::DomainId domain = 0;
+    bool up = true;  // dst-domain-owned; detach flips instead of erasing
   };
 
   [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
@@ -130,21 +198,32 @@ class Network {
   void deliver(PacketPtr pkt, Ns extra_delay, bool corrupt);
   /// Flip one random payload bit (corrupt_prob fault path).
   void corrupt_payload(Packet& pkt);
+  /// Sharded-mode hops (see file header).
+  void send_sharded(PacketPtr pkt);
+  void switch_hop(PacketPtr pkt);
+  void post_to_dst(PacketPtr pkt, Ns jitter, bool corrupt);
+  void arrive(PacketPtr pkt, bool corrupt);
 
-  sim::Simulation& sim_;
+  sim::Simulation& sim_;  ///< sharded mode: the switch domain's queue
+  sim::ParallelSimulation* psim_ = nullptr;
+  sim::DomainId switch_domain_ = sim::kNoDomain;
   PacketPool& pool_;
   Ns switch_latency_;
-  Rng rng_;
+  Ns switch_in_;   ///< ingress half: node->switch edge lookahead
+  Ns switch_out_;  ///< egress half: switch->node edge lookahead
+  Rng rng_;        ///< switch-domain-owned in sharded mode
+  sim::DomainId attach_domain_ = 0;
   FaultModel faults_;
   std::unordered_map<NodeId, PortState> ports_;
-  std::unordered_map<std::uint64_t, int> blocked_pairs_;
-  std::uint64_t frames_sent_ = 0;
-  std::uint64_t frames_delivered_ = 0;
-  std::uint64_t dropped_unknown_endpoint_ = 0;
-  std::uint64_t dropped_fault_ = 0;
-  std::uint64_t dropped_corrupt_ = 0;
-  std::uint64_t dropped_partition_ = 0;
-  std::uint64_t dropped_node_down_ = 0;
+  std::unordered_map<std::uint64_t, int> blocked_pairs_;  ///< switch-owned
+  // Relaxed atomics: bumped from several domains, sums order-invariant.
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_delivered_{0};
+  std::atomic<std::uint64_t> dropped_unknown_endpoint_{0};
+  std::atomic<std::uint64_t> dropped_fault_{0};
+  std::atomic<std::uint64_t> dropped_corrupt_{0};
+  std::atomic<std::uint64_t> dropped_partition_{0};
+  std::atomic<std::uint64_t> dropped_node_down_{0};
 };
 
 }  // namespace ipipe::netsim

@@ -181,6 +181,12 @@ bool Simulation::cancel(EventId id) noexcept {
 }
 
 bool Simulation::step(Ns until) {
+  // Inclusive bound: events at exactly `until` run.  (An event at the
+  // ~Ns{0} sentinel itself can never be reached; nothing schedules there.)
+  return step_before(until == ~Ns{0} ? until : until + 1);
+}
+
+bool Simulation::step_before(Ns bound) {
   for (;;) {
     if (heap_.empty()) return false;
     const HeapEntry top = heap_.front();
@@ -203,7 +209,7 @@ bool Simulation::step(Ns until) {
       free_bucket(top.bucket);
       continue;
     }
-    if (top.when > until) return false;
+    if (top.when >= bound) return false;
     // Move the callback out before running it: executing may schedule new
     // events (slot chunks have stable addresses, but the freelist and the
     // claimed slot's state change under the callback).
@@ -220,6 +226,43 @@ bool Simulation::step(Ns until) {
     fn();
     return true;
   }
+}
+
+std::uint64_t Simulation::run_before(Ns bound) {
+  std::uint64_t n = 0;
+  while (step_before(bound)) ++n;
+  return n;
+}
+
+Ns Simulation::next_event_time() noexcept {
+  for (;;) {
+    if (heap_.empty()) return ~Ns{0};
+    const HeapEntry top = heap_.front();
+    Bucket& b = buckets_[top.bucket];
+    if (b.gen != top.bgen) {
+      heap_pop_min();
+      continue;
+    }
+    std::uint32_t head = b.head;
+    while (head != kNoIndex && !slot(head).fn) {
+      const std::uint32_t nxt = slot(head).next;
+      free_slot(head);
+      --dead_;
+      head = nxt;
+    }
+    b.head = head;
+    if (head == kNoIndex) {
+      heap_pop_min();
+      free_bucket(top.bucket);
+      continue;
+    }
+    return top.when;
+  }
+}
+
+void Simulation::advance_to(Ns t) noexcept {
+  assert(t >= now_ && "cannot rewind the clock");
+  now_ = t;
 }
 
 Ns Simulation::run(Ns until) {

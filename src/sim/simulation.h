@@ -80,6 +80,27 @@ class Simulation {
   /// head event is beyond `until`.
   bool step(Ns until = ~Ns{0});
 
+  /// Execute a single event strictly before `bound`.  Returns false when
+  /// the queue is empty or the head event is at/after `bound`.  This is
+  /// the conservative-window primitive: a parallel domain may run
+  /// everything below its safe horizon but nothing at it.
+  bool step_before(Ns bound);
+
+  /// Execute every event with timestamp < `bound` (including events the
+  /// callbacks schedule inside the window).  The clock is left at the
+  /// last executed event, never advanced to `bound`.  Returns the number
+  /// of events executed.
+  std::uint64_t run_before(Ns bound);
+
+  /// Timestamp of the earliest pending event, or ~Ns{0} when the queue is
+  /// empty.  Prunes cancelled chain heads / stale heap entries while
+  /// peeking, so repeated calls stay O(1) amortized.
+  [[nodiscard]] Ns next_event_time() noexcept;
+
+  /// Advance the clock to `t` without executing anything.  `t` must not
+  /// be in the past and must not skip over a pending event.
+  void advance_to(Ns t) noexcept;
+
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 

@@ -1,5 +1,7 @@
 #include "testbed/cluster.h"
 
+#include <string>
+
 namespace ipipe::testbed {
 
 IPipeConfig config_for_mode(Mode mode, IPipeConfig base) {
@@ -97,6 +99,62 @@ void Cluster::snapshot_all() {
 
 std::unique_ptr<netsim::ChaosController> Cluster::make_chaos() {
   auto chaos = std::make_unique<netsim::ChaosController>(sim_, net_);
+  for (auto& server : servers_) {
+    ServerNode* node = server.get();
+    chaos->register_node(node->id(),
+                         {.crash = [node] { node->crash(); },
+                          .restore = [node] { node->restore(); },
+                          .pcie_corrupt = [node](double rate) {
+                            node->runtime().set_channel_fault(rate);
+                          }});
+  }
+  return chaos;
+}
+
+// --------------------------------------------------------- ParallelCluster --
+
+ServerNode& ParallelCluster::add_server(ServerSpec spec) {
+  const auto id = static_cast<netsim::NodeId>(servers_.size());
+  const sim::DomainId d = psim_.add_domain("server" + std::to_string(id));
+  server_domains_.push_back(d);
+  // The node's components self-attach to the fabric; route their port to
+  // the new domain.
+  net_.set_attach_domain(d);
+  servers_.push_back(
+      std::make_unique<ServerNode>(psim_.domain(d), net_, id, std::move(spec)));
+  ServerNode& node = *servers_.back();
+  node.nic().set_engine_domain(d);
+  node.host().set_engine_domain(d);
+  node.runtime().set_engine(&psim_, d);
+  return node;
+}
+
+workloads::ClientGen& ParallelCluster::add_client(
+    double link_gbps, workloads::ClientGen::MakeReq make, std::uint64_t seed) {
+  const auto id = static_cast<netsim::NodeId>(kClientBase + clients_.size());
+  net_.set_attach_domain(client_dom_);
+  clients_.push_back(std::make_unique<workloads::ClientGen>(
+      psim_.domain(client_dom_), net_, id, link_gbps, std::move(make), seed));
+  return *clients_.back();
+}
+
+void ParallelCluster::run_until(Ns t) {
+  if (!topology_frozen_) {
+    net_.install_lookahead();
+    topology_frozen_ = true;
+  }
+  psim_.run(t);
+}
+
+void ParallelCluster::snapshot_all() {
+  for (auto& server : servers_) server->snapshot();
+}
+
+std::unique_ptr<netsim::ChaosController> ParallelCluster::make_chaos() {
+  // The controller dispatches per action: node-scoped faults to the
+  // node's domain, fabric-scoped ones to the switch domain.
+  auto chaos = std::make_unique<netsim::ChaosController>(
+      psim_.domain(net_.switch_domain()), net_);
   for (auto& server : servers_) {
     ServerNode* node = server.get();
     chaos->register_node(node->id(),

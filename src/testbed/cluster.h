@@ -24,6 +24,7 @@
 #include "netsim/network.h"
 #include "nic/nic_config.h"
 #include "nic/nic_model.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "workloads/client.h"
 
@@ -138,6 +139,77 @@ class Cluster {
  private:
   sim::Simulation sim_;
   netsim::Network net_;
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::vector<std::unique_ptr<workloads::ClientGen>> clients_;
+};
+
+/// Cluster on the conservative parallel engine: every server gets its own
+/// engine domain (its NIC, host, runtime, actors, and timers all schedule
+/// on that domain's queue — ServerNode and friends are reused unchanged),
+/// the switch is domain 0, and all clients share domain 1 (bench
+/// closures routinely share state across client generators, so keeping
+/// them co-domained keeps that pattern safe).  The fabric is the only
+/// cross-domain surface.  `run_until(t)` executes the domains on
+/// `set_threads(n)` workers with byte-identical results for every n.
+///
+/// Pick a rack-scale switch latency (e.g. 2 us): the two half-latencies
+/// become the engine's lookahead windows, and wider windows mean fewer
+/// synchronization barriers per simulated second.
+class ParallelCluster {
+ public:
+  explicit ParallelCluster(Ns switch_latency = 2000)
+      : switch_dom_(psim_.add_domain("switch")),
+        client_dom_(psim_.add_domain("clients")),
+        net_(psim_, switch_dom_, switch_latency) {
+    // Every component arena-allocates from the constructing thread's
+    // pool; engine workers recycle frames concurrently.
+    net_.pool().set_concurrent(true);
+  }
+
+  /// Add a server in its own fresh engine domain; returns the node.
+  ServerNode& add_server(ServerSpec spec);
+  /// Add a client endpoint (clients domain) with its own (dumb) NIC.
+  workloads::ClientGen& add_client(double link_gbps,
+                                   workloads::ClientGen::MakeReq make,
+                                   std::uint64_t seed = 42);
+
+  void set_threads(unsigned n) noexcept { psim_.set_threads(n); }
+  /// First call freezes the topology (installs the lookahead edges).
+  void run_until(Ns t);
+  void snapshot_all();
+
+  [[nodiscard]] sim::ParallelSimulation& engine() noexcept { return psim_; }
+  [[nodiscard]] netsim::Network& net() noexcept { return net_; }
+  /// The clients' domain queue (what bench driver closures schedule on).
+  [[nodiscard]] sim::Simulation& client_sim() noexcept {
+    return psim_.domain(client_dom_);
+  }
+  [[nodiscard]] sim::DomainId server_domain(std::size_t i) const {
+    return server_domains_[i];
+  }
+  [[nodiscard]] ServerNode& server(std::size_t i) { return *servers_[i]; }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] workloads::ClientGen& client(std::size_t i) {
+    return *clients_[i];
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+
+  /// Chaos controller with multi-domain dispatch (see ChaosController).
+  [[nodiscard]] std::unique_ptr<netsim::ChaosController> make_chaos();
+
+  static constexpr netsim::NodeId kClientBase = 1000;
+
+ private:
+  sim::ParallelSimulation psim_;
+  sim::DomainId switch_dom_;
+  sim::DomainId client_dom_;
+  netsim::Network net_;
+  bool topology_frozen_ = false;
+  std::vector<sim::DomainId> server_domains_;
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<std::unique_ptr<workloads::ClientGen>> clients_;
 };

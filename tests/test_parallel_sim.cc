@@ -1,0 +1,348 @@
+// Unit tests for the conservative parallel event engine (sim/parallel.h):
+// window safety, cross-domain handoff ordering and cancellation, the
+// zero-lookahead sequential fallback, thread-count-invariant determinism,
+// and PeriodicTask ownership migrating across domains.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+
+namespace ipipe::sim {
+namespace {
+
+// FNV-1a over (domain, timestamp) execution records; an order digest that
+// must be identical for every thread count.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(ParallelSim, SetupPostUsesFastPathAndRuns) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 100);
+  ps.set_lookahead(b, a, 100);
+
+  int ran = 0;
+  // Outside run(): post is a plain schedule_at, not ring-cancellable.
+  const HandoffId h = ps.post(b, 50, [&] { ++ran; });
+  EXPECT_FALSE(h.valid());
+  ps.domain(a).schedule_at(10, [&] { ++ran; });
+
+  EXPECT_EQ(ps.run(1000), 1000u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(ps.executed(), 2u);
+  EXPECT_EQ(ps.domain(a).now(), 1000u);
+  EXPECT_EQ(ps.domain(b).now(), 1000u);
+}
+
+TEST(ParallelSim, CrossDomainHandoffDeliversAtRequestedTime) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 100);
+  ps.set_lookahead(b, a, 100);
+
+  Ns delivered_at = 0;
+  ps.domain(a).schedule_at(500, [&] {
+    EXPECT_EQ(ParallelSimulation::current_domain(), a);
+    ps.post(b, 650, [&] {
+      EXPECT_EQ(ParallelSimulation::current_domain(), b);
+      delivered_at = ps.domain(b).now();
+    });
+  });
+  ps.run(10'000);
+  EXPECT_EQ(delivered_at, 650u);
+  EXPECT_EQ(ps.stats(a).handoffs_out, 1u);
+  EXPECT_EQ(ps.stats(b).handoffs_in, 1u);
+  EXPECT_EQ(ps.stats(b).effective_lookahead, 100u);
+}
+
+TEST(ParallelSim, CancelInFlightHandoffBeforeDrain) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  // Wide windows: both of a's events land in the same round, so the
+  // cancel reaches the ring before the barrier drains it.
+  ps.set_lookahead(a, b, 10'000);
+  ps.set_lookahead(b, a, 10'000);
+
+  bool fired = false;
+  HandoffId h;
+  ps.domain(a).schedule_at(100, [&] {
+    h = ps.post(b, 10'100, [&] { fired = true; });
+    EXPECT_TRUE(h.valid());
+  });
+  ps.domain(a).schedule_at(200, [&] { EXPECT_TRUE(ps.cancel_handoff(h)); });
+  ps.run(20'000);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(ps.stats(a).handoffs_cancelled, 1u);
+  EXPECT_EQ(ps.stats(b).handoffs_in, 0u);
+}
+
+TEST(ParallelSim, CancelAfterDrainFailsLikeAPacketOnTheWire) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  // Narrow windows: b ticks every 50ns, so a's post at t=100 is drained
+  // at a barrier well before a's cancel at t=400 executes.
+  ps.set_lookahead(a, b, 50);
+  ps.set_lookahead(b, a, 50);
+
+  int b_ticks = 0;
+  struct Ticker {
+    Simulation& s;
+    int* count;
+    void tick() {
+      ++*count;
+      if (s.now() < 1000) s.schedule(50, [this] { tick(); });
+    }
+  } ticker{ps.domain(b), &b_ticks};
+  ps.domain(b).schedule_at(0, [&] { ticker.tick(); });
+
+  bool fired = false;
+  bool cancel_result = true;
+  HandoffId h;
+  ps.domain(a).schedule_at(100, [&] {
+    h = ps.post(b, 150, [&] { fired = true; });
+  });
+  ps.domain(a).schedule_at(400, [&] { cancel_result = ps.cancel_handoff(h); });
+  ps.run(2000);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(ps.stats(a).handoffs_cancelled, 0u);
+  EXPECT_GT(b_ticks, 10);
+}
+
+TEST(ParallelSim, SameTimestampCrossDomainOrderIsSourceIdOrder) {
+  // Two producers hand an event to the same consumer at the identical
+  // timestamp; the drain sorts by (when, src, seq), so execution order is
+  // by source domain id regardless of thread schedule.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ParallelSimulation ps;
+    const DomainId a = ps.add_domain("a");
+    const DomainId b = ps.add_domain("b");
+    const DomainId c = ps.add_domain("c");
+    for (DomainId s : {a, b}) {
+      ps.set_lookahead(s, c, 100);
+      ps.set_lookahead(c, s, 100);
+    }
+    ps.set_lookahead(a, b, 100);
+    ps.set_lookahead(b, a, 100);
+    ps.set_threads(threads);
+
+    std::vector<int> order;
+    ps.domain(b).schedule_at(500, [&] {
+      ps.post(c, 1000, [&] { order.push_back(1); });
+      ps.post(c, 1000, [&] { order.push_back(11); });
+    });
+    ps.domain(a).schedule_at(500, [&] {
+      ps.post(c, 1000, [&] { order.push_back(0); });
+    });
+    ps.run(5000);
+    ASSERT_EQ(order.size(), 3u) << "threads=" << threads;
+    // src a (id 0) before src b (id 1); b's two posts keep their seq order.
+    EXPECT_EQ(order[0], 0) << "threads=" << threads;
+    EXPECT_EQ(order[1], 1) << "threads=" << threads;
+    EXPECT_EQ(order[2], 11) << "threads=" << threads;
+  }
+}
+
+// A ring of domains each running a local ticker that periodically hands
+// work to the next domain; records every execution into a per-domain
+// trace.  The merged digest must be identical for any thread count.
+std::uint64_t run_ring_digest(unsigned threads, std::uint64_t* executed) {
+  constexpr DomainId kD = 8;
+  constexpr Ns kHorizon = 50'000;
+  ParallelSimulation ps;
+  for (DomainId d = 0; d < kD; ++d) ps.add_domain("r" + std::to_string(d));
+  for (DomainId s = 0; s < kD; ++s) {
+    for (DomainId d = 0; d < kD; ++d) {
+      if (s != d) ps.set_lookahead(s, d, 300);
+    }
+  }
+  ps.set_threads(threads);
+
+  std::vector<std::vector<std::pair<DomainId, Ns>>> traces(kD);
+  struct Node {
+    ParallelSimulation& ps;
+    std::vector<std::vector<std::pair<DomainId, Ns>>>& traces;
+    DomainId d;
+    void tick() {
+      Simulation& s = ps.domain(d);
+      traces[d].push_back({d, s.now()});
+      if (s.now() >= kHorizon) return;
+      // Hand one event to the next domain, staying >= the 300ns bound.
+      const DomainId nxt = (d + 1) % kD;
+      ps.post(nxt, s.now() + 301 + (s.now() % 7), [this, nxt] {
+        traces[nxt].push_back({nxt, ps.domain(nxt).now()});
+      });
+      s.schedule(37 + d, [this] { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (DomainId d = 0; d < kD; ++d) {
+    nodes.push_back(std::make_unique<Node>(Node{ps, traces, d}));
+    Node* n = nodes.back().get();
+    ps.domain(d).schedule_at(d * 11, [n] { n->tick(); });
+  }
+  ps.run(kHorizon + 1000);
+  if (executed != nullptr) *executed = ps.executed();
+
+  // Merge the per-domain traces in (ts, domain, per-domain index) order —
+  // the engine's canonical total order — and digest.
+  std::vector<std::pair<Ns, DomainId>> merged;
+  for (const auto& t : traces) {
+    for (const auto& rec : t) merged.push_back({rec.second, rec.first});
+  }
+  std::sort(merged.begin(), merged.end());
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& [ts, d] : merged) h = fnv1a(fnv1a(h, ts), d);
+  return h;
+}
+
+TEST(ParallelSim, RingWorkloadIsThreadCountInvariant) {
+  std::uint64_t e1 = 0;
+  const std::uint64_t d1 = run_ring_digest(1, &e1);
+  EXPECT_GT(e1, 1000u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    std::uint64_t en = 0;
+    EXPECT_EQ(run_ring_digest(threads, &en), d1) << "threads=" << threads;
+    EXPECT_EQ(en, e1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSim, ZeroLookaheadForcesSequentialFallback) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 0);  // e.g. a same-rack PCIe hop modeled as 0ns
+  ps.set_lookahead(b, a, 100);
+  ps.set_threads(8);
+  EXPECT_TRUE(ps.sequential_fallback());
+
+  // Interleaving is by (timestamp, domain id) and cross-domain posts may
+  // land with zero delay.
+  std::vector<int> order;
+  ps.domain(a).schedule_at(10, [&] {
+    order.push_back(0);
+    ps.post(b, 10, [&] { order.push_back(1); });
+  });
+  ps.domain(b).schedule_at(10, [&] { order.push_back(2); });
+  ps.run(100);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);  // (10, a) before (10, b)
+  EXPECT_EQ(order[1], 2);  // b's own event was queued first at t=10
+  EXPECT_EQ(order[2], 1);  // the zero-delay handoff arrives behind it
+  EXPECT_EQ(ps.executed(), 3u);
+}
+
+TEST(ParallelSim, SequentialFallbackDrainsRingsImmediately) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 0);
+  EXPECT_TRUE(ps.sequential_fallback());
+
+  bool fired = false;
+  bool cancel_result = true;
+  HandoffId h;
+  ps.domain(a).schedule_at(10, [&] {
+    h = ps.post(b, 500, [&] { fired = true; });
+  });
+  // In fallback mode the ring is drained right after the posting event,
+  // so even an immediately-following cancel is already too late.
+  ps.domain(a).schedule_at(11, [&] { cancel_result = ps.cancel_handoff(h); });
+  ps.run(1000);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(ParallelSim, StallCounterSeesWaitingDomain) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 10);
+  ps.set_lookahead(b, a, 10);
+  // a ticks densely; b has one far-future event it cannot reach until
+  // a's clock catches up 10ns at a time.
+  struct Ticker {
+    Simulation& s;
+    void tick() {
+      if (s.now() < 500) s.schedule(5, [this] { tick(); });
+    }
+  } ticker{ps.domain(a)};
+  ps.domain(a).schedule_at(0, [&] { ticker.tick(); });
+  bool fired = false;
+  ps.domain(b).schedule_at(400, [&] { fired = true; });
+  ps.run(1000);
+  EXPECT_TRUE(fired);
+  EXPECT_GT(ps.stats(b).stalled_windows, 0u);
+  EXPECT_GT(ps.rounds(), 0u);
+}
+
+TEST(ParallelSim, PeriodicTaskMigratesAcrossDomains) {
+  // An actor owning a PeriodicTask migrates from domain a to domain b:
+  // the task is stopped on a, ownership crosses via a handoff, and a new
+  // task resumes on b.  Tick counts must be exact and thread-invariant.
+  for (const unsigned threads : {1u, 4u}) {
+    ParallelSimulation ps;
+    const DomainId a = ps.add_domain("a");
+    const DomainId b = ps.add_domain("b");
+    ps.set_lookahead(a, b, 100);
+    ps.set_lookahead(b, a, 100);
+    ps.set_threads(threads);
+
+    int ticks_a = 0;
+    int ticks_b = 0;
+    auto task = std::make_unique<PeriodicTask>(ps.domain(a), 50,
+                                               [&] { ++ticks_a; });
+    task->start();
+    // Keep b's clock moving so a's windows stay bounded (and vice versa).
+    struct Ticker {
+      Simulation& s;
+      void tick() {
+        if (s.now() < 2000) s.schedule(50, [this] { tick(); });
+      }
+    } ticker_b{ps.domain(b)};
+    ps.domain(b).schedule_at(0, [&] { ticker_b.tick(); });
+
+    ps.domain(a).schedule_at(501, [&] {
+      task->stop();  // destructor semantics: no callback left behind
+      task.reset();
+      ps.post(b, 601, [&] {
+        task = std::make_unique<PeriodicTask>(ps.domain(b), 50,
+                                              [&] { ++ticks_b; });
+        task->start();
+      });
+    });
+    ps.domain(b).schedule_at(1101, [&] { task->stop(); });
+    ps.run(3000);
+    EXPECT_EQ(ticks_a, 10) << "threads=" << threads;  // 50..500
+    EXPECT_EQ(ticks_b, 9) << "threads=" << threads;   // 651..1051
+  }
+}
+
+TEST(ParallelSim, RepeatedLookaheadKeepsMinimum) {
+  ParallelSimulation ps;
+  const DomainId a = ps.add_domain("a");
+  const DomainId b = ps.add_domain("b");
+  ps.set_lookahead(a, b, 500);
+  ps.set_lookahead(a, b, 200);
+  ps.set_lookahead(a, b, 900);
+  EXPECT_EQ(ps.lookahead(a, b), 200u);
+  EXPECT_FALSE(ps.sequential_fallback());
+}
+
+}  // namespace
+}  // namespace ipipe::sim
