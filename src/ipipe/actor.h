@@ -198,6 +198,8 @@ struct ActorControl {
   bool quarantined = false;  ///< supervision gave up on this actor
   Ns killed_at = 0;          ///< when `killed` was set (restart delay base)
   std::uint32_t restarts = 0;
+  Ns last_revive_at = 0;  ///< healthy-since base for restart-episode decay
+  bool evacuated = false;  ///< forced to host by NIC failure; re-offload target
 
   std::deque<netsim::PacketPtr> mailbox;  ///< DRR mailbox / host queue
   double deficit_ns = 0.0;                ///< DRR deficit counter

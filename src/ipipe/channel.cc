@@ -185,7 +185,8 @@ MessageChannel::MessageChannel(sim::Simulation& sim, nic::DmaEngine& dma,
       dma_(dma),
       tuning_(tuning),
       to_host_(ring_bytes),
-      to_nic_(ring_bytes) {}
+      to_nic_(ring_bytes),
+      retry_rng_(tuning.jitter_seed) {}
 
 void MessageChannel::maybe_inject_fault(Dir& dir, std::size_t frame_start,
                                         std::size_t body_len) {
@@ -198,6 +199,7 @@ void MessageChannel::maybe_inject_fault(Dir& dir, std::size_t frame_start,
 }
 
 std::optional<Ns> MessageChannel::try_push(Dir& dir, const ChannelMsg& msg) {
+  if (link_down_) return std::nullopt;  // PCIe flap: nothing crosses
   const auto body = serialize(msg);
   const std::size_t frame_start = dir.ring.write_pos();
   if (!dir.ring.push(body)) return std::nullopt;
@@ -251,7 +253,17 @@ void MessageChannel::arm_retry(Dir& dir) {
   dir.backoff = dir.backoff == 0
                     ? tuning_.retry_base
                     : std::min(dir.backoff * 2, tuning_.retry_cap);
-  sim_.schedule(dir.backoff, [this, &dir] {
+  // Deterministic seeded jitter on top of the capped exponential backoff:
+  // after a long outage heals, channels that parked frames at the same
+  // time would otherwise all retry at the same instant.
+  Ns delay = dir.backoff;
+  if (tuning_.retry_jitter > 0.0) {
+    const auto span =
+        static_cast<std::uint64_t>(static_cast<double>(dir.backoff) *
+                                   tuning_.retry_jitter);
+    if (span > 0) delay += static_cast<Ns>(retry_rng_.uniform_u64(span));
+  }
+  sim_.schedule(delay, [this, &dir] {
     dir.retry_armed = false;
     flush_pending(dir);
   });
@@ -480,6 +492,40 @@ void MessageChannel::reset() {
     dir->next_deliver = 0;
     dir->reorder.clear();
   }
+  // link_down_ survives a reset on purpose: fencing the channel during a
+  // pcie-flap must not declare the link healthy — only the flap's heal
+  // event (set_link_down(false)) does that.
+}
+
+std::vector<ChannelMsg> MessageChannel::fence_for_nic_failure() {
+  // Retained copies are exactly the host->NIC messages the NIC never
+  // consumed (release_retained prunes them the moment delivery
+  // progresses), already in sequence order.  Out-of-order redeliveries
+  // sitting in the NIC-side reorder buffer were never handed to an actor
+  // either, but each still has its retained copy, so the retained queue
+  // alone is the complete undelivered set.
+  std::vector<ChannelMsg> undelivered;
+  undelivered.reserve(to_nic_.retained.size());
+  for (Retained& r : to_nic_.retained) {
+    undelivered.push_back(std::move(r.msg));
+  }
+  reset();
+  return undelivered;
+}
+
+void MessageChannel::set_link_down(bool down) {
+  if (link_down_ == down) return;
+  link_down_ = down;
+  if (tracing()) {
+    tracer_->instant(trace::Cat::kChannel,
+                     down ? "chan_link_down" : "chan_link_up",
+                     trace::tid::kChanToNic, 0, {"down", down ? 1.0 : 0.0});
+  }
+  if (down) return;
+  // Link restored: drain whatever parked during the outage (jittered
+  // backoff keeps concurrent channels from bursting in lockstep).
+  flush_pending(to_host_);
+  flush_pending(to_nic_);
 }
 
 }  // namespace ipipe

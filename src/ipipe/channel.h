@@ -153,6 +153,13 @@ struct ChannelTuning {
   /// Pending-queue length past which the direction reports backpressure
   /// high-watermark pressure (sends are still accepted — never dropped).
   std::size_t pending_cap = 256;
+  /// Fraction of the current backoff added as deterministic seeded jitter
+  /// to each retry delay.  Without it, every sender that parked frames
+  /// during the same outage retries in synchronized bursts when the
+  /// outage heals (visible as ring-peak spikes); with it, retries from
+  /// independent channels de-correlate while staying replay-identical.
+  double retry_jitter = 0.25;
+  std::uint64_t jitter_seed = 0xB0FF5EEDULL;
 };
 
 /// Outcome of a reliable send: the message is always accepted.
@@ -220,6 +227,20 @@ class MessageChannel {
   /// queues and sequence state in both directions.  Armed retry/NACK
   /// events that fire afterwards find empty queues and no-op.
   void reset();
+
+  /// NIC firmware death: collect every host->NIC message that was sent
+  /// but never consumed by the NIC (retained copies, sequence order),
+  /// then wipe both directions like reset().  The caller redelivers the
+  /// returned messages to the host-side fallback path, so no undelivered
+  /// send is lost to the fence.  NIC->host frames still in flight over
+  /// PCIe died with the DMA and are dropped (never acked — peers retry).
+  [[nodiscard]] std::vector<ChannelMsg> fence_for_nic_failure();
+
+  /// PCIe link flap: while down, nothing crosses the link — sends park in
+  /// the pending queues and retry with (jittered) backoff.  Bringing the
+  /// link back up flushes both directions.
+  void set_link_down(bool down);
+  [[nodiscard]] bool link_down() const noexcept { return link_down_; }
 
   /// Fault injection (tests): corrupt a random byte of each pushed frame
   /// body with probability `rate`.  Deterministic for a given seed.
@@ -321,6 +342,8 @@ class MessageChannel {
   std::uint64_t send_failures_ = 0;
   double fault_rate_ = 0.0;
   Rng fault_rng_{0x5EEDULL};
+  Rng retry_rng_{0xB0FF5EEDULL};  ///< re-seeded from tuning in the ctor
+  bool link_down_ = false;
   trace::Tracer* tracer_ = nullptr;
 };
 

@@ -322,6 +322,44 @@ MigrateResult ObjectTable::migrate_all(ActorId actor, MemSide to) {
   return result;
 }
 
+EvacResult ObjectTable::evacuate_all(ActorId actor, bool mirror) {
+  EvacResult result;
+  const auto region_it = regions_.find(actor);
+  if (region_it == regions_.end()) return result;
+  for (const ObjId id : region_it->second.objects) {
+    DmoRecord* rec = find_mut(id);
+    if (rec == nullptr || rec->side == MemSide::kHost) continue;
+    auto new_addr = allocator(region_it->second, MemSide::kHost)
+                        .alloc(rec->size);
+    if (!new_addr) {
+      // Host region exhausted: the object cannot be rehomed.  It stays
+      // marked NIC-side (unreachable) and the caller decides whether
+      // that is fatal for the actor.
+      ++result.failed_objects;
+      continue;
+    }
+    allocator(region_it->second, MemSide::kNic).free(rec->addr);
+    rec->addr = *new_addr;
+    rec->side = MemSide::kHost;
+    result.payload_bytes += rec->size;
+    ++result.moved_objects;
+    if (mirror) {
+      result.replayed_bytes += rec->size;
+    } else {
+      // The bytes lived only in NIC SRAM and died with the firmware.
+      std::fill(rec->data.begin(), rec->data.end(), std::uint8_t{0});
+      result.lost_bytes += rec->size;
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(
+        trace::Cat::kDmo, "dmo_evacuate", trace::tid::kDmo, actor,
+        {"replayed_bytes", static_cast<double>(result.replayed_bytes)},
+        {"lost_bytes", static_cast<double>(result.lost_bytes)});
+  }
+  return result;
+}
+
 const DmoRecord* ObjectTable::find(ObjId id) const {
   const auto it = objects_.find(id);
   return it == objects_.end() ? nullptr : &it->second;

@@ -101,6 +101,20 @@ struct MigrateResult {
   [[nodiscard]] bool complete() const noexcept { return failed_objects == 0; }
 };
 
+/// Outcome of `ObjectTable::evacuate_all` — the crash-consistent variant
+/// of migrate_all used when the NIC side is unreachable.  With the host
+/// mirror enabled the payload is replayed from the mirror copy
+/// (`replayed_bytes`); without it the NIC-resident bytes died with the
+/// device and the objects come back zero-filled (`lost_bytes`).
+struct EvacResult {
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t moved_objects = 0;
+  std::uint64_t failed_objects = 0;  ///< host region exhausted
+  std::uint64_t replayed_bytes = 0;  ///< restored from the host mirror
+  std::uint64_t lost_bytes = 0;      ///< no mirror: content zero-filled
+  [[nodiscard]] bool complete() const noexcept { return failed_objects == 0; }
+};
+
 /// Object table (one logical table spanning both sides, with per-object
 /// location, Figure 12-a).  The runtime consults `side` to decide
 /// whether an access is local; actors never observe raw addresses.
@@ -148,6 +162,14 @@ class ObjectTable {
   /// (what the caller charges PCIe time for) from padded allocator bytes
   /// (what the target region actually consumed) and counts stragglers.
   MigrateResult migrate_all(ActorId actor, MemSide to);
+
+  /// Crash-consistent emergency evacuation: force every NIC-resident
+  /// object of `actor` onto the host side *without* touching the (dead)
+  /// NIC.  No PCIe transfer happens — with `mirror` the host mirror copy
+  /// provides the bytes; without it the payload is zero-filled and
+  /// reported lost.  The NIC-side allocator is wiped for those objects
+  /// (the firmware's heap is gone anyway).
+  EvacResult evacuate_all(ActorId actor, bool mirror);
 
   [[nodiscard]] const DmoRecord* find(ObjId id) const;
   [[nodiscard]] std::uint64_t actor_bytes(ActorId actor, MemSide side) const;

@@ -126,6 +126,25 @@ void NicEnv::compute(double units) {
   ctx_.charge(static_cast<Ns>(units / (rt_.config().nic_ipc * nic_cfg.freq_ghz)));
 }
 
+void NicEnv::accel(nic::AccelKind kind, std::uint32_t bytes,
+                   std::uint32_t batch) {
+  nic::AcceleratorBank& bank = rt_.nic().accel();
+  if (!bank.failed(kind)) {
+    ctx_.accel(kind, bytes, batch);
+    return;
+  }
+  // Failed engine (chaos accel-fail): the computation still happens —
+  // correctness is non-negotiable — but on a software path run by this
+  // wimpy NIC core: the host software slowdown scaled up by the hosts'
+  // IPC advantage, with no engine invocation to amortize.
+  const Ns hw_cost = bank.batch_cost(kind, bytes, batch);
+  const double slow =
+      rt_.config().host_accel_slowdown[static_cast<std::size_t>(kind)] *
+      (rt_.config().host_ipc / rt_.config().nic_ipc);
+  ctx_.charge(static_cast<Ns>(static_cast<double>(hw_cost) * slow));
+  rt_.note_accel_fallback();
+}
+
 void NicEnv::send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
                   std::vector<std::uint8_t> payload, std::uint32_t frame_size) {
   auto pkt = make_packet(dst_node, dst_actor, type, std::move(payload),

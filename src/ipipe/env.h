@@ -80,9 +80,7 @@ class NicEnv final : public EnvBase {
     ctx_.stream(ws, bytes);
   }
   void accel(nic::AccelKind kind, std::uint32_t bytes,
-             std::uint32_t batch) override {
-    ctx_.accel(kind, bytes, batch);
-  }
+             std::uint32_t batch) override;
 
   void send(NodeId dst_node, ActorId dst_actor, std::uint16_t type,
             std::vector<std::uint8_t> payload,

@@ -97,11 +97,17 @@ Runtime::Runtime(sim::Simulation& sim, nic::NicModel& nic,
   channel_.set_host_notify([this] { host_.wake_all(); });
   channel_.set_nic_notify([this] { nic_.wake_all(); });
   nic_.set_steer_to_nic([this](const netsim::Packet& pkt) {
+    if (nic_down_) return false;  // dead firmware: everything lands host-side
     const auto* ac = control(pkt.dst_actor);
     return ac != nullptr && !ac->killed && ac->loc == ActorLoc::kNic;
   });
   host_.set_runtime(&host_rt_);
   nic_.set_firmware(&nic_fw_);
+  if (cfg_.nic_watchdog) {
+    last_pong_ = sim_.now();
+    watchdog_period_ = cfg_.watchdog_heartbeat;
+    sim_.schedule(watchdog_period_, [this] { watchdog_tick(); });
+  }
 }
 
 Runtime::~Runtime() {
@@ -503,7 +509,14 @@ void Runtime::revive_actor(ActorControl& ac) {
   ac.deficit_ns = 0.0;
   ac.latency.reset();
   ac.exec_cost.reset();
-  ac.loc = ac.actor->host_pinned() ? ActorLoc::kHost : ActorLoc::kNic;
+  // A revival during a NIC outage (or before re-offload) lands the actor
+  // on the host — the only side that can run it — and marks it for the
+  // eventual re-offload wave.
+  const bool nic_unusable = nic_down_ || evacuated_;
+  ac.loc = ac.actor->host_pinned() || nic_unusable ? ActorLoc::kHost
+                                                   : ActorLoc::kNic;
+  ac.evacuated = nic_unusable && !ac.actor->host_pinned();
+  ac.last_revive_at = sim_.now();
   ac.is_drr = false;
   ac.demotions = 0;
   if (cfg_.policy == SchedPolicy::kDrrOnly && ac.loc == ActorLoc::kNic) {
@@ -538,7 +551,21 @@ bool Runtime::restart_actor(ActorId id) {
 void Runtime::supervise_scan() {
   for (const auto& owned : owned_actors_) {
     auto* ac = control(owned->id());
-    if (ac == nullptr || !ac->killed || ac->quarantined) continue;
+    if (ac == nullptr) continue;
+    // Restart-episode decay: an actor that has stayed healthy for the
+    // configured interval earns its supervision budget back, so ancient
+    // crashes don't leave it one fault away from permanent quarantine.
+    if (cfg_.supervise_restart_decay > 0 && !ac->killed && !ac->quarantined &&
+        ac->restarts > 0 && ac->last_revive_at > 0 &&
+        sim_.now() - ac->last_revive_at >= cfg_.supervise_restart_decay) {
+      ac->restarts = 0;
+      ++restart_decays_;
+      if (tracer_.enabled()) {
+        tracer_.instant(trace::Cat::kChaos, "restart_decay", trace::tid::kChaos,
+                        ac->id);
+      }
+    }
+    if (!ac->killed || ac->quarantined) continue;
     // Don't restart an actor into its tenant's penalty box: the revived
     // actor would re-enter the same overload and re-earn the kill.
     if (const TenantState* t = tenant(ac->tenant);
@@ -593,6 +620,14 @@ void Runtime::crash_node_state() {
 void Runtime::restore_node_state() {
   if (!node_down_) return;
   node_down_ = false;
+  // A full reboot brings the NIC back too: any pre-crash NIC outage or
+  // pending evacuation state is moot after power-cycling both sides.
+  nic_down_ = false;
+  nic_.set_firmware(&nic_fw_);
+  evacuated_ = false;
+  last_pong_ = sim_.now();
+  pings_unanswered_ = 0;
+  watchdog_period_ = cfg_.watchdog_heartbeat;
   // Clean reboot: the supervision budget starts over, quarantines lift,
   // and every actor re-runs reset()+init() in registration order (the
   // same order deployment used, so recovered ids line up across nodes).
@@ -608,6 +643,273 @@ void Runtime::restore_node_state() {
   }
   nic_.wake_all();
   host_.wake_all();
+}
+
+// ------------------------------------------------- NIC device failures --
+
+void Runtime::nic_crash() {
+  if (node_down_ || nic_down_) return;
+  nic_down_ = true;
+  ++nic_crashes_;
+  // Everything in NIC SRAM dies with the firmware: the TM's ingress
+  // queues and every NIC-resident mailbox.  Nothing in there was acked
+  // to its sender, so reliable paths recover by retransmission.
+  nic_.tm().clear();
+  // With no firmware the device degrades to a dumb NIC: the MAC and DMA
+  // engines (hardware, not firmware) shunt arriving frames straight to
+  // the host RX ring, where degraded-mode serving picks them up.
+  nic_.set_firmware(nullptr);
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || ac->killed) continue;
+    if (ac->loc == ActorLoc::kNic) ac->mailbox.clear();
+  }
+  // The migration slot ran on the (now dead) management core: resolve it
+  // so its actor is not stranded buffering forever.
+  resolve_migration_on_fault();
+  drr_queue_.clear();
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "nic_crash", trace::tid::kChaos, 0);
+  }
+  LOG_WARN("node %u: NIC firmware dead", nic_.node());
+  host_.wake_all();  // the host keeps serving; its watchdog will notice
+}
+
+void Runtime::nic_restore() {
+  if (node_down_ || !nic_down_) return;
+  nic_down_ = false;
+  nic_.set_firmware(&nic_fw_);
+  // Firmware rebooted.  Rebuild the DRR run queue for actors that are
+  // still NIC-resident (nothing was evacuated, or pinned survivors).
+  drr_queue_.clear();
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || ac->killed || !ac->is_drr) continue;
+    if (ac->loc == ActorLoc::kNic) drr_queue_.push_back(ac->id);
+  }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "nic_restore", trace::tid::kChaos, 0);
+  }
+  LOG_INFO("node %u: NIC firmware back up", nic_.node());
+  nic_.wake_all();
+  host_.wake_all();
+}
+
+void Runtime::set_pcie_link(bool up) {
+  channel_.set_link_down(!up);
+  if (up) {
+    nic_.wake_all();
+    host_.wake_all();
+  }
+}
+
+void Runtime::set_accel_failed(std::uint32_t bank, bool failed) {
+  if (bank >= nic::kNumAccelKinds) return;
+  nic_.accel().set_failed(static_cast<nic::AccelKind>(bank), failed);
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, failed ? "accel_fail" : "accel_heal",
+                    trace::tid::kChaos, bank);
+  }
+}
+
+void Runtime::watchdog_tick() {
+  if (!cfg_.nic_watchdog) return;
+  if (node_down_) {
+    // The whole node is powered off; probe slowly until reboot (which
+    // resets last_pong_, so the watchdog restarts clean).
+    sim_.schedule(cfg_.watchdog_heartbeat, [this] { watchdog_tick(); });
+    return;
+  }
+  const Ns now = sim_.now();
+  // Misses are counted in probes, not wall-clock silence: once the probe
+  // period has backed off toward the cap, a healthy revived NIC still
+  // pongs only once per probe, and a wall-clock limit would re-trip on a
+  // device that is answering every ping it gets.
+  if (!evacuated_ && pings_unanswered_ >= cfg_.watchdog_miss_limit) {
+    watchdog_trip();
+  }
+  // Keep probing even after a trip: the first pong out of rebooted
+  // firmware is the re-offload signal.
+  ChannelMsg ping;
+  ping.src_node = nic_.node();
+  ping.dst_node = nic_.node();
+  ping.src_actor = kWatchdogActor;
+  ping.dst_actor = kWatchdogActor;
+  ping.msg_type = kWatchdogPingMsg;
+  ping.created_at = now;
+  ++watchdog_pings_;
+  ++pings_unanswered_;
+  (void)send_or_queue(MemSide::kHost, ping);
+  nic_.wake_all();
+  if (nic_down_ || evacuated_ || pings_unanswered_ > 1) {
+    // Exponential probe backoff while the NIC stays silent: a dead
+    // device should not be heartbeat-hammered at full cadence.
+    watchdog_period_ =
+        std::min(watchdog_period_ * 2, cfg_.watchdog_probe_cap);
+  } else {
+    watchdog_period_ = cfg_.watchdog_heartbeat;
+  }
+  sim_.schedule(watchdog_period_, [this] { watchdog_tick(); });
+}
+
+void Runtime::watchdog_trip() {
+  if (node_down_ || evacuated_) return;
+  ++watchdog_trips_;
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "watchdog_trip", trace::tid::kChaos, 0,
+                    {"silence_us",
+                     static_cast<double>(sim_.now() - last_pong_) / 1000.0});
+  }
+  LOG_WARN("node %u: NIC watchdog tripped (silent for %lld ns), evacuating",
+           nic_.node(), static_cast<long long>(sim_.now() - last_pong_));
+  emergency_evacuate(channel_.fence_for_nic_failure());
+}
+
+void Runtime::emergency_evacuate(std::vector<ChannelMsg> undelivered) {
+  evacuated_ = true;
+  ++evacuations_;
+  resolve_migration_on_fault();
+  std::uint64_t replay_bytes = 0;
+  std::uint64_t moved_actors = 0;
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || ac->killed || ac->loc != ActorLoc::kNic) continue;
+    // Crash-consistent DMO hand-over: no PCIe transfer is possible, the
+    // host mirror (when configured) supplies the bytes.
+    const EvacResult ev = objects_.evacuate_all(ac->id, cfg_.dmo_host_mirror);
+    evac_replayed_bytes_ += ev.replayed_bytes;
+    evac_lost_bytes_ += ev.lost_bytes;
+    replay_bytes += ev.payload_bytes;
+    ac->loc = ActorLoc::kHost;
+    ac->evacuated = true;
+    ac->is_drr = false;
+    ac->deficit_ns = 0.0;
+    ac->latency.reset();  // host service times are different
+    // A still-reachable mailbox (pcie-flap: the device is alive, just
+    // cut off) drains into the migration buffer; after a real firmware
+    // crash the mailbox was already wiped with the SRAM.
+    while (!ac->mailbox.empty()) {
+      ac->mig_buffer.push_back(std::move(ac->mailbox.front()));
+      ac->mailbox.pop_front();
+    }
+    ac->mig = MigState::kPrepare;  // buffer arrivals during state replay
+    ++evacuated_actors_;
+    ++moved_actors;
+  }
+  drr_queue_.clear();
+  // Undelivered host->NIC channel messages re-enter locally: evacuated
+  // destinations buffer them and serve them after the replay window.
+  for (ChannelMsg& m : undelivered) {
+    if (m.dst_actor == kWatchdogActor) continue;  // stale heartbeats
+    deliver_local(m.dst_actor, m.to_packet(pool_), MemSide::kHost);
+  }
+  const Ns replay =
+      static_cast<Ns>(replay_bytes) * cfg_.evac_replay_ns_per_kb / 1024 +
+      static_cast<Ns>(moved_actors) * cfg_.mig_per_object_ns;
+  sim_.schedule(std::max<Ns>(replay, 1), [this] { finish_evacuation(); });
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "nic_evacuate", trace::tid::kChaos, 0,
+                    {"actors", static_cast<double>(moved_actors)},
+                    {"bytes", static_cast<double>(replay_bytes)});
+  }
+  LOG_WARN("node %u: evacuated %llu actors (%llu payload bytes) to host",
+           nic_.node(), static_cast<unsigned long long>(moved_actors),
+           static_cast<unsigned long long>(replay_bytes));
+  host_.wake_all();
+}
+
+void Runtime::finish_evacuation() {
+  if (node_down_) return;  // a full power-fail mid-replay supersedes this
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || ac->killed || !ac->evacuated) continue;
+    if (ac->mig != MigState::kPrepare) continue;
+    ac->mig = MigState::kStable;
+    while (!ac->mig_buffer.empty()) {
+      host_local_queue_.push_back(std::move(ac->mig_buffer.front()));
+      ac->mig_buffer.pop_front();
+    }
+  }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "evac_done", trace::tid::kChaos, 0);
+  }
+  host_.wake_all();
+}
+
+void Runtime::begin_reoffload() {
+  if (!evacuated_ || nic_down_ || node_down_) return;
+  std::vector<ActorControl*> back;
+  for (const auto& owned : owned_actors_) {
+    auto* ac = control(owned->id());
+    if (ac == nullptr || ac->killed || !ac->evacuated) continue;
+    // Replay still running: stay degraded and retry on the next pong —
+    // the 4-phase machinery needs stable actors.
+    if (ac->mig != MigState::kStable) return;
+    if (ac->quarantined || ac->actor->host_pinned()) {
+      ac->evacuated = false;
+      continue;
+    }
+    back.push_back(ac);
+  }
+  evacuated_ = false;
+  ++reoffloads_;
+  // Measured-cost priority: cheapest actors first — they buy back the
+  // most NIC offload per byte of migration traffic.
+  std::sort(back.begin(), back.end(),
+            [](const ActorControl* a, const ActorControl* b) {
+              const double ca = a->exec_cost.seeded() ? a->exec_cost.mean() : 0.0;
+              const double cb = b->exec_cost.seeded() ? b->exec_cost.mean() : 0.0;
+              if (ca != cb) return ca < cb;
+              return a->id < b->id;
+            });
+  for (ActorControl* ac : back) {
+    ac->evacuated = false;
+    pending_group_migs_.emplace_back(ac->id, ActorLoc::kNic);
+  }
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kChaos, "reoffload", trace::tid::kChaos, 0,
+                    {"actors", static_cast<double>(back.size())});
+  }
+  LOG_INFO("node %u: NIC revived, re-offloading %zu actors", nic_.node(),
+           back.size());
+  nic_.wake_core(0);  // the management core drains the queue
+}
+
+void Runtime::resolve_migration_on_fault() {
+  if (!migration_.has_value()) return;
+  const ActorId id = migration_->id;
+  migration_.reset();
+  auto* ac = control(id);
+  if (ac == nullptr || ac->killed) return;
+  // Phase >= 3 moved the DMO payload and flipped the location: commit.
+  // Earlier phases changed nothing durable: roll back.
+  const bool committed =
+      ac->mig == MigState::kGone || ac->mig == MigState::kClean;
+  ac->mig = MigState::kStable;
+  if (committed) {
+    ++ac->migrations;
+    ac->latency.reset();
+  } else if (ac->is_drr && ac->loc == ActorLoc::kNic &&
+             std::find(drr_queue_.begin(), drr_queue_.end(), id) ==
+                 drr_queue_.end()) {
+    drr_queue_.push_back(id);  // phase 1 removed it from the run queue
+  }
+  // Re-deliver the buffered window at the now-authoritative home.
+  // Buffering removed these packets from every other queue, so nothing
+  // can duplicate; re-delivery means nothing is lost either.
+  std::deque<netsim::PacketPtr> buffered;
+  buffered.swap(ac->mig_buffer);
+  const MemSide side =
+      ac->loc == ActorLoc::kNic ? MemSide::kNic : MemSide::kHost;
+  for (auto& pkt : buffered) {
+    deliver_local(id, std::move(pkt), side);
+  }
+  last_migration_end_ = sim_.now();
+  if (tracer_.enabled()) {
+    tracer_.instant(trace::Cat::kMig,
+                    committed ? "mig_fault_commit" : "mig_fault_rollback",
+                    trace::tid::kChaos, id);
+  }
 }
 
 void Runtime::schedule_actor_msg(ActorId id, Ns delay, std::uint16_t type,
@@ -794,6 +1096,7 @@ bool Runtime::advance_migration(nic::NicExecContext& ctx) {
 // --------------------------------------------------------- NIC scheduling --
 
 bool Runtime::nic_run_once(nic::NicExecContext& ctx, unsigned core) {
+  if (nic_down_) return false;  // firmware dead: cores fetch nothing
   if (core < roles_.size() && roles_[core] == CoreRole::kDrr) {
     return drr_run(ctx, core);
   }
@@ -842,6 +1145,20 @@ bool Runtime::fcfs_run(nic::NicExecContext& ctx, unsigned core) {
     if (auto msg = channel_.nic_poll()) {
       const Ns pkt_start = ctx.consumed();
       ctx.charge(cfg_.channel_handling_ns);
+      if (msg->dst_actor == kWatchdogActor) {
+        // Firmware watchdog endpoint: answer the host's heartbeat.
+        if (msg->msg_type == kWatchdogPingMsg) {
+          ChannelMsg pong;
+          pong.src_node = nic_.node();
+          pong.dst_node = nic_.node();
+          pong.src_actor = kWatchdogActor;
+          pong.dst_actor = kWatchdogActor;
+          pong.msg_type = kWatchdogPongMsg;
+          pong.created_at = sim_.now();
+          ctx.charge(send_or_queue(MemSide::kNic, pong));
+        }
+        return true;
+      }
       auto pkt = msg->to_packet(pool_);
       pkt->nic_arrival = sim_.now();
       dispatch_nic(ctx, std::move(pkt), pkt_start);
@@ -1418,6 +1735,15 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
       // Receiving a message costs the same descriptor/copy work as a
       // DPDK frame; the channel bookkeeping is iPipe's own tax on top.
       ctx.charge(cfg_.channel_handling_ns);
+      if (msg->dst_actor == kWatchdogActor) {
+        if (msg->msg_type == kWatchdogPongMsg) {
+          last_pong_ = sim_.now();
+          pings_unanswered_ = 0;
+          // First pong from a revived NIC: bring the actors home.
+          if (evacuated_ && !nic_down_) begin_reoffload();
+        }
+        return true;
+      }
       auto pkt = msg->to_packet(pool_);
       ctx.charge_rx(pkt->frame_size);
       pkt->nic_arrival = sim_.now();
@@ -1445,6 +1771,27 @@ bool Runtime::host_run_once(hostsim::HostExecContext& ctx, unsigned core) {
     ctx.charge_rx(pkt->frame_size);
     ActorControl* ac = control(pkt->dst_actor);
     if (ac == nullptr || ac->killed) return true;
+    // Degraded mode: with the NIC (and its TM classifier) dead, the VF
+    // ingress budgets are re-applied here — a tenant must not get free
+    // line-rate access just because the policer's usual home crashed.
+    if ((nic_down_ || evacuated_) && ac->tenant != kNoTenant) {
+      if (TenantState* t = tenant(ac->tenant); t != nullptr) {
+        const Ns now = sim_.now();
+        if (t->quarantined || t->throttled(now)) {
+          ++t->stats.throttle_drops;
+          ++degraded_drops_;
+          return true;
+        }
+        if (!t->ingress_admit(pkt->frame_size, now)) {
+          ++t->stats.policer_drops;
+          t->note_violation(now);
+          ++degraded_drops_;
+          return true;
+        }
+        ++t->stats.admitted_packets;
+        t->stats.admitted_bytes += pkt->frame_size;
+      }
+    }
     if (buffering(*ac)) {
       ac->mig_buffer.push_back(std::move(pkt));
       return true;

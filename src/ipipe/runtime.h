@@ -56,6 +56,32 @@ struct IPipeConfig {
   bool supervise = false;
   Ns supervise_restart_delay = usec(500);
   std::uint32_t supervise_quarantine_after = 3;
+  /// Healthy interval after which an actor's restart-episode counter
+  /// decays back to zero, so a long-lived actor that crashed months of
+  /// virtual time ago is not one fault away from permanent quarantine.
+  /// 0 keeps the legacy behavior: episodes never decay.
+  Ns supervise_restart_decay = 0;
+
+  /// NIC device failure handling (chaos `nic-crash` / `nic-reset` /
+  /// `pcie-flap`).  When enabled, the host side runs a firmware watchdog:
+  /// a heartbeat ping crosses the reliable channel every
+  /// `watchdog_heartbeat`; after `watchdog_miss_limit` heartbeats with no
+  /// pong the host declares the NIC dead, fences the channel and
+  /// force-evacuates every NIC-resident actor to the host.  While the NIC
+  /// is unresponsive the probe period backs off exponentially up to
+  /// `watchdog_probe_cap`; the first pong after a revival triggers
+  /// re-offload by measured-cost priority.
+  bool nic_watchdog = false;
+  Ns watchdog_heartbeat = usec(200);
+  std::uint32_t watchdog_miss_limit = 4;
+  Ns watchdog_probe_cap = msec(5);
+  /// Emergency evacuation replays DMO payloads from the host mirror
+  /// (crash-consistent: no PCIe transfer possible).  Replay costs
+  /// `evac_replay_ns_per_kb` per KB of payload before evacuated actors
+  /// start serving; without the mirror the NIC-resident bytes are lost
+  /// and objects come back zero-filled.
+  bool dmo_host_mirror = true;
+  Ns evac_replay_ns_per_kb = 300;
 
   double nic_ipc = 1.2;   ///< cnMIPS 2-way in-order, achieved IPC
   double host_ipc = 3.0;  ///< Xeon out-of-order, achieved IPC
@@ -110,6 +136,13 @@ struct IPipeConfig {
 };
 
 class Runtime;
+
+/// Reserved actor id for the NIC firmware watchdog endpoint: heartbeat
+/// pings address it so they never collide with application actors.
+constexpr netsim::ActorId kWatchdogActor = 0xFFFFFFF0u;
+/// Watchdog message types (outside the application range).
+constexpr std::uint16_t kWatchdogPingMsg = 0xFFF0;
+constexpr std::uint16_t kWatchdogPongMsg = 0xFFF1;
 
 namespace detail {
 
@@ -189,6 +222,59 @@ class Runtime {
   /// actor (registration order), clear quarantines, wake the cores.
   void restore_node_state();
   [[nodiscard]] bool node_down() const noexcept { return node_down_; }
+
+  // ---- NIC device failures (chaos nic-crash / nic-reset / pcie-flap) -------
+  /// NIC firmware dies (volatile NIC state — TM queues, DRR run queue,
+  /// NIC-resident mailboxes, in-flight migration — is wiped) but the host
+  /// side keeps running.  Detection is the watchdog's business: nothing
+  /// is evacuated here.
+  void nic_crash();
+  /// Firmware reboot after nic_crash(): NIC cores resume, the DRR run
+  /// queue is rebuilt for surviving NIC-resident actors.  Re-offload of
+  /// evacuated actors waits for the watchdog to see a pong.
+  void nic_restore();
+  /// PCIe link flap (chaos pcie-flap hook): while down, channel pushes
+  /// park in the pending queues and retransmit with jittered backoff.
+  void set_pcie_link(bool up);
+  /// Accelerator bank failure (chaos accel-fail hook): the engine keeps
+  /// computing correct results via a software path on the NIC cores, it
+  /// just stops being cheap.
+  void set_accel_failed(std::uint32_t bank, bool failed);
+  [[nodiscard]] bool nic_down() const noexcept { return nic_down_; }
+  [[nodiscard]] bool evacuated() const noexcept { return evacuated_; }
+  [[nodiscard]] std::uint64_t nic_crashes() const noexcept {
+    return nic_crashes_;
+  }
+  [[nodiscard]] std::uint64_t watchdog_trips() const noexcept {
+    return watchdog_trips_;
+  }
+  [[nodiscard]] std::uint64_t watchdog_pings() const noexcept {
+    return watchdog_pings_;
+  }
+  [[nodiscard]] std::uint64_t evacuations() const noexcept {
+    return evacuations_;
+  }
+  [[nodiscard]] std::uint64_t evacuated_actors() const noexcept {
+    return evacuated_actors_;
+  }
+  [[nodiscard]] std::uint64_t evac_replayed_bytes() const noexcept {
+    return evac_replayed_bytes_;
+  }
+  [[nodiscard]] std::uint64_t evac_lost_bytes() const noexcept {
+    return evac_lost_bytes_;
+  }
+  [[nodiscard]] std::uint64_t reoffloads() const noexcept { return reoffloads_; }
+  [[nodiscard]] std::uint64_t accel_fallbacks() const noexcept {
+    return accel_fallbacks_;
+  }
+  [[nodiscard]] std::uint64_t restart_decays() const noexcept {
+    return restart_decays_;
+  }
+  [[nodiscard]] std::uint64_t degraded_drops() const noexcept {
+    return degraded_drops_;
+  }
+  /// Env-layer hook: count one software fallback for a failed engine.
+  void note_accel_fallback() noexcept { ++accel_fallbacks_; }
 
   /// Deliver `type` to `id` after `delay` (actor timer service backing
   /// ActorEnv::schedule_self).  Dropped if the actor is dead at expiry.
@@ -369,8 +455,30 @@ class Runtime {
   bool drr_run(nic::NicExecContext& ctx, unsigned core);
   bool management_run(nic::NicExecContext& ctx);
   /// Supervision pass: restart killed actors whose delay elapsed,
-  /// quarantine repeat offenders.  Runs on the management core.
+  /// quarantine repeat offenders, decay episode counters of long-healthy
+  /// actors.  Runs on the management core.
   void supervise_scan();
+  // ---- NIC failure internals ----------------------------------------------
+  /// Host-side watchdog heartbeat: ping the firmware, check pong
+  /// freshness, trip on silence, back off while probing a dead NIC.
+  void watchdog_tick();
+  /// Declare the NIC dead: fence the channel and evacuate.
+  void watchdog_trip();
+  /// Force-migrate every NIC-resident actor to the host (crash-consistent
+  /// DMO replay from the host mirror), re-deliver the fenced channel
+  /// messages, re-apply tenant budgets host-side.
+  void emergency_evacuate(std::vector<ChannelMsg> undelivered);
+  /// End of the replay window: evacuated actors leave the buffering state
+  /// and start serving from the host.
+  void finish_evacuation();
+  /// First pong after a revival: queue evacuated actors for migration
+  /// back to the NIC, cheapest measured cost first.
+  void begin_reoffload();
+  /// A device fault interrupted the 4-phase migration: complete it when
+  /// the DMO payload already moved (phase >= 3), roll it back otherwise,
+  /// and re-deliver everything buffered during the window.  Either way
+  /// the actor ends kStable with a definite location.
+  void resolve_migration_on_fault();
   /// Shared restart mechanics (restart_actor / restore_node_state).
   void revive_actor(ActorControl& ac);
   bool advance_migration(nic::NicExecContext& ctx);
@@ -463,6 +571,27 @@ class Runtime {
   std::uint64_t quarantines_ = 0;
   std::uint64_t node_crashes_ = 0;
   bool node_down_ = false;
+
+  // ---- NIC device-failure state ---------------------------------------------
+  bool nic_down_ = false;    ///< firmware dead (nic-crash window)
+  bool evacuated_ = false;   ///< actors force-migrated to host, not yet back
+  Ns last_pong_ = 0;         ///< watchdog freshness base
+  Ns watchdog_period_ = 0;   ///< current probe period (backs off while dead)
+  /// Probes sent since the last pong — the trip condition counts misses
+  /// in probes (not wall time), so a backed-off probe cadence cannot
+  /// re-trip on a healthy, answering NIC.
+  std::uint32_t pings_unanswered_ = 0;
+  std::uint64_t nic_crashes_ = 0;
+  std::uint64_t watchdog_pings_ = 0;
+  std::uint64_t watchdog_trips_ = 0;
+  std::uint64_t evacuations_ = 0;
+  std::uint64_t evacuated_actors_ = 0;
+  std::uint64_t evac_replayed_bytes_ = 0;
+  std::uint64_t evac_lost_bytes_ = 0;
+  std::uint64_t reoffloads_ = 0;
+  std::uint64_t accel_fallbacks_ = 0;
+  std::uint64_t restart_decays_ = 0;
+  std::uint64_t degraded_drops_ = 0;  ///< host-side VF policer drops
 
   /// Tenant table, indexed by TenantId (slot 0 = the PF, always null).
   std::vector<std::unique_ptr<TenantState>> tenants_;

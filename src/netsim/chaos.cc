@@ -54,6 +54,48 @@ FaultPlan& FaultPlan::link_fault(FaultModel fm, Ns at, Ns duration) {
   return *this;
 }
 
+FaultPlan& FaultPlan::nic_crash(NodeId node, Ns at, Ns downtime) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kNicCrash;
+  a.node = node;
+  a.at = at;
+  a.duration = downtime;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_reset(NodeId node, Ns at, Ns downtime) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kNicReset;
+  a.node = node;
+  a.at = at;
+  a.duration = downtime;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::pcie_flap(NodeId node, Ns at, Ns duration) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kPcieFlap;
+  a.node = node;
+  a.at = at;
+  a.duration = duration;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::accel_fail(NodeId node, std::uint32_t bank, Ns at,
+                                 Ns duration) {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kAccelFail;
+  a.node = node;
+  a.bank = bank;
+  a.at = at;
+  a.duration = duration;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
 namespace {
 
 /// "250ms" / "3s" / "1500ns" / "2us" -> Ns.  Returns false on bad input.
@@ -199,6 +241,56 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
         return fail("pcie-corrupt: " + err);
       }
       plan.pcie_corrupt(static_cast<NodeId>(node), rate, at, dur);
+    } else if (verb == "nic-crash" || verb == "nic-reset" ||
+               verb == "pcie-flap") {
+      unsigned long node = 0;
+      std::string tok;
+      if (!(ss >> tok)) return fail(verb + ": missing node");
+      try {
+        node = std::stoul(tok);
+      } catch (...) {
+        return fail(verb + ": bad node '" + tok + "'");
+      }
+      Ns at = 0;
+      Ns dur = 0;
+      if (!parse_window(ss, &at, &dur, &err)) return fail(verb + ": " + err);
+      if (verb == "nic-crash") {
+        plan.nic_crash(static_cast<NodeId>(node), at, dur);
+      } else if (verb == "nic-reset") {
+        plan.nic_reset(static_cast<NodeId>(node), at, dur);
+      } else {
+        plan.pcie_flap(static_cast<NodeId>(node), at, dur);
+      }
+    } else if (verb == "accel-fail") {
+      unsigned long node = 0;
+      std::string tok;
+      if (!(ss >> tok)) return fail("accel-fail: missing node");
+      try {
+        node = std::stoul(tok);
+      } catch (...) {
+        return fail("accel-fail: bad node '" + tok + "'");
+      }
+      std::string kw;
+      unsigned long bank = 0;
+      if (!(ss >> kw >> tok) || kw != "bank") {
+        return fail("accel-fail: expected 'bank <b>'");
+      }
+      bool bank_ok = true;
+      try {
+        std::size_t pos = 0;
+        bank = std::stoul(tok, &pos);
+        bank_ok = pos == tok.size();
+      } catch (...) {
+        bank_ok = false;
+      }
+      if (!bank_ok) return fail("accel-fail: bad bank '" + tok + "'");
+      Ns at = 0;
+      Ns dur = 0;
+      if (!parse_window(ss, &at, &dur, &err)) {
+        return fail("accel-fail: " + err);
+      }
+      plan.accel_fail(static_cast<NodeId>(node),
+                      static_cast<std::uint32_t>(bank), at, dur);
     } else if (verb == "link-fault") {
       FaultModel fm;
       Ns at = 0;
@@ -286,6 +378,18 @@ std::string FaultPlan::to_text() const {
           os << " jitter=" << a.fault.reorder_jitter << "ns";
         }
         break;
+      case FaultAction::Kind::kNicCrash:
+        os << "nic-crash " << a.node;
+        break;
+      case FaultAction::Kind::kNicReset:
+        os << "nic-reset " << a.node;
+        break;
+      case FaultAction::Kind::kPcieFlap:
+        os << "pcie-flap " << a.node;
+        break;
+      case FaultAction::Kind::kAccelFail:
+        os << "accel-fail " << a.node << " bank " << a.bank;
+        break;
     }
     os << " at " << a.at << "ns for " << a.duration << "ns\n";
   }
@@ -300,7 +404,11 @@ sim::Simulation& ChaosController::action_sim(const FaultAction& a) {
   // ones on the switch domain that owns partitions and the fault model.
   switch (a.kind) {
     case FaultAction::Kind::kCrash:
-    case FaultAction::Kind::kPcieCorrupt: {
+    case FaultAction::Kind::kPcieCorrupt:
+    case FaultAction::Kind::kNicCrash:
+    case FaultAction::Kind::kNicReset:
+    case FaultAction::Kind::kPcieFlap:
+    case FaultAction::Kind::kAccelFail: {
       const sim::DomainId d = net_.node_domain(a.node);
       if (d != sim::kNoDomain) return net_.engine()->domain(d);
       return sim_;
@@ -318,6 +426,10 @@ void ChaosController::execute(const FaultPlan& plan) {
     const std::uint64_t seq = next_seq_;
     next_seq_ += 2;  // fire line, then its heal/restore line
     if (a.kind == FaultAction::Kind::kCrash) down_[a.node];
+    if (a.kind == FaultAction::Kind::kNicCrash ||
+        a.kind == FaultAction::Kind::kNicReset) {
+      nic_down_[a.node];
+    }
     switch (a.kind) {
       case FaultAction::Kind::kCrash:
         s.schedule_at(a.at, [this, &s, a, seq] { fire_crash(s, a, seq); });
@@ -332,6 +444,17 @@ void ChaosController::execute(const FaultPlan& plan) {
       case FaultAction::Kind::kLinkFault:
         s.schedule_at(a.at,
                       [this, &s, a, seq] { fire_link_fault(s, a, seq); });
+        break;
+      case FaultAction::Kind::kNicCrash:
+      case FaultAction::Kind::kNicReset:
+        s.schedule_at(a.at, [this, &s, a, seq] { fire_nic_crash(s, a, seq); });
+        break;
+      case FaultAction::Kind::kPcieFlap:
+        s.schedule_at(a.at, [this, &s, a, seq] { fire_pcie_flap(s, a, seq); });
+        break;
+      case FaultAction::Kind::kAccelFail:
+        s.schedule_at(a.at,
+                      [this, &s, a, seq] { fire_accel_fail(s, a, seq); });
         break;
     }
   }
@@ -451,6 +574,89 @@ void ChaosController::fire_link_fault(sim::Simulation& s, const FaultAction& a,
                   static_cast<long long>(s.now()));
     log_line(s.now(), seq + 1, b);
     trace_event("link_heal", 0.0);
+  });
+}
+
+void ChaosController::fire_nic_crash(sim::Simulation& s, const FaultAction& a,
+                                     std::uint64_t seq) {
+  const char* verb =
+      a.kind == FaultAction::Kind::kNicReset ? "nic-reset" : "nic-crash";
+  char buf[96];
+  std::atomic<bool>& flag = nic_down_[a.node];
+  if (flag.load(std::memory_order_relaxed) ||
+      node_down(a.node)) {
+    std::snprintf(buf, sizeof(buf), "t=%lld %s node=%u skipped(down)",
+                  static_cast<long long>(s.now()), verb, a.node);
+    log_line(s.now(), seq, buf);
+    return;
+  }
+  flag.store(true, std::memory_order_relaxed);
+  nic_crashes_.fetch_add(1, std::memory_order_relaxed);
+  const auto it = hooks_.find(a.node);
+  if (it != hooks_.end() && it->second.nic_crash) it->second.nic_crash();
+  std::snprintf(buf, sizeof(buf), "t=%lld %s node=%u down_ns=%lld",
+                static_cast<long long>(s.now()), verb, a.node,
+                static_cast<long long>(a.duration));
+  log_line(s.now(), seq, buf);
+  trace_event("nic_crash", static_cast<double>(a.node));
+
+  s.schedule(a.duration, [this, &s, node = a.node, seq] {
+    nic_down_[node].store(false, std::memory_order_relaxed);
+    nic_restores_.fetch_add(1, std::memory_order_relaxed);
+    const auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.nic_restore) h->second.nic_restore();
+    char b[64];
+    std::snprintf(b, sizeof(b), "t=%lld nic-restore node=%u",
+                  static_cast<long long>(s.now()), node);
+    log_line(s.now(), seq + 1, b);
+    trace_event("nic_restore", static_cast<double>(node));
+  });
+}
+
+void ChaosController::fire_pcie_flap(sim::Simulation& s, const FaultAction& a,
+                                     std::uint64_t seq) {
+  const auto it = hooks_.find(a.node);
+  if (it != hooks_.end() && it->second.pcie_flap) it->second.pcie_flap(true);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%lld pcie-flap node=%u down_ns=%lld",
+                static_cast<long long>(s.now()), a.node,
+                static_cast<long long>(a.duration));
+  log_line(s.now(), seq, buf);
+  trace_event("pcie_flap", static_cast<double>(a.node));
+
+  s.schedule(a.duration, [this, &s, node = a.node, seq] {
+    const auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.pcie_flap) h->second.pcie_flap(false);
+    char b[64];
+    std::snprintf(b, sizeof(b), "t=%lld pcie-up node=%u",
+                  static_cast<long long>(s.now()), node);
+    log_line(s.now(), seq + 1, b);
+    trace_event("pcie_up", static_cast<double>(node));
+  });
+}
+
+void ChaosController::fire_accel_fail(sim::Simulation& s, const FaultAction& a,
+                                      std::uint64_t seq) {
+  const auto it = hooks_.find(a.node);
+  if (it != hooks_.end() && it->second.accel_fail) {
+    it->second.accel_fail(a.bank, true);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%lld accel-fail node=%u bank=%u",
+                static_cast<long long>(s.now()), a.node, a.bank);
+  log_line(s.now(), seq, buf);
+  trace_event("accel_fail", static_cast<double>(a.bank));
+
+  s.schedule(a.duration, [this, &s, node = a.node, bank = a.bank, seq] {
+    const auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.accel_fail) {
+      h->second.accel_fail(bank, false);
+    }
+    char b[80];
+    std::snprintf(b, sizeof(b), "t=%lld accel-heal node=%u bank=%u",
+                  static_cast<long long>(s.now()), node, bank);
+    log_line(s.now(), seq + 1, b);
+    trace_event("accel_heal", static_cast<double>(bank));
   });
 }
 

@@ -43,13 +43,19 @@ struct FaultAction {
     kPartition,    ///< group_a <-/-> group_b until healed
     kPcieCorrupt,  ///< burst corruption on one node's PCIe channel rings
     kLinkFault,    ///< fabric-wide FaultModel override for the window
+    kNicCrash,     ///< smartNIC firmware dies; host keeps running
+    kNicReset,     ///< NIC firmware reset (same host-visible effect,
+                   ///< separate verb/log so plans can distinguish intent)
+    kPcieFlap,     ///< PCIe link down/up: channel parks traffic, NIC lives
+    kAccelFail,    ///< one accelerator bank fails; software fallback
   };
 
   Kind kind = Kind::kCrash;
   Ns at = 0;
   Ns duration = 0;
-  NodeId node = kInvalidNode;        ///< kCrash / kPcieCorrupt
+  NodeId node = kInvalidNode;        ///< node-scoped kinds
   double rate = 0.0;                 ///< kPcieCorrupt fault rate
+  std::uint32_t bank = 0;            ///< kAccelFail accelerator bank
   std::vector<NodeId> group_a;       ///< kPartition
   std::vector<NodeId> group_b;
   FaultModel fault;                  ///< kLinkFault
@@ -64,6 +70,10 @@ struct FaultPlan {
                        Ns duration);
   FaultPlan& pcie_corrupt(NodeId node, double rate, Ns at, Ns duration);
   FaultPlan& link_fault(FaultModel fm, Ns at, Ns duration);
+  FaultPlan& nic_crash(NodeId node, Ns at, Ns downtime);
+  FaultPlan& nic_reset(NodeId node, Ns at, Ns downtime);
+  FaultPlan& pcie_flap(NodeId node, Ns at, Ns duration);
+  FaultPlan& accel_fail(NodeId node, std::uint32_t bank, Ns at, Ns duration);
 
   [[nodiscard]] bool empty() const noexcept { return actions.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return actions.size(); }
@@ -74,6 +84,10 @@ struct FaultPlan {
   ///   pcie-corrupt <node> rate <p> at <time> for <duration>
   ///   link-fault [drop=<p>] [dup=<p>] [corrupt=<p>] [jitter=<time>]
   ///              at <time> for <duration>
+  ///   nic-crash <node> at <time> for <duration>
+  ///   nic-reset <node> at <time> for <duration>
+  ///   pcie-flap <node> at <time> for <duration>
+  ///   accel-fail <node> bank <b> at <time> for <duration>
   /// Times accept ns/us/ms/s suffixes (e.g. "250ms", "3s").
   /// Returns nullopt on malformed input; `error` (if given) explains why.
   [[nodiscard]] static std::optional<FaultPlan> parse(
@@ -94,6 +108,13 @@ struct NodeHooks {
   std::function<void()> restore;
   /// Burst corruption rate on the node's PCIe channel; 0.0 heals.
   std::function<void(double)> pcie_corrupt;
+  /// SmartNIC firmware death / revival (host side keeps running).
+  std::function<void()> nic_crash;
+  std::function<void()> nic_restore;
+  /// PCIe link down (true) / back up (false); NIC firmware stays alive.
+  std::function<void(bool)> pcie_flap;
+  /// Accelerator bank fails (true) / recovers (false).
+  std::function<void(std::uint32_t, bool)> accel_fail;
 };
 
 /// Against a sharded fabric the controller becomes multi-domain aware:
@@ -139,6 +160,12 @@ class ChaosController {
     return partitions_;
   }
   [[nodiscard]] std::uint64_t heals() const noexcept { return heals_; }
+  [[nodiscard]] std::uint64_t nic_crashes() const noexcept {
+    return nic_crashes_;
+  }
+  [[nodiscard]] std::uint64_t nic_restores() const noexcept {
+    return nic_restores_;
+  }
 
  private:
   /// `s` is the domain queue the action executes on (the node's domain /
@@ -151,6 +178,12 @@ class ChaosController {
   void fire_pcie_corrupt(sim::Simulation& s, const FaultAction& a,
                          std::uint64_t seq);
   void fire_link_fault(sim::Simulation& s, const FaultAction& a,
+                       std::uint64_t seq);
+  void fire_nic_crash(sim::Simulation& s, const FaultAction& a,
+                      std::uint64_t seq);
+  void fire_pcie_flap(sim::Simulation& s, const FaultAction& a,
+                      std::uint64_t seq);
+  void fire_accel_fail(sim::Simulation& s, const FaultAction& a,
                        std::uint64_t seq);
   /// Domain an action schedules on (multi-domain dispatch when sharded).
   [[nodiscard]] sim::Simulation& action_sim(const FaultAction& a);
@@ -177,6 +210,11 @@ class ChaosController {
   std::atomic<std::uint64_t> restores_{0};
   std::atomic<std::uint64_t> partitions_{0};
   std::atomic<std::uint64_t> heals_{0};
+  std::atomic<std::uint64_t> nic_crashes_{0};
+  std::atomic<std::uint64_t> nic_restores_{0};
+  /// NIC-down flags, same discipline as `down_` (dedup of overlapping
+  /// nic-crash windows; the map's shape freezes before workers run).
+  std::map<NodeId, std::atomic<bool>> nic_down_;
 };
 
 }  // namespace ipipe::netsim

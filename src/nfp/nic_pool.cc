@@ -138,15 +138,13 @@ double NicPool::tenant_utilization(std::size_t nic, TenantId tenant) const {
   return it == nics_[nic].tenant_util.end() ? 0.0 : it->second;
 }
 
-NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
-                                  std::uint64_t seed, TenantId tenant) {
-  if (nics_.empty()) {
-    throw std::logic_error("NicPool::place called with no NICs in the pool");
-  }
-
+NicPool::Choice NicPool::choose(const PipelineSpec& spec, double offered_pps,
+                                std::uint64_t seed, TenantId tenant) const {
   // Per-NIC cost of this pipeline and the utilization it would add:
-  // offered_pps * ns/pkt spread over the card's cores.
+  // offered_pps * ns/pkt spread over the card's cores.  Failed cards are
+  // not candidates.
   struct Candidate {
+    bool live = false;
     double added = 0.0;
     double resulting = 0.0;
     double tenant_resulting = 0.0;  ///< tenant's share after placement
@@ -156,6 +154,8 @@ NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
   const double quota = tenant_quota(tenant);
   std::vector<Candidate> cand(nics_.size());
   for (std::size_t i = 0; i < nics_.size(); ++i) {
+    if (nics_[i].failed) continue;
+    cand[i].live = true;
     cand[i].cost = measure_pipeline_cost(spec, nics_[i].cfg, seed);
     cand[i].added = offered_pps * cand[i].cost.total_ns_per_pkt / 1e9 /
                     static_cast<double>(nics_[i].cfg.cores);
@@ -166,51 +166,190 @@ NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
         tenant == kNoTenant || cand[i].tenant_resulting <= quota;
   }
 
-  // First choice: among NICs that stay under the saturation threshold
-  // *and* under the tenant's quota, the one ending least utilized
-  // (balances the pool as pipelines land).
+  // First choice: among live NICs that stay under the saturation
+  // threshold *and* under the tenant's quota, the one ending least
+  // utilized (balances the pool as pipelines land).
+  Choice out;
   std::size_t best = nics_.size();
   for (std::size_t i = 0; i < nics_.size(); ++i) {
-    if (cand[i].resulting > saturation_ || !cand[i].quota_ok) continue;
+    if (!cand[i].live || cand[i].resulting > saturation_ ||
+        !cand[i].quota_ok) {
+      continue;
+    }
     if (best == nics_.size() || cand[i].resulting < cand[best].resulting) {
       best = i;
     }
   }
-  bool spilled = false;
-  bool quota_limited = false;
   if (best == nics_.size()) {
     // Spillover: prefer quota-respecting cards even when saturated; only
     // when the tenant's quota excludes every card do we breach it — on
     // the card where the tenant's share stays smallest — and flag it.
-    spilled = true;
+    out.spilled = true;
     for (std::size_t i = 0; i < nics_.size(); ++i) {
-      if (!cand[i].quota_ok) continue;
+      if (!cand[i].live || !cand[i].quota_ok) continue;
       if (best == nics_.size() || cand[i].resulting < cand[best].resulting) {
         best = i;
       }
     }
     if (best == nics_.size()) {
-      quota_limited = true;
-      best = 0;
-      for (std::size_t i = 1; i < nics_.size(); ++i) {
-        if (cand[i].tenant_resulting < cand[best].tenant_resulting) best = i;
+      out.quota_limited = true;
+      for (std::size_t i = 0; i < nics_.size(); ++i) {
+        if (!cand[i].live) continue;
+        if (best == nics_.size() ||
+            cand[i].tenant_resulting < cand[best].tenant_resulting) {
+          best = i;
+        }
       }
     }
   }
+  out.nic = best;  // nics_.size() when every card is failed
+  if (best < nics_.size()) {
+    out.added = cand[best].added;
+    out.cost = std::move(cand[best].cost);
+  }
+  return out;
+}
 
-  nics_[best].utilization = cand[best].resulting;
-  nics_[best].pipelines += 1;
-  if (tenant != kNoTenant) {
-    nics_[best].tenant_util[tenant] = cand[best].tenant_resulting;
+void NicPool::commit(PlacedPipeline& p, const Choice& c) {
+  p.nic = c.nic;
+  p.on_host = false;
+  p.utilization_added = c.added;
+  nics_[c.nic].utilization += c.added;
+  nics_[c.nic].pipelines += 1;
+  if (p.tenant != kNoTenant) {
+    nics_[c.nic].tenant_util[p.tenant] += c.added;
+  }
+}
+
+void NicPool::release(PlacedPipeline& p) {
+  if (p.on_host) {
+    p.on_host = false;
+    return;
+  }
+  PoolNic& n = nics_[p.nic];
+  n.utilization = std::max(0.0, n.utilization - p.utilization_added);
+  if (n.pipelines > 0) n.pipelines -= 1;
+  if (p.tenant != kNoTenant) {
+    const auto it = n.tenant_util.find(p.tenant);
+    if (it != n.tenant_util.end()) {
+      it->second = std::max(0.0, it->second - p.utilization_added);
+    }
+  }
+  p.utilization_added = 0.0;
+}
+
+NicPool::Placement NicPool::place(const PipelineSpec& spec, double offered_pps,
+                                  std::uint64_t seed, TenantId tenant) {
+  if (nics_.empty()) {
+    throw std::logic_error("NicPool::place called with no NICs in the pool");
   }
 
+  PlacedPipeline rec;
+  rec.id = next_pipeline_id_++;
+  rec.spec = spec;
+  rec.offered_pps = offered_pps;
+  rec.seed = seed;
+  rec.tenant = tenant;
+
+  Choice c = choose(spec, offered_pps, seed, tenant);
   Placement p;
-  p.nic = best;
-  p.spilled = spilled;
-  p.quota_limited = quota_limited;
-  p.utilization_added = cand[best].added;
-  p.cost = std::move(cand[best].cost);
+  if (c.nic == nics_.size()) {
+    // Every card in the pool is dead: the pipeline runs on host cores,
+    // degraded, until a revival brings a card back.
+    rec.on_host = true;
+    rec.degraded = true;
+    rec.home_nic = 0;
+    p.on_host = true;
+    p.spilled = true;
+  } else {
+    commit(rec, c);
+    rec.home_nic = c.nic;
+    rec.degraded = c.spilled;
+    p.nic = c.nic;
+    p.spilled = c.spilled;
+    p.quota_limited = c.quota_limited;
+    p.utilization_added = c.added;
+    p.cost = std::move(c.cost);
+  }
+  placed_.push_back(std::move(rec));
   return p;
+}
+
+NicPool::FailoverReport NicPool::fail_nic(std::size_t nic) {
+  FailoverReport rep;
+  if (nic >= nics_.size() || nics_[nic].failed) return rep;
+  nics_[nic].failed = true;
+  // Evict in placement order (deterministic) and re-place each pipeline
+  // with the same logic fresh placements use.
+  for (PlacedPipeline& r : placed_) {
+    if (r.on_host || r.nic != nic) continue;
+    release(r);
+    const Choice c = choose(r.spec, r.offered_pps, r.seed, r.tenant);
+    if (c.nic == nics_.size()) {
+      r.on_host = true;
+      r.degraded = true;
+      ++rep.to_host;
+      ++rep.degraded;
+      continue;
+    }
+    commit(r, c);
+    r.degraded = c.spilled;
+    ++rep.moved;
+    if (c.spilled) ++rep.degraded;
+  }
+  return rep;
+}
+
+std::size_t NicPool::revive_nic(std::size_t nic) {
+  if (nic >= nics_.size() || !nics_[nic].failed) return 0;
+  nics_[nic].failed = false;
+  // Bring home every pipeline whose original placement was this card:
+  // host-fallback ones first (they hurt the most), then by measured cost
+  // ascending — cheap pipelines buy back the most offload per byte moved.
+  struct Homecoming {
+    PlacedPipeline* rec = nullptr;
+    Choice choice;
+  };
+  std::vector<Homecoming> home;
+  for (PlacedPipeline& r : placed_) {
+    if (r.home_nic != nic) continue;
+    if (!r.on_host && r.nic == nic) continue;  // never left (placed later)
+    Homecoming h;
+    h.rec = &r;
+    h.choice.nic = nic;
+    h.choice.cost = measure_pipeline_cost(r.spec, nics_[nic].cfg, r.seed);
+    h.choice.added = r.offered_pps * h.choice.cost.total_ns_per_pkt / 1e9 /
+                     static_cast<double>(nics_[nic].cfg.cores);
+    home.push_back(std::move(h));
+  }
+  std::stable_sort(home.begin(), home.end(),
+                   [](const Homecoming& a, const Homecoming& b) {
+                     if (a.rec->on_host != b.rec->on_host) {
+                       return a.rec->on_host;
+                     }
+                     if (a.choice.cost.total_ns_per_pkt !=
+                         b.choice.cost.total_ns_per_pkt) {
+                       return a.choice.cost.total_ns_per_pkt <
+                              b.choice.cost.total_ns_per_pkt;
+                     }
+                     return a.rec->id < b.rec->id;
+                   });
+  std::size_t moved = 0;
+  for (Homecoming& h : home) {
+    release(*h.rec);
+    commit(*h.rec, h.choice);
+    h.rec->degraded = false;
+    ++moved;
+  }
+  return moved;
+}
+
+std::size_t NicPool::degraded_count() const noexcept {
+  std::size_t n = 0;
+  for (const PlacedPipeline& r : placed_) {
+    if (r.degraded || r.on_host) n += 1;
+  }
+  return n;
 }
 
 }  // namespace ipipe::nfp

@@ -57,14 +57,37 @@ class NicPool {
     std::size_t pipelines = 0;      ///< pipelines placed here
     /// Committed capacity per tenant on this NIC (quota accounting).
     std::map<TenantId, double> tenant_util;
+    bool failed = false;            ///< device dead; excluded from placement
   };
 
   struct Placement {
     std::size_t nic = 0;          ///< index into nics()
     bool spilled = false;         ///< every candidate was saturated
     bool quota_limited = false;   ///< tenant quota excluded every NIC
+    bool on_host = false;         ///< no live NIC at all: host fallback
     double utilization_added = 0; ///< this pipeline's share on that NIC
     PipelineCost cost;            ///< the measured per-stage costs used
+  };
+
+  /// A committed pipeline the pool can move when its card fails.
+  struct PlacedPipeline {
+    std::uint64_t id = 0;
+    PipelineSpec spec;
+    double offered_pps = 0.0;
+    std::uint64_t seed = 42;
+    TenantId tenant = kNoTenant;
+    std::size_t nic = 0;       ///< current home (meaningless when on_host)
+    std::size_t home_nic = 0;  ///< original placement; revival target
+    bool on_host = false;      ///< failed over to host cores
+    bool degraded = false;     ///< spilled/host placement after a failover
+    double utilization_added = 0.0;
+  };
+
+  /// Outcome of `fail_nic`: where the dead card's pipelines went.
+  struct FailoverReport {
+    std::size_t moved = 0;     ///< re-placed onto surviving NICs
+    std::size_t to_host = 0;   ///< no surviving NIC: host fallback
+    std::size_t degraded = 0;  ///< flagged degraded (spilled or on host)
   };
 
   /// Fraction of aggregate core capacity a NIC may commit before it
@@ -91,15 +114,52 @@ class NicPool {
   [[nodiscard]] double tenant_utilization(std::size_t nic,
                                           TenantId tenant) const;
 
+  // ---- device failure / revival --------------------------------------------
+  /// The card died: release its committed capacity and re-place every
+  /// pipeline that lived there onto the surviving NICs (same candidate
+  /// logic as `place`, in placement-id order).  When no live NIC exists
+  /// the pipeline falls back to the host, flagged `degraded`.
+  FailoverReport fail_nic(std::size_t nic);
+  /// The card came back: admit it to placement again and bring home every
+  /// pipeline originally placed there — host-fallback ones first, then by
+  /// measured cost ascending (cheap pipelines buy back the most offload
+  /// per byte moved).  Returns how many pipelines moved back.
+  std::size_t revive_nic(std::size_t nic);
+  [[nodiscard]] bool nic_failed(std::size_t nic) const {
+    return nic < nics_.size() && nics_[nic].failed;
+  }
+  /// Committed pipelines, in placement order.
+  [[nodiscard]] const std::vector<PlacedPipeline>& placed() const noexcept {
+    return placed_;
+  }
+  /// Pipelines currently running degraded (host fallback or spilled).
+  [[nodiscard]] std::size_t degraded_count() const noexcept;
+
   [[nodiscard]] const std::vector<PoolNic>& nics() const noexcept {
     return nics_;
   }
   [[nodiscard]] double saturation() const noexcept { return saturation_; }
 
  private:
+  struct Choice {
+    std::size_t nic = 0;  ///< nics_.size() when no live NIC exists
+    bool spilled = false;
+    bool quota_limited = false;
+    double added = 0.0;
+    PipelineCost cost;
+  };
+  /// Shared candidate selection for place/fail_nic/revive_nic: pick the
+  /// best *live* NIC for (spec, pps, tenant) without committing anything.
+  [[nodiscard]] Choice choose(const PipelineSpec& spec, double offered_pps,
+                              std::uint64_t seed, TenantId tenant) const;
+  void commit(PlacedPipeline& p, const Choice& c);
+  void release(PlacedPipeline& p);
+
   double saturation_;
   std::vector<PoolNic> nics_;
   std::map<TenantId, double> quotas_;  ///< max per-NIC capacity fraction
+  std::vector<PlacedPipeline> placed_;
+  std::uint64_t next_pipeline_id_ = 1;
 };
 
 }  // namespace ipipe::nfp

@@ -71,9 +71,27 @@ class AcceleratorBank {
     return uses_[static_cast<std::size_t>(kind)];
   }
 
+  /// Chaos hook: mark one engine bank dead (accel-fail) or recovered.
+  /// A failed bank still computes the right answer — callers fall back
+  /// to a software path on the NIC cores — it just stops being cheap.
+  void set_failed(AccelKind kind, bool failed) noexcept {
+    failed_[static_cast<std::size_t>(kind)] = failed;
+  }
+  [[nodiscard]] bool failed(AccelKind kind) const noexcept {
+    return failed_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] bool any_failed() const noexcept {
+    for (const bool f : failed_) {
+      if (f) return true;
+    }
+    return false;
+  }
+  void clear_failures() noexcept { failed_.fill(false); }
+
  private:
   std::array<AccelTiming, kNumAccelKinds> timings_;
   std::array<std::uint64_t, kNumAccelKinds> uses_{};
+  std::array<bool, kNumAccelKinds> failed_{};
 };
 
 }  // namespace ipipe::nic

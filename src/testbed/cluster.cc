@@ -104,9 +104,21 @@ std::unique_ptr<netsim::ChaosController> Cluster::make_chaos() {
     chaos->register_node(node->id(),
                          {.crash = [node] { node->crash(); },
                           .restore = [node] { node->restore(); },
-                          .pcie_corrupt = [node](double rate) {
-                            node->runtime().set_channel_fault(rate);
-                          }});
+                          .pcie_corrupt =
+                              [node](double rate) {
+                                node->runtime().set_channel_fault(rate);
+                              },
+                          .nic_crash = [node] { node->runtime().nic_crash(); },
+                          .nic_restore =
+                              [node] { node->runtime().nic_restore(); },
+                          .pcie_flap =
+                              [node](bool down) {
+                                node->runtime().set_pcie_link(!down);
+                              },
+                          .accel_fail =
+                              [node](std::uint32_t bank, bool failed) {
+                                node->runtime().set_accel_failed(bank, failed);
+                              }});
   }
   return chaos;
 }
@@ -160,9 +172,21 @@ std::unique_ptr<netsim::ChaosController> ParallelCluster::make_chaos() {
     chaos->register_node(node->id(),
                          {.crash = [node] { node->crash(); },
                           .restore = [node] { node->restore(); },
-                          .pcie_corrupt = [node](double rate) {
-                            node->runtime().set_channel_fault(rate);
-                          }});
+                          .pcie_corrupt =
+                              [node](double rate) {
+                                node->runtime().set_channel_fault(rate);
+                              },
+                          .nic_crash = [node] { node->runtime().nic_crash(); },
+                          .nic_restore =
+                              [node] { node->runtime().nic_restore(); },
+                          .pcie_flap =
+                              [node](bool down) {
+                                node->runtime().set_pcie_link(!down);
+                              },
+                          .accel_fail =
+                              [node](std::uint32_t bank, bool failed) {
+                                node->runtime().set_accel_failed(bank, failed);
+                              }});
   }
   return chaos;
 }

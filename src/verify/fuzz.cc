@@ -50,6 +50,10 @@ FuzzVerdict run_rkv(const FuzzOptions& opt, const netsim::FaultPlan& plan) {
   for (std::size_t i = 0; i < kNodes; ++i) {
     ServerSpec spec;
     spec.ipipe.mgmt_period = msec(5);
+    spec.ipipe.nic_watchdog = true;
+    spec.ipipe.watchdog_heartbeat = usec(200);
+    spec.ipipe.watchdog_miss_limit = 4;
+    spec.ipipe.watchdog_probe_cap = msec(2);
     cluster.add_server(spec);
   }
   rkv::RkvParams params;
@@ -177,6 +181,10 @@ FuzzVerdict run_dt(const FuzzOptions& opt, const netsim::FaultPlan& plan) {
   for (std::size_t i = 0; i < kNodes; ++i) {
     ServerSpec spec;
     spec.ipipe.mgmt_period = msec(5);
+    spec.ipipe.nic_watchdog = true;
+    spec.ipipe.watchdog_heartbeat = usec(200);
+    spec.ipipe.watchdog_miss_limit = 4;
+    spec.ipipe.watchdog_probe_cap = msec(2);
     cluster.add_server(spec);
   }
   dt::DtRecoveryParams rec;
@@ -264,7 +272,7 @@ netsim::FaultPlan random_fault_plan(std::uint64_t seed, std::size_t nodes,
   Ns t = sec(2);
   const std::size_t events = 2 + rng.uniform_u64(4);
   for (std::size_t e = 0; e < events && t < window; ++e) {
-    switch (rng.uniform_u64(4)) {
+    switch (rng.uniform_u64(8)) {
       case 0:
         plan.crash(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)), t,
                    sec(1) + rng.uniform_u64(sec(3)));
@@ -285,7 +293,7 @@ netsim::FaultPlan random_fault_plan(std::uint64_t seed, std::size_t nodes,
                           0.01 + 0.02 * rng.uniform(), t,
                           sec(1) + rng.uniform_u64(sec(2)));
         break;
-      default: {
+      case 3: {
         netsim::FaultModel fm;
         fm.drop_prob = 0.01 + 0.02 * rng.uniform();
         fm.dup_prob = 0.01;
@@ -294,6 +302,23 @@ netsim::FaultPlan random_fault_plan(std::uint64_t seed, std::size_t nodes,
         plan.link_fault(fm, t, sec(1) + rng.uniform_u64(sec(3)));
         break;
       }
+      case 4:
+        plan.nic_crash(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)), t,
+                       msec(500) + rng.uniform_u64(sec(2)));
+        break;
+      case 5:
+        plan.nic_reset(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)), t,
+                       msec(50) + rng.uniform_u64(msec(500)));
+        break;
+      case 6:
+        plan.pcie_flap(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)), t,
+                       msec(1) + rng.uniform_u64(msec(20)));
+        break;
+      default:
+        plan.accel_fail(static_cast<netsim::NodeId>(rng.uniform_u64(nodes)),
+                        static_cast<std::uint32_t>(rng.uniform_u64(4)), t,
+                        sec(1) + rng.uniform_u64(sec(2)));
+        break;
     }
     t += sec(1) + rng.uniform_u64(sec(4));
   }

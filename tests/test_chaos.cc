@@ -38,11 +38,15 @@ TEST(ChaosPlan, ParsesFullGrammar) {
       "crash 1 at 2s for 500ms\n"
       "partition 0,1|2 at 3s for 250ms   # isolate node 2\n"
       "pcie-corrupt 0 rate 0.05 at 4s for 100ms\n"
-      "link-fault drop=0.1 dup=0.02 corrupt=0.03 jitter=50us at 5s for 1s\n";
+      "link-fault drop=0.1 dup=0.02 corrupt=0.03 jitter=50us at 5s for 1s\n"
+      "nic-crash 1 at 6s for 200ms\n"
+      "nic-reset 2 at 7s for 50ms\n"
+      "pcie-flap 0 at 8s for 10ms\n"
+      "accel-fail 1 bank 4 at 9s for 1s\n";
   std::string error;
   const auto plan = netsim::FaultPlan::parse(text, &error);
   ASSERT_TRUE(plan.has_value()) << error;
-  ASSERT_EQ(plan->size(), 4u);
+  ASSERT_EQ(plan->size(), 8u);
 
   const auto& a = plan->actions;
   EXPECT_EQ(a[0].kind, netsim::FaultAction::Kind::kCrash);
@@ -62,6 +66,29 @@ TEST(ChaosPlan, ParsesFullGrammar) {
   EXPECT_DOUBLE_EQ(a[3].fault.dup_prob, 0.02);
   EXPECT_DOUBLE_EQ(a[3].fault.corrupt_prob, 0.03);
   EXPECT_EQ(a[3].fault.reorder_jitter, usec(50));
+
+  EXPECT_EQ(a[4].kind, netsim::FaultAction::Kind::kNicCrash);
+  EXPECT_EQ(a[4].node, 1u);
+  EXPECT_EQ(a[4].at, sec(6));
+  EXPECT_EQ(a[4].duration, msec(200));
+
+  EXPECT_EQ(a[5].kind, netsim::FaultAction::Kind::kNicReset);
+  EXPECT_EQ(a[5].node, 2u);
+
+  EXPECT_EQ(a[6].kind, netsim::FaultAction::Kind::kPcieFlap);
+  EXPECT_EQ(a[6].node, 0u);
+  EXPECT_EQ(a[6].duration, msec(10));
+
+  EXPECT_EQ(a[7].kind, netsim::FaultAction::Kind::kAccelFail);
+  EXPECT_EQ(a[7].node, 1u);
+  EXPECT_EQ(a[7].bank, 4u);
+
+  // The grammar round-trips: to_text() of a parsed plan re-parses to the
+  // same action list.
+  const auto again = netsim::FaultPlan::parse(plan->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->size(), plan->size());
+  EXPECT_EQ(again->to_text(), plan->to_text());
 }
 
 TEST(ChaosPlan, RejectsMalformedInput) {
@@ -73,6 +100,10 @@ TEST(ChaosPlan, RejectsMalformedInput) {
       "link-fault splat=0.1 at 1s for 1s",     // unknown knob
       "link-fault drop=0.1",                   // missing window
       "meteor-strike 3 at 1s for 1s",          // unknown verb
+      "nic-crash at 1s for 1s",                // missing node
+      "pcie-flap 0 at 1s",                     // missing duration
+      "accel-fail 0 at 1s for 1s",             // missing bank clause
+      "accel-fail 0 bank x at 1s for 1s",      // non-numeric bank
   };
   for (const char* text : bad) {
     std::string error;

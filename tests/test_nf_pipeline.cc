@@ -613,6 +613,110 @@ TEST(NicPool, EmptyPoolThrows) {
 }
 
 // ---------------------------------------------------------------------------
+// NicPool device failure / revival.
+
+TEST(NicPool, FailNicReplacesResidentsOnSurvivors) {
+  const auto spec = nfp::parse_pipeline("firewall(128) | counter");
+  nfp::NicPool pool(0.85);
+  const auto cn = pool.add_nic("cn2350", nic::liquidio_cn2350());
+  const auto sg = pool.add_nic("stingray", nic::stingray_ps225());
+  for (int i = 0; i < 4; ++i) (void)pool.place(spec, 50'000.0);
+  const double cn_before = pool.nics()[cn].utilization;
+  const double sg_before = pool.nics()[sg].utilization;
+  ASSERT_GT(cn_before + sg_before, 0.0);
+
+  const auto report = pool.fail_nic(cn);
+  EXPECT_TRUE(pool.nic_failed(cn));
+  EXPECT_EQ(report.to_host, 0u) << "a live NIC remains; no host fallback";
+  // The dead card holds no committed capacity and no pipelines.
+  EXPECT_DOUBLE_EQ(pool.nics()[cn].utilization, 0.0);
+  EXPECT_EQ(pool.nics()[cn].pipelines, 0u);
+  // Every pipeline now lives on the survivor.
+  for (const auto& p : pool.placed()) {
+    EXPECT_FALSE(p.on_host);
+    EXPECT_EQ(p.nic, sg);
+  }
+  EXPECT_EQ(pool.nics()[sg].pipelines, pool.placed().size());
+  // New placements skip the dead card.
+  const auto fresh = pool.place(spec, 50'000.0);
+  EXPECT_EQ(fresh.nic, sg);
+}
+
+TEST(NicPool, AllNicsDeadFallsBackToHostDegraded) {
+  const auto spec = nfp::parse_pipeline("firewall(128) | counter");
+  nfp::NicPool pool(0.85);
+  const auto cn = pool.add_nic("cn2350", nic::liquidio_cn2350());
+  (void)pool.place(spec, 50'000.0);
+  (void)pool.place(spec, 50'000.0);
+
+  const auto report = pool.fail_nic(cn);
+  EXPECT_EQ(report.to_host, 2u);
+  EXPECT_EQ(report.degraded, 2u);
+  EXPECT_EQ(pool.degraded_count(), 2u);
+  for (const auto& p : pool.placed()) {
+    EXPECT_TRUE(p.on_host);
+    EXPECT_TRUE(p.degraded);
+  }
+  // Placing while every card is dead also lands on the host, flagged.
+  const auto fresh = pool.place(spec, 50'000.0);
+  EXPECT_TRUE(fresh.on_host);
+  EXPECT_TRUE(fresh.spilled);
+}
+
+TEST(NicPool, ReviveBringsPipelinesHomeHostFirst) {
+  const auto heavy = nfp::parse_pipeline("firewall(2048) | ipsec | counter");
+  const auto light = nfp::parse_pipeline("counter");
+  nfp::NicPool pool(0.85);
+  const auto cn = pool.add_nic("cn2350", nic::liquidio_cn2350());
+  (void)pool.place(heavy, 100'000.0);
+  (void)pool.place(light, 100'000.0);
+
+  (void)pool.fail_nic(cn);
+  ASSERT_EQ(pool.degraded_count(), 2u);
+
+  const std::size_t moved = pool.revive_nic(cn);
+  EXPECT_FALSE(pool.nic_failed(cn));
+  EXPECT_EQ(moved, 2u);
+  EXPECT_EQ(pool.degraded_count(), 0u);
+  for (const auto& p : pool.placed()) {
+    EXPECT_FALSE(p.on_host);
+    EXPECT_FALSE(p.degraded);
+    EXPECT_EQ(p.nic, cn);
+  }
+  EXPECT_GT(pool.nics()[cn].utilization, 0.0);
+  // Reviving an already-live card is a no-op.
+  EXPECT_EQ(pool.revive_nic(cn), 0u);
+}
+
+TEST(NicPool, FailoverConservesCommittedUtilization) {
+  // Util accounting must survive a full fail/revive cycle: the pool ends
+  // where it started, with no leaked or double-counted capacity.
+  const auto spec = nfp::parse_pipeline("firewall(128) | maglev(8) | counter");
+  nfp::NicPool pool(0.85);
+  const auto cn = pool.add_nic("cn2350", nic::liquidio_cn2350());
+  const auto sg = pool.add_nic("stingray", nic::stingray_ps225());
+  pool.set_tenant_quota(7, 0.5);
+  for (int i = 0; i < 3; ++i) (void)pool.place(spec, 40'000.0, 42, 7);
+  const double before = pool.nics()[cn].utilization +
+                        pool.nics()[sg].utilization;
+  const double tenant_before =
+      pool.tenant_utilization(cn, 7) + pool.tenant_utilization(sg, 7);
+
+  (void)pool.fail_nic(cn);
+  (void)pool.revive_nic(cn);
+
+  const double after = pool.nics()[cn].utilization +
+                       pool.nics()[sg].utilization;
+  const double tenant_after =
+      pool.tenant_utilization(cn, 7) + pool.tenant_utilization(sg, 7);
+  EXPECT_NEAR(after, before, 1e-9);
+  EXPECT_NEAR(tenant_after, tenant_before, 1e-9);
+  std::size_t committed = 0;
+  for (const auto& n : pool.nics()) committed += n.pipelines;
+  EXPECT_EQ(committed, pool.placed().size());
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end pipelines on a cluster.
 
 TEST(PipelineE2E, PreservesIngressOrderThroughReorderingStages) {
