@@ -7,15 +7,16 @@
 // text grammar alongside the seed so the failure replays exactly.
 //
 //   verify_fuzz [--seeds=N] [--seed-base=N] [--seed=N]
-//               [--app=rkv|dt|mix] [--duration-s=N] [--max-states=N]
-//               [--inject=none|stale-read|lost-abort] [--expect-fail]
-//               [--no-shrink] [--no-chaos] [--out-dir=DIR]
+//               [--app=rkv|dt|shard|mix] [--duration-s=N] [--max-states=N]
+//               [--inject=none|stale-read|lost-abort|stale-cache]
+//               [--expect-fail] [--no-shrink] [--no-chaos] [--out-dir=DIR]
 //               [--replay-corpus=DIR] [--trace-out=<json>]
 //
 // --inject arms one of the known-bug mutations (stale follower reads in
-// RKV, lost abort in DT) as a checker self-test; with --expect-fail the
-// driver exits 0 only when every run is caught.  --replay-corpus runs
-// each *.corpus file (tests/corpus/) and checks its recorded expectation.
+// RKV, lost abort in DT, invalidation-dropping NIC cache in the sharded
+// RKV) as a checker self-test; with --expect-fail the driver exits 0
+// only when every run is caught.  --replay-corpus runs each *.corpus
+// file (tests/corpus/) and checks its recorded expectation.
 #include <dirent.h>
 #include <sys/stat.h>
 
@@ -69,18 +70,27 @@ verify::FuzzOptions base_options(const Options& opt, std::uint64_t seed,
   fo.tracer = tracer;
   if (opt.inject == "stale-read") fo.inject_stale_reads = true;
   if (opt.inject == "lost-abort") fo.inject_lost_abort = true;
+  if (opt.inject == "stale-cache") fo.inject_stale_cache = true;
   return fo;
 }
 
 const char* app_name(verify::FuzzApp app) {
-  return app == verify::FuzzApp::kRkv ? "rkv" : "dt";
+  switch (app) {
+    case verify::FuzzApp::kRkv:
+      return "rkv";
+    case verify::FuzzApp::kDt:
+      return "dt";
+    case verify::FuzzApp::kShard:
+      return "shard";
+  }
+  return "?";
 }
 
 void print_verdict(std::uint64_t seed, verify::FuzzApp app,
                    const verify::FuzzVerdict& v) {
   std::printf("seed=%llu app=%s %s", static_cast<unsigned long long>(seed),
               app_name(app), v.ok ? "PASS" : "FAIL");
-  if (app == verify::FuzzApp::kRkv) {
+  if (app != verify::FuzzApp::kDt) {
     std::printf(" kv_ops=%llu completed=%llu states=%llu",
                 static_cast<unsigned long long>(v.kv_ops),
                 static_cast<unsigned long long>(v.kv_completed),
@@ -163,7 +173,9 @@ std::optional<CorpusCase> load_corpus(const std::string& path) {
     if (kw == "app") {
       std::string a;
       ls >> a;
-      c.fo.app = a == "dt" ? verify::FuzzApp::kDt : verify::FuzzApp::kRkv;
+      c.fo.app = a == "dt"      ? verify::FuzzApp::kDt
+                 : a == "shard" ? verify::FuzzApp::kShard
+                                : verify::FuzzApp::kRkv;
     } else if (kw == "seed") {
       ls >> c.fo.seed;
     } else if (kw == "duration") {
@@ -173,6 +185,7 @@ std::optional<CorpusCase> load_corpus(const std::string& path) {
       ls >> inj;
       c.fo.inject_stale_reads = inj == "stale-read";
       c.fo.inject_lost_abort = inj == "lost-abort";
+      c.fo.inject_stale_cache = inj == "stale-cache";
     } else if (kw == "expect") {
       std::string e;
       ls >> e;
@@ -282,7 +295,7 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.inject != "none" && opt.inject != "stale-read" &&
-      opt.inject != "lost-abort") {
+      opt.inject != "lost-abort" && opt.inject != "stale-cache") {
     std::fprintf(stderr, "bad --inject value: %s\n", opt.inject.c_str());
     return 2;
   }
@@ -311,8 +324,12 @@ int main(int argc, char** argv) {
         apps = {verify::FuzzApp::kRkv};
       } else if (opt.app == "dt") {
         apps = {verify::FuzzApp::kDt};
+      } else if (opt.app == "shard") {
+        apps = {verify::FuzzApp::kShard};
       } else {
-        apps = {s % 2 == 0 ? verify::FuzzApp::kRkv : verify::FuzzApp::kDt};
+        apps = {s % 3 == 0   ? verify::FuzzApp::kRkv
+                : s % 3 == 1 ? verify::FuzzApp::kDt
+                             : verify::FuzzApp::kShard};
       }
       for (const auto app : apps) {
         ++runs;

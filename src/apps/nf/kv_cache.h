@@ -25,6 +25,26 @@ class KvCache {
                                                OpStats* stats = nullptr) const;
   bool del(const std::string& key);
 
+  /// Retain only entries for which `keep(key)` is true; returns the
+  /// number of entries dropped (shard-ownership revocation pruning).
+  template <typename Pred>
+  std::size_t prune(Pred keep) {
+    std::size_t dropped = 0;
+    for (auto& chain : buckets_) {
+      for (auto it = chain.begin(); it != chain.end();) {
+        if (keep(it->key)) {
+          ++it;
+        } else {
+          bytes_ -= it->key.size() + it->value.size();
+          it = chain.erase(it);
+          --size_;
+          ++dropped;
+        }
+      }
+    }
+    return dropped;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }

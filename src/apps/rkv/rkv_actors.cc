@@ -1,8 +1,12 @@
 #include "apps/rkv/rkv_actors.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "apps/rkv/hot_cache.h"
 #include "common/logging.h"
+#include "ipipe/shard.h"
 
 namespace ipipe::rkv {
 namespace {
@@ -70,6 +74,14 @@ void ConsensusActor::reset(ActorEnv& env) {
   (void)env;
   log_.clear();
   req_slot_.clear();
+  req_order_.clear();
+  lease_granted_until_ = 0;
+  // Shard config falls back to the deployment baseline; Op::kShardCfg
+  // entries re-apply through catch-up and bring us forward again.
+  epoch_ = params_.shard_epoch;
+  num_shards_cfg_ = params_.num_shards;
+  owned_.clear();
+  owned_.insert(params_.owned_shards.begin(), params_.owned_shards.end());
   voters_.clear();
   peer_ack_.assign(params_.replicas.size(), 0);
   in_election_ = false;
@@ -112,6 +124,9 @@ void ConsensusActor::handle(ActorEnv& env, const netsim::Packet& req) {
     case kPaxosLearn:
       on_learn(env, req);
       break;
+    case kCacheGet:
+      on_cache_get(env, req);
+      break;
     case kHeartbeat:
       on_heartbeat(env, req);
       break;
@@ -147,6 +162,7 @@ void ConsensusActor::on_tick(ActorEnv& env) {
   if (!params_.enable_failover) return;
   if (leader_) {
     send_heartbeats(env);
+    redrive_stuck_slots(env);
   } else if (env.now() - last_leader_contact_ >= election_timeout_cur_) {
     start_election(env);
     // Re-draw the timeout before the next candidacy: two candidates that
@@ -163,6 +179,20 @@ void ConsensusActor::send_heartbeats(ActorEnv& env) {
   hb.ballot = ballot_;
   hb.slot = next_apply_;  // commit watermark: every slot below is chosen
   broadcast(env, kHeartbeat, hb);
+}
+
+void ConsensusActor::redrive_stuck_slots(ActorEnv& env) {
+  // Liveness: an accept round whose frames all die (lossy link, NIC
+  // buffer wipe) leaves the slot unchosen with no retransmit — client
+  // retries can't help because dedup pins them to the stuck slot and
+  // waits for the apply path, and next_apply_ can never pass it.
+  // Re-propose everything unchosen below the frontier at the leader's
+  // heartbeat cadence: same-ballot phase-2 re-sends are idempotent and
+  // ack_mask dedups repeat replies.
+  for (std::uint64_t s = next_apply_; s < next_slot_; ++s) {
+    const auto it = log_.find(s);
+    if (it == log_.end() || !it->second.chosen) propose_slot(env, s);
+  }
 }
 
 void ConsensusActor::on_heartbeat(ActorEnv& env, const netsim::Packet& req) {
@@ -198,9 +228,91 @@ void ConsensusActor::on_heartbeat_ack(ActorEnv& env, const netsim::Packet& req) 
   for (std::size_t i = 0; i < params_.replicas.size(); ++i) {
     if (params_.replicas[i] == req.src) {
       peer_ack_[i] = env.now();
+      break;
+    }
+  }
+  maybe_grant_lease(env);
+}
+
+bool ConsensusActor::owns_key(std::string_view key) const {
+  if (num_shards_cfg_ == 0) return true;
+  return owned_.count(shard::shard_of_key(key, num_shards_cfg_)) != 0;
+}
+
+void ConsensusActor::remember_request(std::uint64_t request_id,
+                                      std::uint64_t slot) {
+  if (request_id == 0) return;
+  const auto [it, inserted] = req_slot_.emplace(request_id, slot);
+  if (!inserted) {
+    it->second = slot;
+    return;
+  }
+  req_order_.push_back(request_id);
+  if (params_.req_dedup_cap == 0) return;
+  while (req_slot_.size() > params_.req_dedup_cap && !req_order_.empty()) {
+    req_slot_.erase(req_order_.front());
+    req_order_.pop_front();
+  }
+}
+
+void ConsensusActor::maybe_grant_lease(ActorEnv& env) {
+  if (cache_ == 0 || !leader_ || !params_.enable_failover ||
+      !params_.read_lease) {
+    return;
+  }
+  // Grant the cache serving rights until the latest instant at which
+  // has_read_lease() would still hold with no further acks: the
+  // majority'th-freshest ack plus the lease window.  Same safety
+  // argument as leader reads — no new leader can be elected while a
+  // majority's acks are that fresh.
+  std::vector<Ns> acks;
+  acks.reserve(peer_ack_.size());
+  for (std::size_t i = 0; i < peer_ack_.size(); ++i) {
+    acks.push_back(i == params_.self_index ? env.now() : peer_ack_[i]);
+  }
+  std::sort(acks.begin(), acks.end(), [](Ns a, Ns b) { return a > b; });
+  const Ns base = acks[majority() - 1];
+  if (base == 0) return;
+  const Ns until = base + params_.election_timeout_min / 2;
+  if (until <= lease_granted_until_) return;
+  lease_granted_until_ = until;
+  wire::Writer w;
+  w.put(static_cast<std::uint64_t>(until));
+  env.local_send(cache_, kLeaseGrant, w.take());
+}
+
+void ConsensusActor::on_cache_get(ActorEnv& env, const netsim::Packet& req) {
+  charge_log_op(env);
+  wire::Reader r(req.payload);
+  ReplyTo reply;
+  std::string key;
+  if (!ReplyTo::decode(r, reply) || !r.get_str(key)) return;
+
+  if (!owns_key(key)) {
+    wire::Writer w;
+    w.put(epoch_);
+    send_client_reply(env, reply, Status::kWrongShard, w.take());
+    return;
+  }
+  if (!params_.inject_stale_reads) {
+    if (!leader_) {
+      std::vector<std::uint8_t> hint;
+      if (promised_ != 0) {
+        hint.push_back(
+            static_cast<std::uint8_t>(promised_ % params_.replicas.size()));
+      }
+      send_client_reply(env, reply, Status::kNotLeader, std::move(hint));
+      return;
+    }
+    if (!has_read_lease(env.now())) {
+      send_client_reply(env, reply, Status::kNotLeader);
       return;
     }
   }
+  wire::Writer w;
+  reply.encode(w);
+  w.put_str(key);
+  env.local_send(memtable_, kMemGet, w.take());
 }
 
 bool ConsensusActor::has_read_lease(Ns now) const {
@@ -274,6 +386,15 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   if (!creq) return;
   const ReplyTo reply = reply_to_of(req);
 
+  // Shard ownership gate (data ops only — config ops carry no key).
+  // A stale-routed client learns our epoch and re-resolves.
+  if (creq->op != Op::kShardCfg && !owns_key(creq->key)) {
+    wire::Writer w;
+    w.put(epoch_);
+    send_client_reply(env, reply, Status::kWrongShard, w.take());
+    return;
+  }
+
   if (creq->op == Op::kGet && params_.inject_stale_reads) {
     // Injected bug (verification self-test): serve the read from the
     // local applied state with no leadership, lease, or catch-up check.
@@ -329,21 +450,21 @@ void ConsensusActor::on_client(ActorEnv& env, const netsim::Packet& req) {
   // Drive the write through a Paxos instance.
   const std::uint64_t slot = next_slot_++;
   log_[slot].value = encode_op(creq->op, reply, creq->key, creq->value);
-  if (req.request_id != 0) req_slot_[req.request_id] = slot;
+  remember_request(req.request_id, slot);
   propose_slot(env, slot);
 }
 
 void ConsensusActor::propose_slot(ActorEnv& env, std::uint64_t slot) {
   LogEntry& entry = log_[slot];
   entry.ballot = ballot_;
-  entry.acks = 1;  // self
+  entry.ack_mask = 1u << params_.self_index;  // self
   PaxosMsg accept;
   accept.ballot = ballot_;
   accept.slot = slot;
   accept.value = entry.value;  // may be empty: a hole-filling no-op
   broadcast(env, kPaxosAccept, accept);
 
-  if (entry.acks >= majority()) {
+  if (static_cast<unsigned>(std::popcount(entry.ack_mask)) >= majority()) {
     entry.chosen = true;  // single-replica degenerate case
     ++chosen_;
     apply_ready(env);
@@ -455,8 +576,17 @@ void ConsensusActor::on_accepted(ActorEnv& env, const netsim::Packet& req) {
   if (!msg || !leader_ || msg->ballot != ballot_) return;
   const auto it = log_.find(msg->slot);
   if (it == log_.end() || it->second.chosen) return;
-  ++it->second.acks;
-  if (it->second.acks >= majority()) {
+  std::size_t idx = params_.replicas.size();
+  for (std::size_t i = 0; i < params_.replicas.size(); ++i) {
+    if (params_.replicas[i] == req.src) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx >= params_.replicas.size()) return;  // not a group member
+  it->second.ack_mask |= 1u << idx;
+  if (static_cast<unsigned>(std::popcount(it->second.ack_mask)) >=
+      majority()) {
     it->second.chosen = true;
     ++chosen_;
     PaxosMsg learn;
@@ -509,11 +639,41 @@ void ConsensusActor::apply_ready(ActorEnv& env) {
     if (!op) continue;
     // Record the request -> slot mapping on every replica (before the
     // follower blanks the route) so whoever leads next dedups retries.
-    if (op->reply.request_id != 0) req_slot_[op->reply.request_id] = slot;
+    remember_request(op->reply.request_id, slot);
     if (!leader_) {
       // Follower applies without replying: blank out the reply route.
       op->reply = ReplyTo{};
     }
+
+    if (op->op == Op::kShardCfg) {
+      // Shard-ownership change, applied by every replica in log order —
+      // catch-up and leader changes replay it, so the whole group
+      // converges no matter who serves next.
+      const auto view = ShardView::decode(op->value);
+      if (view && view->epoch >= epoch_) {
+        epoch_ = view->epoch;
+        num_shards_cfg_ = view->num_shards;
+        owned_.clear();
+        owned_.insert(view->owned.begin(), view->owned.end());
+        if (cache_ != 0) env.local_send(cache_, kShardUpdate, op->value);
+      }
+      if (op->reply.node != 0 || op->reply.request_id != 0) {
+        send_client_reply(env, op->reply, Status::kOk);
+      }
+      continue;  // config never touches the memtable
+    }
+
+    if (cache_ != 0 && (op->op == Op::kPut || op->op == Op::kDel)) {
+      // Write-through invalidation BEFORE the memtable apply that acks
+      // the client: FIFO mailboxes then guarantee any read issued after
+      // the ack sees this update first (never-stale contract).
+      wire::Writer inval;
+      inval.put(static_cast<std::uint8_t>(op->op));
+      inval.put_str(op->key);
+      inval.put_bytes(op->value);
+      env.local_send(cache_, kCacheInval, inval.take());
+    }
+
     wire::Writer w;
     w.put(static_cast<std::uint8_t>(op->op));
     op->reply.encode(w);
@@ -658,10 +818,29 @@ RkvDeployment deploy_rkv(Runtime& rt, RkvParams params) {
   d.memtable = rt.register_actor(std::move(memtable));
 
   auto consensus = std::make_unique<ConsensusActor>(params, d.memtable);
+  ConsensusActor* cons = consensus.get();
   d.consensus = rt.register_actor(std::move(consensus));
   if (params.peer_consensus_actor != 0) {
     assert(params.peer_consensus_actor == d.consensus &&
            "deploy order must match across replicas");
+  }
+
+  if (params.enable_hot_cache) {
+    // Registered last so legacy deployments keep their actor ids; wired
+    // to consensus both ways before any traffic can arrive.
+    HotCacheParams cp;
+    cp.buckets = params.cache_buckets;
+    cp.capacity_bytes = params.cache_capacity_bytes;
+    cp.require_lease = params.enable_failover && params.read_lease;
+    cp.num_shards = params.num_shards;
+    cp.epoch = params.shard_epoch;
+    cp.owned_shards = params.owned_shards;
+    cp.inject_stale_cache = params.inject_stale_cache;
+    auto cache = std::make_unique<HotKeyCacheActor>(std::move(cp));
+    d.cache = cache.get();
+    d.hot_cache = rt.register_actor(std::move(cache));
+    d.cache->set_consensus(d.consensus);
+    cons->set_cache_actor(d.hot_cache);
   }
   return d;
 }

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/rkv/lsm.h"
@@ -82,6 +84,29 @@ struct RkvParams {
   /// bug the linearizability checker must catch.  Never enable outside
   /// verify tests.
   bool inject_stale_reads = false;
+
+  // -- client request dedup bound --
+  /// Cap on the request-id -> slot dedup table (FIFO eviction).  Client
+  /// retries are bounded (seconds), so evicting the oldest entries is
+  /// safe long before they could be retransmitted; unbounded growth at
+  /// million-client scale is not.  0 = unbounded (legacy).
+  std::size_t req_dedup_cap = 1 << 16;
+
+  // -- sharded scale-out (off by default: the group owns every key) --
+  /// Fixed shard count of the deployment; 0 disables ownership checks.
+  std::uint32_t num_shards = 0;
+  /// Route epoch + shards this group serves at deployment time.
+  /// Updated at runtime by Op::kShardCfg entries driven through the
+  /// Paxos log (so every replica and any future leader converges).
+  std::uint64_t shard_epoch = 0;
+  std::vector<std::uint32_t> owned_shards;
+
+  // -- NIC-resident hot-key cache stage (see hot_cache.h) --
+  bool enable_hot_cache = false;
+  std::size_t cache_buckets = 4096;
+  std::size_t cache_capacity_bytes = 32 * MiB;
+  /// Verification mutation self-test: the cache drops invalidations.
+  bool inject_stale_cache = false;
 };
 
 class MemtableActor;
@@ -96,13 +121,28 @@ class ConsensusActor final : public Actor {
     leader_ = params_.self_index == 0;
     if (leader_) ballot_ = params_.replicas.size() + params_.self_index;
     peer_ack_.assign(params_.replicas.size(), 0);
+    epoch_ = params_.shard_epoch;
+    num_shards_cfg_ = params_.num_shards;
+    owned_.insert(params_.owned_shards.begin(), params_.owned_shards.end());
   }
 
   void init(ActorEnv& env) override;
   void reset(ActorEnv& env) override;
   void handle(ActorEnv& env, const netsim::Packet& req) override;
 
+  /// Hot-key cache actor on this node (0 = none).  Set by deploy_rkv
+  /// right after registration: the cache registers after us, so the id
+  /// cannot be a constructor argument.
+  void set_cache_actor(ActorId id) noexcept { cache_ = id; }
+
   [[nodiscard]] bool is_leader() const noexcept { return leader_; }
+  [[nodiscard]] std::uint64_t shard_epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const std::set<std::uint32_t>& owned_shards() const noexcept {
+    return owned_;
+  }
+  [[nodiscard]] std::size_t dedup_size() const noexcept {
+    return req_slot_.size();
+  }
   [[nodiscard]] std::uint64_t ballot() const noexcept { return ballot_; }
   [[nodiscard]] std::uint64_t chosen_count() const noexcept { return chosen_; }
   [[nodiscard]] std::uint64_t next_slot() const noexcept { return next_slot_; }
@@ -117,12 +157,19 @@ class ConsensusActor final : public Actor {
   struct LogEntry {
     std::uint64_t ballot = 0;
     std::vector<std::uint8_t> value;
-    unsigned acks = 0;
+    /// Replica-index bitmask of accept acks: re-proposing a stuck slot
+    /// re-solicits replies, so the count must dedup by replica, not
+    /// accumulate.
+    std::uint32_t ack_mask = 0;
     bool chosen = false;
     bool applied = false;
   };
 
   void on_client(ActorEnv& env, const netsim::Packet& req);
+  void on_cache_get(ActorEnv& env, const netsim::Packet& req);
+  [[nodiscard]] bool owns_key(std::string_view key) const;
+  void remember_request(std::uint64_t request_id, std::uint64_t slot);
+  void maybe_grant_lease(ActorEnv& env);
   void on_prepare(ActorEnv& env, const netsim::Packet& req);
   void on_promise(ActorEnv& env, const netsim::Packet& req);
   void on_accept(ActorEnv& env, const netsim::Packet& req);
@@ -139,6 +186,7 @@ class ConsensusActor final : public Actor {
   void learn_entry(std::uint64_t slot, std::uint64_t ballot,
                    std::vector<std::uint8_t> value);
   void send_heartbeats(ActorEnv& env);
+  void redrive_stuck_slots(ActorEnv& env);
   void propose_slot(ActorEnv& env, std::uint64_t slot);
   void apply_ready(ActorEnv& env);
   void broadcast(ActorEnv& env, std::uint16_t type, const PaxosMsg& msg);
@@ -177,7 +225,21 @@ class ConsensusActor final : public Actor {
 
   // Client request dedup: request id -> slot it was proposed in, rebuilt
   // from the log on recovery, so retried writes never double-apply.
+  // Bounded by params_.req_dedup_cap with FIFO eviction (req_order_
+  // records insertion order) — retries are bounded in time, table
+  // growth at million-client scale is not.
   std::map<std::uint64_t, std::uint64_t> req_slot_;
+  std::deque<std::uint64_t> req_order_;
+
+  // Sharded scale-out state (see RkvParams): current route epoch and
+  // owned shard set, mutated only by applied Op::kShardCfg entries.
+  std::uint64_t epoch_ = 0;
+  std::uint32_t num_shards_cfg_ = 0;
+  std::set<std::uint32_t> owned_;
+
+  // Hot-key cache stage: invalidations + lease grants go here.
+  ActorId cache_ = 0;
+  Ns lease_granted_until_ = 0;
 };
 
 class MemtableActor final : public Actor {
@@ -236,12 +298,19 @@ class CompactionActor final : public Actor {
   std::uint64_t batches_ = 0;
 };
 
+class HotKeyCacheActor;
+
 /// Actor ids of one node's RKV deployment.
 struct RkvDeployment {
   ActorId consensus = 0;
   ActorId memtable = 0;
   ActorId sst_read = 0;
   ActorId compaction = 0;
+  /// Hot-key cache stage (params.enable_hot_cache): registered LAST so
+  /// legacy deployments keep their actor ids.  `cache` stays valid for
+  /// the runtime's lifetime (the runtime owns the actor).
+  ActorId hot_cache = 0;
+  HotKeyCacheActor* cache = nullptr;
   std::shared_ptr<LsmTree> lsm;
 };
 

@@ -36,15 +36,64 @@ enum MsgType : std::uint16_t {
   kSstGet = 130,
   // memtable actor -> compaction actor (local, minor compaction)
   kFlushBatch = 131,
+  // hot-key cache stage (sharded scale-out)
+  kCacheInval = 132,   ///< consensus -> cache (local): write-through apply
+  kCacheGet = 133,     ///< cache -> consensus (local): miss fill request
+  kLeaseGrant = 134,   ///< consensus -> cache (local): bounded serving lease
+  kShardUpdate = 135,  ///< consensus -> cache (local): applied shard config
 };
 
-enum class Op : std::uint8_t { kPut = 0, kGet = 1, kDel = 2 };
+enum class Op : std::uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kDel = 2,
+  /// Shard-ownership config change, driven through the Paxos log like a
+  /// write so every replica (and any future leader, via catch-up)
+  /// converges on the same owned-shard set.  value = ShardView::encode().
+  kShardCfg = 3,
+};
 
 enum class Status : std::uint8_t {
   kOk = 0,
   kNotFound = 1,
   kNotLeader = 2,
   kError = 3,
+  /// This group does not own the key's shard under its current route
+  /// epoch; the reply value carries the epoch (u64) so clients can tell
+  /// a stale route from a racing one.
+  kWrongShard = 4,
+};
+
+/// One group's view of shard ownership: the route epoch it was cut at,
+/// the (fixed) shard count, and the shards this group serves.
+struct ShardView {
+  std::uint64_t epoch = 0;
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint32_t> owned;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const {
+    wire::Writer w;
+    w.put(epoch).put(num_shards);
+    w.put(static_cast<std::uint32_t>(owned.size()));
+    for (const auto s : owned) w.put(s);
+    return w.take();
+  }
+  [[nodiscard]] static std::optional<ShardView> decode(
+      std::span<const std::uint8_t> data) {
+    wire::Reader r(data);
+    ShardView v;
+    std::uint32_t n = 0;
+    if (!r.get(v.epoch) || !r.get(v.num_shards) || !r.get(n)) {
+      return std::nullopt;
+    }
+    v.owned.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t s = 0;
+      if (!r.get(s)) return std::nullopt;
+      v.owned.push_back(s);
+    }
+    return v;
+  }
 };
 
 struct ClientReq {

@@ -59,6 +59,15 @@ class Actor {
   /// reset() the runtime calls init() again.
   virtual void reset(ActorEnv& /*env*/) {}
 
+  /// NIC firmware crash notification, delivered to NIC-resident actors
+  /// at the crash instant (before emergency evacuation moves them to
+  /// the host).  Anything the actor models as living in NIC SRAM —
+  /// caches, in-flight fills, leases — died with the firmware and must
+  /// be dropped here; the runtime wipes the mailbox at the same moment,
+  /// so an actor that keeps derived state past this point can observe
+  /// updates that were lost with it.  Default: keep everything.
+  virtual void on_nic_fault() {}
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] ActorId id() const noexcept { return id_; }
 

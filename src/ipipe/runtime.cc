@@ -662,7 +662,13 @@ void Runtime::nic_crash() {
   for (const auto& owned : owned_actors_) {
     auto* ac = control(owned->id());
     if (ac == nullptr || ac->killed) continue;
-    if (ac->loc == ActorLoc::kNic) ac->mailbox.clear();
+    if (ac->loc == ActorLoc::kNic) {
+      ac->mailbox.clear();
+      // SRAM-resident derived state (hot caches, leases) dies with the
+      // firmware; the actor drops it before evacuation revives it
+      // host-side, so wiped invalidations can never strand stale data.
+      ac->actor->on_nic_fault();
+    }
   }
   // The migration slot ran on the (now dead) management core: resolve it
   // so its actor is not stranded buffering forever.

@@ -1,0 +1,54 @@
+#include "ipipe/shard.h"
+
+namespace ipipe::shard {
+namespace {
+
+[[nodiscard]] std::uint64_t vnode_point(std::uint32_t group,
+                                        std::uint32_t index) noexcept {
+  return mix64((static_cast<std::uint64_t>(group) << 32) | index);
+}
+
+[[nodiscard]] std::uint64_t shard_point(std::uint32_t shard) noexcept {
+  // A different stream than vnodes so a shard never lands exactly on
+  // "its own" group systematically.
+  return mix64(0x5AD0C0DE00000000ULL + shard);
+}
+
+}  // namespace
+
+void ShardRing::add_group(std::uint32_t group) {
+  if (!groups_.insert(group).second) return;
+  for (std::uint32_t i = 0; i < vnodes_; ++i) {
+    ring_.emplace(std::make_pair(vnode_point(group, i), group), group);
+  }
+}
+
+void ShardRing::remove_group(std::uint32_t group) {
+  if (groups_.erase(group) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == group) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint32_t ShardRing::owner_of(std::uint32_t shard) const {
+  if (ring_.empty()) return kNoOwner;
+  const std::uint64_t h = shard_point(shard);
+  auto it = ring_.lower_bound({h, 0});
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+RouteTable ShardRing::table(std::uint64_t epoch) const {
+  RouteTable t;
+  t.epoch = epoch;
+  t.num_shards = num_shards_;
+  t.owner.resize(num_shards_, kNoOwner);
+  for (std::uint32_t s = 0; s < num_shards_; ++s) t.owner[s] = owner_of(s);
+  return t;
+}
+
+}  // namespace ipipe::shard

@@ -1,0 +1,132 @@
+// Consistent-hash sharding of a keyspace across independent replica
+// groups (the scale-out layer over per-group Multi-Paxos).
+//
+// Two-level mapping, the classic design:
+//   key  -> shard  : fixed modulus over a stable 64-bit key hash.  The
+//                    shard count never changes at runtime, so a key's
+//                    shard is a pure function of its bytes.
+//   shard -> group : consistent hashing with virtual nodes.  Each group
+//                    contributes `vnodes` points on a 64-bit ring; a
+//                    shard is owned by the first vnode clockwise from
+//                    its own ring point.  Adding or removing one group
+//                    moves only the shards whose successor vnode
+//                    changed — the deterministic minimal rebalance.
+//
+// Everything here is pure data + hashing: no simulator, no actors, no
+// wire formats (those live in the application layer).  Route tables are
+// epoch-stamped snapshots; clients route with a table and retry on the
+// server's wrong-shard rejection until their table catches up.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <set>
+#include <string_view>
+#include <vector>
+
+namespace ipipe::shard {
+
+/// Sentinel owner for a shard with no group on the ring.
+inline constexpr std::uint32_t kNoOwner = 0xFFFFFFFFu;
+
+/// FNV-1a over arbitrary bytes — the one hash every layer (ring, server
+/// ownership check, client router, sampling filters) must agree on.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// 64-bit mix for integer ring points (splitmix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// key -> shard.  Stable for the lifetime of a deployment.
+[[nodiscard]] constexpr std::uint32_t shard_of_key(
+    std::string_view key, std::uint32_t num_shards) noexcept {
+  return num_shards == 0
+             ? 0
+             : static_cast<std::uint32_t>(fnv1a64(key) % num_shards);
+}
+
+/// Epoch-stamped shard -> group snapshot.  Clients route with one of
+/// these; servers reject ops for shards they no longer own and the
+/// client retries against a fresher table (stale-route retry).
+struct RouteTable {
+  std::uint64_t epoch = 0;
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint32_t> owner;  ///< shard -> group (kNoOwner = none)
+
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t shard) const noexcept {
+    return shard < owner.size() ? owner[shard] : kNoOwner;
+  }
+  [[nodiscard]] std::uint32_t group_of_key(std::string_view key) const noexcept {
+    return group_of(shard_of_key(key, num_shards));
+  }
+  /// Shards owned by `group` (ascending).
+  [[nodiscard]] std::vector<std::uint32_t> shards_of(
+      std::uint32_t group) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t s = 0; s < owner.size(); ++s) {
+      if (owner[s] == group) out.push_back(s);
+    }
+    return out;
+  }
+  /// Shards whose owner differs between two tables (the rebalance set).
+  [[nodiscard]] static std::vector<std::uint32_t> moved(const RouteTable& from,
+                                                        const RouteTable& to) {
+    std::vector<std::uint32_t> out;
+    const std::size_t n = std::min(from.owner.size(), to.owner.size());
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (from.owner[s] != to.owner[s]) out.push_back(s);
+    }
+    return out;
+  }
+};
+
+/// The consistent-hash ring.  Deterministic: same groups added in any
+/// order produce the same ownership (ring points are pure functions of
+/// group id and vnode index; ties break toward the smaller group id via
+/// the map key ordering).
+class ShardRing {
+ public:
+  explicit ShardRing(std::uint32_t num_shards, std::uint32_t vnodes = 64)
+      : num_shards_(num_shards), vnodes_(vnodes) {}
+
+  void add_group(std::uint32_t group);
+  void remove_group(std::uint32_t group);
+  [[nodiscard]] bool has_group(std::uint32_t group) const {
+    return groups_.count(group) != 0;
+  }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return num_shards_;
+  }
+
+  /// First vnode clockwise from the shard's ring point.
+  [[nodiscard]] std::uint32_t owner_of(std::uint32_t shard) const;
+
+  /// Snapshot the full shard -> group mapping under `epoch`.
+  [[nodiscard]] RouteTable table(std::uint64_t epoch) const;
+
+ private:
+  std::uint32_t num_shards_;
+  std::uint32_t vnodes_;
+  /// (ring point, group) -> group.  The composite key makes point
+  /// collisions between groups deterministic instead of order-dependent.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint32_t> ring_;
+  std::set<std::uint32_t> groups_;
+};
+
+}  // namespace ipipe::shard

@@ -93,6 +93,15 @@ workloads::ClientGen& Cluster::add_client(double link_gbps,
   return *clients_.back();
 }
 
+workloads::OpenLoopGen& Cluster::add_open_loop(
+    workloads::OpenLoopParams params) {
+  const auto id = static_cast<netsim::NodeId>(kClientBase + clients_.size() +
+                                              open_loops_.size());
+  open_loops_.push_back(
+      std::make_unique<workloads::OpenLoopGen>(sim_, net_, id, params));
+  return *open_loops_.back();
+}
+
 void Cluster::snapshot_all() {
   for (auto& server : servers_) server->snapshot();
 }
@@ -148,6 +157,16 @@ workloads::ClientGen& ParallelCluster::add_client(
   clients_.push_back(std::make_unique<workloads::ClientGen>(
       psim_.domain(client_dom_), net_, id, link_gbps, std::move(make), seed));
   return *clients_.back();
+}
+
+workloads::OpenLoopGen& ParallelCluster::add_open_loop(
+    workloads::OpenLoopParams params) {
+  const auto id = static_cast<netsim::NodeId>(kClientBase + clients_.size() +
+                                              open_loops_.size());
+  net_.set_attach_domain(client_dom_);
+  open_loops_.push_back(std::make_unique<workloads::OpenLoopGen>(
+      psim_.domain(client_dom_), net_, id, params));
+  return *open_loops_.back();
 }
 
 void ParallelCluster::run_until(Ns t) {

@@ -27,6 +27,7 @@
 #include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "workloads/client.h"
+#include "workloads/open_loop.h"
 
 namespace ipipe::testbed {
 
@@ -110,6 +111,8 @@ class Cluster {
   workloads::ClientGen& add_client(double link_gbps,
                                    workloads::ClientGen::MakeReq make,
                                    std::uint64_t seed = 42);
+  /// Add a multiplexed open-loop population endpoint (sharded RKV).
+  workloads::OpenLoopGen& add_open_loop(workloads::OpenLoopParams params);
 
   void run_until(Ns t) { sim_.run(t); }
   void snapshot_all();
@@ -141,6 +144,7 @@ class Cluster {
   netsim::Network net_;
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<std::unique_ptr<workloads::ClientGen>> clients_;
+  std::vector<std::unique_ptr<workloads::OpenLoopGen>> open_loops_;
 };
 
 /// Cluster on the conservative parallel engine: every server gets its own
@@ -172,6 +176,8 @@ class ParallelCluster {
   workloads::ClientGen& add_client(double link_gbps,
                                    workloads::ClientGen::MakeReq make,
                                    std::uint64_t seed = 42);
+  /// Add a multiplexed open-loop population endpoint (clients domain).
+  workloads::OpenLoopGen& add_open_loop(workloads::OpenLoopParams params);
 
   void set_threads(unsigned n) noexcept { psim_.set_threads(n); }
   /// First call freezes the topology (installs the lookahead edges).
@@ -212,6 +218,7 @@ class ParallelCluster {
   std::vector<sim::DomainId> server_domains_;
   std::vector<std::unique_ptr<ServerNode>> servers_;
   std::vector<std::unique_ptr<workloads::ClientGen>> clients_;
+  std::vector<std::unique_ptr<workloads::OpenLoopGen>> open_loops_;
 };
 
 /// Convert a deployment mode into the runtime config tweaks it implies.

@@ -27,7 +27,7 @@
 
 namespace ipipe::verify {
 
-enum class FuzzApp : std::uint8_t { kRkv = 0, kDt = 1 };
+enum class FuzzApp : std::uint8_t { kRkv = 0, kDt = 1, kShard = 2 };
 
 struct FuzzOptions {
   std::uint64_t seed = 1;
@@ -40,6 +40,7 @@ struct FuzzOptions {
   /// is expected to FAIL when one of these is on.
   bool inject_stale_reads = false;  ///< RKV only
   bool inject_lost_abort = false;   ///< DT only
+  bool inject_stale_cache = false;  ///< sharded RKV only (cache drops invals)
   /// Run exactly this plan instead of the seed-derived one (shrinking,
   /// corpus replay).
   std::optional<netsim::FaultPlan> plan_override;

@@ -5,37 +5,58 @@
 
 namespace ipipe::verify {
 
+void HistoryRecorder::record_kv_issue(const netsim::Packet& pkt) {
+  if (pkt.msg_type < rkv::kClientPut || pkt.msg_type > rkv::kClientDel) {
+    return;
+  }
+  auto req = rkv::ClientReq::decode(
+      std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
+  if (!req) return;
+  if (kv_key_filter_ && !kv_key_filter_(req->key)) return;
+  KvOp op;
+  op.request_id = pkt.request_id;
+  op.client = pkt.src;
+  op.op = req->op;
+  op.key = std::move(req->key);
+  op.arg = std::move(req->value);
+  op.invoke = pkt.created_at;
+  kv_index_[op.request_id] = kv_.ops.size();
+  kv_.ops.push_back(std::move(op));
+}
+
+void HistoryRecorder::record_kv_reply(const netsim::Packet& pkt,
+                                      bool skip_routing) {
+  if (pkt.msg_type != rkv::kClientReply) return;
+  const auto it = kv_index_.find(pkt.request_id);
+  if (it == kv_index_.end()) return;
+  KvOp& op = kv_.ops[it->second];
+  if (op.has_status) return;  // duplicate reply: the first one wins
+  auto rep = rkv::ClientReply::decode(
+      std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
+  if (!rep) return;
+  if (skip_routing && (rep->status == rkv::Status::kNotLeader ||
+                       rep->status == rkv::Status::kWrongShard)) {
+    return;  // redirect: the generator retries under the same request id
+  }
+  op.response = sim_.now();
+  op.has_status = true;
+  op.status = rep->status;
+  op.result = std::move(rep->value);
+}
+
 void HistoryRecorder::hook_rkv_client(workloads::ClientGen& client) {
-  client.set_on_issue([this](const netsim::Packet& pkt) {
-    if (pkt.msg_type < rkv::kClientPut || pkt.msg_type > rkv::kClientDel) {
-      return;
-    }
-    auto req = rkv::ClientReq::decode(
-        std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
-    if (!req) return;
-    KvOp op;
-    op.request_id = pkt.request_id;
-    op.client = pkt.src;
-    op.op = req->op;
-    op.key = std::move(req->key);
-    op.arg = std::move(req->value);
-    op.invoke = pkt.created_at;
-    kv_index_[op.request_id] = kv_.ops.size();
-    kv_.ops.push_back(std::move(op));
-  });
+  client.set_on_issue(
+      [this](const netsim::Packet& pkt) { record_kv_issue(pkt); });
   client.add_on_reply([this](const netsim::Packet& pkt) {
-    if (pkt.msg_type != rkv::kClientReply) return;
-    const auto it = kv_index_.find(pkt.request_id);
-    if (it == kv_index_.end()) return;
-    KvOp& op = kv_.ops[it->second];
-    if (op.has_status) return;  // duplicate reply: the first one wins
-    auto rep = rkv::ClientReply::decode(
-        std::span<const std::uint8_t>(pkt.payload.data(), pkt.payload.size()));
-    if (!rep) return;
-    op.response = sim_.now();
-    op.has_status = true;
-    op.status = rep->status;
-    op.result = std::move(rep->value);
+    record_kv_reply(pkt, /*skip_routing=*/false);
+  });
+}
+
+void HistoryRecorder::hook_rkv_openloop(workloads::OpenLoopGen& gen) {
+  gen.set_on_issue(
+      [this](const netsim::Packet& pkt) { record_kv_issue(pkt); });
+  gen.add_on_reply([this](const netsim::Packet& pkt) {
+    record_kv_reply(pkt, /*skip_routing=*/true);
   });
 }
 

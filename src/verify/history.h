@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,7 @@
 #include "netsim/network.h"
 #include "sim/simulation.h"
 #include "workloads/client.h"
+#include "workloads/open_loop.h"
 
 namespace ipipe::verify {
 
@@ -114,10 +116,25 @@ class HistoryRecorder {
   HistoryRecorder(const HistoryRecorder&) = delete;
   HistoryRecorder& operator=(const HistoryRecorder&) = delete;
 
+  /// Record only RKV keys the filter accepts.  The sharded scale-out
+  /// workloads are far too large to check whole; sampling a fixed key
+  /// subset keeps the per-key Wing–Gong partitions tractable while the
+  /// generator's online floor checker covers every key.  Set before
+  /// hooking; an empty filter records everything.
+  void set_kv_key_filter(std::function<bool(const std::string&)> filter) {
+    kv_key_filter_ = std::move(filter);
+  }
+
   /// RKV: record one KvOp per issued client request (set_on_issue) and
   /// close it on the first kClientReply (add_on_reply — coexists with
   /// workload steering hooks).
   void hook_rkv_client(workloads::ClientGen& client);
+
+  /// Sharded RKV: the same client view, tapped from the open-loop
+  /// multiplexer.  Routing statuses (kNotLeader / kWrongShard) do NOT
+  /// close an op — the generator retries under the same request id, so
+  /// only a final status is the operation's response.
+  void hook_rkv_openloop(workloads::OpenLoopGen& gen);
 
   /// DT client view: one TxnClientOp per issued kTxnRequest.
   void hook_dt_client(workloads::ClientGen& client);
@@ -134,7 +151,11 @@ class HistoryRecorder {
   [[nodiscard]] DtHistory& dt_mut() noexcept { return dt_; }
 
  private:
+  void record_kv_issue(const netsim::Packet& pkt);
+  void record_kv_reply(const netsim::Packet& pkt, bool skip_routing);
+
   const sim::Simulation& sim_;
+  std::function<bool(const std::string&)> kv_key_filter_;
   KvHistory kv_;
   DtHistory dt_;
   std::unordered_map<std::uint64_t, std::size_t> kv_index_;   // rid -> op

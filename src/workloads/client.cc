@@ -1,6 +1,7 @@
 #include "workloads/client.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ipipe::workloads {
 
@@ -8,6 +9,8 @@ ClientGen::ClientGen(sim::Simulation& sim, netsim::Network& net,
                      netsim::NodeId self, double link_gbps, MakeReq make,
                      std::uint64_t seed)
     : sim_(sim), net_(net), self_(self), make_(std::move(make)), rng_(seed) {
+  assert(static_cast<std::uint64_t>(self_) <= RequestId::kMaxNode &&
+         "node id overflows the request-id space");
   net_.attach(self_, *this, link_gbps);
 }
 
@@ -15,10 +18,11 @@ ClientGen::~ClientGen() { net_.detach(self_); }
 
 void ClientGen::issue_one() {
   if (sim_.now() >= stop_at_) return;
+  expire_stale_inflight();
   auto pkt = make_(next_seq_, rng_, net_.pool());
   if (!pkt) return;
   pkt->src = self_;
-  pkt->request_id = (static_cast<std::uint64_t>(self_) << 40) | next_seq_;
+  pkt->request_id = RequestId::make(self_, next_seq_);
   pkt->created_at = sim_.now();
   ++next_seq_;
   ++sent_;
@@ -30,9 +34,31 @@ void ClientGen::issue_one() {
   }
   const std::uint64_t id = pkt->request_id;
   inflight_.emplace(id, std::move(fl));
+  if (!retries_on_) inflight_order_.push_back(id);
   if (on_issue_) on_issue_(*pkt);
   net_.send(std::move(pkt));
   if (retries_on_) arm_retry(id, 1);
+}
+
+void ClientGen::expire_stale_inflight() {
+  // Retry mode bounds inflight_ by the abandon path; fire-and-forget
+  // mode needs this horizon sweep instead, or lost replies accumulate
+  // records forever.  The deque is issue-ordered, so the scan stops at
+  // the first record inside the horizon.
+  if (retries_on_) return;
+  const Ns now = sim_.now();
+  while (!inflight_order_.empty()) {
+    const std::uint64_t id = inflight_order_.front();
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end()) {  // already answered
+      inflight_order_.pop_front();
+      continue;
+    }
+    if (now - it->second.created < inflight_horizon_) break;
+    inflight_.erase(it);
+    inflight_order_.pop_front();
+    ++expired_;
+  }
 }
 
 void ClientGen::arm_retry(std::uint64_t request_id, unsigned attempt) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,29 @@
 #include "sim/simulation.h"
 
 namespace ipipe::workloads {
+
+/// Request-id space shared by every workload generator: 24 bits of node
+/// id above 40 bits of per-node sequence.  Disjoint by construction
+/// across generators, collision-free for ~10^12 requests per node —
+/// sized for million-client deployments (node ids >= 2^24 or sequences
+/// >= 2^40 would silently alias, so both are checked).
+struct RequestId {
+  static constexpr unsigned kSeqBits = 40;
+  static constexpr std::uint64_t kSeqMask = (1ULL << kSeqBits) - 1;
+  static constexpr netsim::NodeId kMaxNode =
+      static_cast<netsim::NodeId>((1ULL << (64 - kSeqBits)) - 1);
+
+  [[nodiscard]] static constexpr std::uint64_t make(netsim::NodeId node,
+                                                    std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(node) << kSeqBits) | (seq & kSeqMask);
+  }
+  [[nodiscard]] static constexpr netsim::NodeId node_of(std::uint64_t id) {
+    return static_cast<netsim::NodeId>(id >> kSeqBits);
+  }
+  [[nodiscard]] static constexpr std::uint64_t seq_of(std::uint64_t id) {
+    return id & kSeqMask;
+  }
+};
 
 class ClientGen : public netsim::Endpoint {
  public:
@@ -59,6 +83,19 @@ class ClientGen : public netsim::Endpoint {
     return retransmits_;
   }
   [[nodiscard]] std::uint64_t abandoned() const noexcept { return abandoned_; }
+
+  /// Fire-and-forget bookkeeping bound: without retries a lost reply
+  /// would leave its in-flight record behind forever — at open-loop
+  /// million-client rates that is an unbounded leak.  Records older
+  /// than the horizon are expired (counted in `expired()`) as new
+  /// requests are issued.
+  void set_inflight_horizon(Ns horizon) noexcept {
+    inflight_horizon_ = horizon;
+  }
+  [[nodiscard]] std::uint64_t expired() const noexcept { return expired_; }
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.size();
+  }
 
   void receive(netsim::PacketPtr pkt) override;
 
@@ -119,8 +156,13 @@ class ClientGen : public netsim::Endpoint {
   Ns stop_at_ = 0;
   Ns warmup_until_ = 0;
 
+  void expire_stale_inflight();
+
   std::uint64_t next_seq_ = 1;
   std::uint64_t sent_ = 0;
+  Ns inflight_horizon_ = sec(30);
+  std::uint64_t expired_ = 0;
+  std::deque<std::uint64_t> inflight_order_;
   std::uint64_t completed_ = 0;
   std::uint64_t completed_measured_ = 0;
   Ns first_measured_ = 0;
